@@ -1,0 +1,100 @@
+//! Criterion benches of the message-passing substrate: ping-pong latency
+//! and bandwidth over message sizes, allreduce, and the all-to-all plan
+//! exchange primitive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spmv_comm::collectives::ReduceOp;
+use spmv_comm::CommWorld;
+
+/// Two ranks bouncing one message back and forth `iters` times.
+fn ping_pong(bytes: usize, iters: usize) {
+    let comms = CommWorld::create(2);
+    let mut it = comms.into_iter();
+    let (c0, c1) = (it.next().unwrap(), it.next().unwrap());
+    let elems = bytes / 8;
+    let h = std::thread::spawn(move || {
+        let mut buf = vec![0.0f64; elems];
+        for _ in 0..iters {
+            c1.recv(0, 1, &mut buf);
+            c1.send(0, 2, &buf);
+        }
+    });
+    let data = vec![1.0f64; elems];
+    let mut back = vec![0.0f64; elems];
+    for _ in 0..iters {
+        c0.send(1, 1, &data);
+        c0.recv(1, 2, &mut back);
+    }
+    h.join().unwrap();
+}
+
+fn bench_ping_pong(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pingpong");
+    for bytes in [64usize, 4096, 65536, 1 << 20] {
+        g.throughput(Throughput::Bytes(2 * bytes as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(bytes), &bytes, |b, &bytes| {
+            b.iter(|| ping_pong(bytes, 4));
+        });
+    }
+    g.finish();
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allreduce");
+    for ranks in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                let comms = CommWorld::create(ranks);
+                let handles: Vec<_> = comms
+                    .into_iter()
+                    .map(|c| {
+                        std::thread::spawn(move || {
+                            let mut s = 0.0;
+                            for i in 0..16 {
+                                s += c.allreduce_scalar(i as f64, ReduceOp::Sum);
+                            }
+                            s
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    std::hint::black_box(h.join().unwrap());
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_alltoallv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alltoallv");
+    for ranks in [4usize, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                let comms = CommWorld::create(ranks);
+                let handles: Vec<_> = comms
+                    .into_iter()
+                    .map(|c| {
+                        std::thread::spawn(move || {
+                            let outgoing: Vec<Vec<u32>> =
+                                (0..c.size()).map(|d| vec![d as u32; 128]).collect();
+                            let incoming = c.alltoallv(&outgoing);
+                            std::hint::black_box(incoming.len())
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ping_pong, bench_allreduce, bench_alltoallv
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench backing the paper's format claim (§1.2): CRS "is
+//! broadly recognized as the most efficient format for general sparse
+//! matrices on cache-based microprocessors". Measures CRS against
+//! ELLPACK-R (both sweep orders) on both application matrices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spmv_bench::{hmep, samg, Scale};
+use spmv_matrix::{vecops, EllMatrix};
+
+fn bench_formats(c: &mut Criterion) {
+    for (name, m) in [("hmep", hmep(Scale::Test)), ("samg", samg(Scale::Test))] {
+        let ell = EllMatrix::from_csr(&m);
+        let x = vecops::random_vec(m.ncols(), 3);
+        let mut y = vec![0.0; m.nrows()];
+        let mut g = c.benchmark_group(format!("format_{name}"));
+        g.throughput(Throughput::Elements(2 * m.nnz() as u64));
+        g.bench_with_input(BenchmarkId::new("crs", name), &m, |b, m| {
+            b.iter(|| m.spmv(std::hint::black_box(&x), std::hint::black_box(&mut y)));
+        });
+        g.bench_with_input(BenchmarkId::new("ellpack_r", name), &ell, |b, e| {
+            b.iter(|| e.spmv(std::hint::black_box(&x), std::hint::black_box(&mut y)));
+        });
+        g.bench_with_input(BenchmarkId::new("ellpack_padded", name), &ell, |b, e| {
+            b.iter(|| e.spmv_padded(std::hint::black_box(&x), std::hint::black_box(&mut y)));
+        });
+        g.finish();
+        println!(
+            "{name}: ELL width {} (avg row {:.1}), fill efficiency {:.0}%, storage {:.2}x CRS",
+            ell.width(),
+            m.avg_nnz_per_row(),
+            ell.fill_efficiency() * 100.0,
+            ell.storage_bytes() as f64 / m.storage_bytes() as f64
+        );
+    }
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_formats
+);
+criterion_main!(benches);

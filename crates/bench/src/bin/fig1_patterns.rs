@@ -1,0 +1,45 @@
+//! Fig. 1 regenerator: aggregated block-occupancy maps of the three test
+//! matrices (HMEp, HMeP, sAMG), rendered as log-shaded ASCII.
+//!
+//! `cargo run --release -p spmv-bench --bin fig1_patterns [--scale test|medium|paper]`
+
+use spmv_bench::{header, hmep, hmep_phonon, samg, Scale};
+use spmv_matrix::stats::{block_occupancy, render_occupancy_ascii, SparsityStats};
+
+fn main() {
+    let scale = Scale::from_args();
+    header(&format!("Fig. 1 — sparsity patterns (scale: {})", scale.label()));
+    println!();
+
+    let blocks = 48;
+    let matrices = [
+        ("HMEp (phononic basis elements contiguous, Fig. 1a)", hmep_phonon(scale)),
+        ("HMeP (electronic basis elements contiguous, Fig. 1b)", hmep(scale)),
+        ("sAMG (Poisson, car geometry, Fig. 1c)", samg(scale)),
+    ];
+
+    for (name, m) in &matrices {
+        let s = SparsityStats::compute(m);
+        println!("{name}");
+        println!(
+            "  N = {}, N_nz = {}, N_nzr = {:.2}, bandwidth = {}, avg row spread = {:.0}",
+            s.nrows, s.nnz, s.avg_nnzr, s.bandwidth, s.avg_row_spread
+        );
+        let map = block_occupancy(m, blocks);
+        let max_occ = map.iter().cloned().fold(0.0, f64::max);
+        let nonzero_blocks = map.iter().filter(|&&o| o > 0.0).count();
+        println!(
+            "  {blocks}x{blocks} blocks: {} occupied, max occupancy {:.2e}",
+            nonzero_blocks, max_occ
+        );
+        println!("{}", render_occupancy_ascii(&map, blocks));
+    }
+
+    println!(
+        "Paper reference: N = 6 201 600 (HMEp/HMeP, N_nz = 92 527 872) and\n\
+         N = 22 786 800 (sAMG, N_nz = 160 222 796). The block-diagonal-plus-\n\
+         stripes structure of the Hamiltonians and the ragged band of the\n\
+         Poisson matrix are scale-invariant — compare the shading above with\n\
+         Fig. 1 of the paper."
+    );
+}

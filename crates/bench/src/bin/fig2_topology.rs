@@ -1,0 +1,38 @@
+//! Fig. 2 regenerator: node topologies of the benchmark systems.
+//!
+//! `cargo run --release -p spmv-bench --bin fig2_topology`
+
+use spmv_bench::header;
+use spmv_machine::presets;
+
+fn main() {
+    header("Fig. 2 — node topology of the benchmark systems");
+    println!();
+
+    let nodes =
+        [presets::nehalem_ep_node(), presets::westmere_ep_node(), presets::magny_cours_node()];
+    for node in &nodes {
+        println!("{}", node.ascii_art());
+        println!(
+            "  node totals: {:.1} GB/s STREAM, {:.1} GB/s SpMV-drawn, {} cores in {} LDs\n",
+            node.node_stream_bw_gbs(),
+            node.node_spmv_bw_gbs(),
+            node.num_cores(),
+            node.num_lds()
+        );
+    }
+
+    println!("Interconnects:");
+    for cluster in [presets::westmere_cluster(32), presets::cray_xe6_cluster(32, 0.15)] {
+        match &cluster.network {
+            spmv_machine::NetworkModel::FatTree(p) => println!(
+                "  {}: fully nonblocking fat tree, {:.1} µs latency, {:.1} GB/s injection/node",
+                cluster.name, p.latency_us, p.injection_gbs
+            ),
+            spmv_machine::NetworkModel::Torus2D(p) => println!(
+                "  {}: 2-D torus ({}x{} machine), {:.1} µs latency, {:.1} GB/s injection, {:.1} GB/s/link, {:.0}% background load, {:?} placement",
+                cluster.name, p.dims.0, p.dims.1, p.latency_us, p.injection_gbs, p.link_gbs, p.background_load * 100.0, p.placement
+            ),
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Fig. 6 regenerator: strong scaling of the sAMG car-geometry Poisson
+//! matrix — same variant grid as Fig. 5. The expected shape: "all variants
+//! and hybrid modes show similar scaling behavior and there is no advantage
+//! of task mode" because the matrix has much weaker communication
+//! requirements than HMeP.
+//!
+//! `cargo run --release -p spmv-bench --bin fig6_samg_scaling [--scale ...]`
+
+use spmv_bench::{efficiency_50_marker, header, node_counts, samg, Scale};
+use spmv_core::KernelMode;
+use spmv_machine::presets;
+use spmv_machine::HybridLayout;
+use spmv_sim::scaling::simulate_modes;
+use spmv_sim::SimConfig;
+
+fn main() {
+    let scale = Scale::from_args();
+    header(&format!("Fig. 6 — sAMG strong scaling (scale: {})", scale.label()));
+
+    let m = samg(scale);
+    let kappa = 0.0; // near-perfect RHS locality for the banded Poisson matrix
+    let nodes = node_counts(scale);
+    let max_nodes = *nodes.last().unwrap();
+    let westmere = presets::westmere_cluster(max_nodes);
+    let cray = presets::cray_xe6_cluster(max_nodes, 0.35);
+    println!("\nmatrix: N = {}, N_nz = {}; kappa = {kappa}\n", m.nrows(), m.nnz());
+
+    let cfgs: Vec<SimConfig> =
+        KernelMode::ALL.iter().map(|&mode| SimConfig::new(mode).with_kappa(kappa)).collect();
+    let mut best_cray: Vec<(usize, f64)> = nodes.iter().map(|&n| (n, 0.0f64)).collect();
+
+    for layout in HybridLayout::ALL {
+        println!("--- one MPI process {} ---", layout.label());
+        println!(
+            "{:>6} {:>22} {:>22} {:>12}",
+            "nodes", "vector w/o overlap", "vector naive overlap", "task mode"
+        );
+        let mut series: Vec<Vec<(usize, f64)>> = vec![Vec::new(); 3];
+        for (slot, &n) in best_cray.iter_mut().zip(&nodes) {
+            let west = simulate_modes(&m, &westmere, n, layout, &cfgs);
+            let gfs: Vec<f64> =
+                west.iter().map(|r| r.as_ref().map(|r| r.gflops).unwrap_or(f64::NAN)).collect();
+            println!(
+                "{:>6} {:>16.2} GF/s {:>16.2} GF/s {:>6.2} GF/s",
+                n, gfs[0], gfs[1], gfs[2]
+            );
+            for (k, g) in gfs.iter().enumerate() {
+                if g.is_finite() {
+                    series[k].push((n, *g));
+                }
+            }
+            for r in simulate_modes(&m, &cray, n, layout, &cfgs).into_iter().flatten() {
+                slot.1 = slot.1.max(r.gflops);
+            }
+        }
+        for (k, mode) in KernelMode::ALL.iter().enumerate() {
+            let marker = efficiency_50_marker(&series[k])
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "<1".into());
+            println!("  50% efficiency point, {}: {} nodes", mode.label(), marker);
+        }
+        // the Fig. 6 claim, quantified per layout:
+        let finals: Vec<f64> = series
+            .iter()
+            .filter_map(|s| s.last().map(|&(_, g)| g))
+            .collect();
+        if finals.len() == 3 {
+            let lo = finals.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = finals.iter().cloned().fold(0.0, f64::max);
+            println!("  variant spread at {max_nodes} nodes: {:.1}%\n", (hi / lo - 1.0) * 100.0);
+        } else {
+            println!();
+        }
+    }
+
+    println!("--- best Cray XE6 variant (reference curve) ---");
+    for (n, g) in &best_cray {
+        println!("{n:>6} {g:>16.2} GF/s");
+    }
+
+    println!(
+        "\nPaper shape check: parallel efficiency stays above 50% for all versions\n\
+         up to 32 nodes, and the three variants cluster tightly — hybrid\n\
+         programming buys nothing when pure MPI already scales."
+    );
+}

@@ -1,0 +1,112 @@
+//! Does the paper's 2011 conclusion survive on a 2020s machine? A
+//! forward-port study: the same matrices and kernel modes simulated on an
+//! EPYC-Milan-class cluster (8 NUMA LDs × 8 cores per node, DDR4-3200,
+//! HDR-200 InfiniBand).
+//!
+//! The balance has shifted both ways since Westmere: node memory bandwidth
+//! grew ~5× (SpMV gets faster), but network injection grew ~7× (comm gets
+//! cheaper). Which effect wins decides whether a dedicated communication
+//! thread is still worth a core.
+//!
+//! `cargo run --release -p spmv-bench --bin modern_machine [--scale ...]`
+
+use spmv_bench::{header, hmep, node_counts, Scale};
+use spmv_core::KernelMode;
+use spmv_machine::network::{FatTreeParams, NetworkModel};
+use spmv_machine::saturation::SaturationCurve;
+use spmv_machine::topology::{ClusterSpec, IntranodeComm, LdSpec, NodeTopology, SocketSpec};
+use spmv_machine::HybridLayout;
+use spmv_sim::scaling::simulate_modes;
+use spmv_sim::SimConfig;
+
+/// An EPYC-7543-class locality domain (one CCD-pair NUMA domain, NPS4-ish):
+/// 8 cores, ~25 GB/s/LD effective STREAM share of a 200 GB/s socket.
+fn epyc_ld() -> LdSpec {
+    LdSpec {
+        cores: 8,
+        smt: 2,
+        stream_bw: SaturationCurve::from_endpoints(22.0, 48.0, 8),
+        spmv_bw: SaturationCurve::from_endpoints(16.0, 42.0, 8),
+        peak_bw_gbs: 51.2, // 2 of 8 DDR4-3200 channels per NPS4 domain
+        core_gflops: 41.6, // 2.6 GHz × 16 DP flops/cycle (AVX2 FMA)
+        l3_mib: 64.0,
+        l2_kib: 512.0,
+        l1_kib: 32.0,
+    }
+}
+
+fn epyc_node() -> NodeTopology {
+    NodeTopology {
+        name: "dual EPYC Milan (2×32 cores, 8 NUMA LDs)".into(),
+        sockets: (0..2)
+            .map(|_| SocketSpec {
+                name: "EPYC 7543".into(),
+                lds: (0..4).map(|_| epyc_ld()).collect(),
+            })
+            .collect(),
+    }
+}
+
+fn epyc_cluster(num_nodes: usize) -> ClusterSpec {
+    ClusterSpec {
+        name: format!("EPYC HDR-200 cluster ({num_nodes} nodes)"),
+        node: epyc_node(),
+        num_nodes,
+        // HDR-200 InfiniBand: ~24 GB/s effective per direction, ~1 µs latency
+        network: NetworkModel::FatTree(FatTreeParams { latency_us: 1.0, injection_gbs: 24.0 }),
+        intranode: IntranodeComm { latency_us: 0.3, bandwidth_gbs: 60.0 },
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    header(&format!("2020s forward-port: HMeP on an EPYC/HDR cluster (scale: {})", scale.label()));
+
+    let m = hmep(scale);
+    let nodes = node_counts(scale);
+    let max_nodes = *nodes.last().unwrap();
+    let epyc = epyc_cluster(max_nodes);
+    let westmere = spmv_machine::presets::westmere_cluster(max_nodes);
+    println!(
+        "\nmatrix: N = {}, nnz = {}; node SpMV bandwidth: Westmere {:.0} GB/s vs EPYC {:.0} GB/s;\n\
+         injection: QDR 3.2 GB/s vs HDR 24 GB/s\n",
+        m.nrows(),
+        m.nnz(),
+        westmere.node.node_spmv_bw_gbs(),
+        epyc.node.node_spmv_bw_gbs()
+    );
+
+    let cfgs: Vec<SimConfig> =
+        KernelMode::ALL.iter().map(|&mode| SimConfig::new(mode).with_kappa(2.5)).collect();
+
+    for (name, cluster) in [("Westmere/QDR (2011)", &westmere), ("EPYC/HDR (2020s)", &epyc)] {
+        println!("--- {name}, per-LD layout ---");
+        println!(
+            "{:>6} {:>20} {:>22} {:>12} {:>12}",
+            "nodes", "vector w/o overlap", "vector naive overlap", "task mode", "task gain"
+        );
+        for &n in &nodes {
+            let r = simulate_modes(&m, cluster, n, HybridLayout::ProcessPerLd, &cfgs);
+            let g: Vec<f64> =
+                r.iter().map(|x| x.as_ref().map(|x| x.gflops).unwrap_or(f64::NAN)).collect();
+            println!(
+                "{:>6} {:>15.2} GF/s {:>17.2} GF/s {:>7.2} GF/s {:>11.2}x",
+                n,
+                g[0],
+                g[1],
+                g[2],
+                g[2] / g[0]
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "--> the 2011 conclusion is quantitative, not eternal: on the modern\n\
+         machine the faster network shrinks the communication share, so the\n\
+         task-mode gain compresses — but wherever strong scaling pushes deep\n\
+         enough that communication re-dominates, the dedicated comm thread\n\
+         earns its core again. The methodology (model, overlap analysis,\n\
+         progress semantics) transfers unchanged."
+    );
+}

@@ -1,0 +1,80 @@
+//! Beyond the paper's per-SpMV view: time-to-solution scaling of whole
+//! solver iterations (CG on sAMG, Lanczos on HMeP), including the global
+//! reductions every Krylov method needs. Shows where the solver — as
+//! opposed to the bare SpMV — stops scaling, and how much of that task
+//! mode recovers.
+//!
+//! `cargo run --release -p spmv-bench --bin solver_scaling [--scale ...]`
+
+use spmv_bench::{header, hmep, node_counts, samg, Scale};
+use spmv_core::{workload, KernelMode, RowPartition};
+use spmv_machine::{plan_layout, presets, CommThreadPlacement, HybridLayout};
+use spmv_sim::iterative::{simulate_solver, SolverShape};
+use spmv_sim::SimConfig;
+
+fn main() {
+    let scale = Scale::from_args();
+    header(&format!("Solver-level strong scaling (scale: {})", scale.label()));
+
+    let nodes = node_counts(scale);
+    let max_nodes = *nodes.last().unwrap();
+    let cluster = presets::westmere_cluster(max_nodes);
+
+    for (name, m, kappa, shape, shape_name) in [
+        ("sAMG + CG", samg(scale), 0.0, SolverShape::cg(), "1 SpMV + 2 dots + 3 sweeps"),
+        ("HMeP + Lanczos", hmep(scale), 2.5, SolverShape::lanczos(), "1 SpMV + 2 dots + 2 sweeps"),
+    ] {
+        println!(
+            "\n=== {name}: N = {}, nnz = {} ({shape_name}/iter) ===",
+            m.nrows(),
+            m.nnz()
+        );
+        println!(
+            "{:>6} {:>16} {:>16} {:>10} {:>10} {:>10}",
+            "nodes", "novl µs/iter", "task µs/iter", "spmv%", "dots%", "sweeps%"
+        );
+        for &n in &nodes {
+            let mut cells: Vec<String> = Vec::new();
+            let mut shares = (0.0, 0.0, 0.0);
+            for mode in [KernelMode::VectorNoOverlap, KernelMode::TaskMode] {
+                let comm = if mode.needs_comm_thread() {
+                    CommThreadPlacement::SmtSibling
+                } else {
+                    CommThreadPlacement::None
+                };
+                let layout =
+                    plan_layout(&cluster.node, n, HybridLayout::ProcessPerLd, comm).unwrap();
+                let p = RowPartition::by_nnz(&m, layout.num_ranks());
+                let w = workload::analyze(&m, &p);
+                let (t, _) = simulate_solver(
+                    &cluster,
+                    &layout,
+                    &w,
+                    &SimConfig::new(mode).with_kappa(kappa),
+                    shape,
+                    1,
+                );
+                cells.push(format!("{:>13.1}", t.per_iteration_s * 1e6));
+                if mode == KernelMode::TaskMode {
+                    shares = (
+                        t.spmv_s / t.per_iteration_s * 100.0,
+                        t.reduction_s / t.per_iteration_s * 100.0,
+                        t.sweeps_s / t.per_iteration_s * 100.0,
+                    );
+                }
+            }
+            println!(
+                "{:>6} {:>16} {:>16} {:>9.1}% {:>9.1}% {:>9.1}%",
+                n, cells[0], cells[1], shares.0, shares.1, shares.2
+            );
+        }
+    }
+
+    println!(
+        "\n--> at small node counts the SpMV dominates and the paper's per-SpMV\n\
+         analysis carries over 1:1; at scale, the two allreduce latencies per\n\
+         iteration grow as log2(P) while everything else shrinks — the wall\n\
+         that motivates communication-avoiding Krylov methods. Task mode\n\
+         shortens the SpMV share but cannot touch the reductions."
+    );
+}

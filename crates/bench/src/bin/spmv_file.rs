@@ -1,0 +1,131 @@
+//! Analyze and benchmark a user-supplied Matrix Market file with the full
+//! hybrid-SpMV pipeline — the entry point for applying the paper's
+//! methodology to *your* matrix.
+//!
+//! ```text
+//! cargo run --release -p spmv-bench --bin spmv_file -- <matrix.mtx> [ranks] [threads]
+//! ```
+//!
+//! Reports: sparsity statistics, the cache-model κ, the code-balance
+//! prediction for a Westmere socket, per-layout communication summaries,
+//! functional validation of all three kernel modes (real threads), and the
+//! simulated strong-scaling ranking at 8 nodes.
+
+use spmv_bench::header;
+use spmv_core::engine::EngineConfig;
+use spmv_core::runner::distributed_spmv;
+use spmv_core::{workload, KernelMode, RowPartition};
+use spmv_machine::{presets, HybridLayout};
+use spmv_model::{code_balance_crs, estimate_kappa, predicted_gflops};
+use spmv_sim::scaling::simulate_modes;
+use spmv_sim::SimConfig;
+use std::io::BufReader;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(path) = args.get(1) else {
+        eprintln!("usage: spmv_file <matrix.mtx> [ranks] [threads]");
+        std::process::exit(2);
+    };
+    let ranks: usize = args.get(2).map(|s| s.parse().expect("ranks")).unwrap_or(4);
+    let threads: usize = args.get(3).map(|s| s.parse().expect("threads")).unwrap_or(2);
+
+    let file = std::fs::File::open(path).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        std::process::exit(1);
+    });
+    let m = spmv_matrix::io::read_matrix_market(BufReader::new(file)).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(1);
+    });
+
+    header(&format!("hybrid-spmv analysis of {path}"));
+
+    // structure
+    let s = spmv_matrix::stats::SparsityStats::compute(&m);
+    println!(
+        "\nstructure: {} x {}, nnz = {}, N_nzr = {:.2} (min {}, max {}, σ {:.1}), bandwidth = {}",
+        s.nrows, s.ncols, s.nnz, s.avg_nnzr, s.min_nnzr, s.max_nnzr, s.stddev_nnzr, s.bandwidth
+    );
+    if m.nrows() != m.ncols() {
+        println!("matrix is not square — distributed SpMV analysis needs a square matrix");
+        return;
+    }
+    let symmetric = m.is_symmetric(1e-12);
+    println!("numerically symmetric: {symmetric}");
+
+    // node-level model
+    let westmere = presets::westmere_cluster(8);
+    let ld = westmere.node.lds()[0];
+    let kappa = estimate_kappa(&m, ld.cache_bytes_per_core(), 64).kappa;
+    let balance = code_balance_crs(s.avg_nnzr, kappa);
+    println!(
+        "\nnode-level model (Westmere socket): kappa = {kappa:.2}, B_CRS = {balance:.2} bytes/flop"
+    );
+    println!(
+        "predicted socket performance: {:.2} GFlop/s ({:.2} at kappa = 0)",
+        predicted_gflops(ld.spmv_saturated_gbs(), balance),
+        predicted_gflops(ld.spmv_saturated_gbs(), code_balance_crs(s.avg_nnzr, 0.0))
+    );
+
+    // communication structure per layout
+    println!("\ncommunication per SpMV on 8 Westmere nodes:");
+    for layout in HybridLayout::ALL {
+        let nranks = match layout {
+            HybridLayout::ProcessPerCore => 8 * westmere.node.num_cores(),
+            HybridLayout::ProcessPerLd => 8 * westmere.node.num_lds(),
+            HybridLayout::ProcessPerNode => 8,
+        };
+        if nranks > m.nrows() {
+            println!("  {:<9} skipped (more ranks than rows)", layout.label());
+            continue;
+        }
+        let p = RowPartition::by_nnz(&m, nranks);
+        let sum = workload::summarize(&workload::analyze(&m, &p));
+        println!(
+            "  {:<9} {:>5} ranks: {:>7} msgs, {:>10.1} KiB, worst comm-to-comp {:.4} B/flop",
+            layout.label(),
+            nranks,
+            sum.total_messages,
+            sum.total_bytes as f64 / 1024.0,
+            sum.worst_comm_to_comp
+        );
+    }
+
+    // functional validation with real threads
+    println!("\nfunctional check ({ranks} ranks x {threads} threads, real threads):");
+    let x = spmv_matrix::vecops::random_vec(m.nrows(), 42);
+    let mut y_ref = vec![0.0; m.nrows()];
+    m.spmv(&x, &mut y_ref);
+    for mode in KernelMode::ALL {
+        let cfg = if mode.needs_comm_thread() {
+            EngineConfig::task_mode(threads)
+        } else {
+            EngineConfig::hybrid(threads)
+        };
+        let t0 = std::time::Instant::now();
+        let y = distributed_spmv(&m, &x, ranks, cfg, mode);
+        let dt = t0.elapsed().as_secs_f64();
+        let err = spmv_matrix::vecops::rel_error(&y, &y_ref);
+        println!(
+            "  {:<22} rel err {err:.2e}, wall {:.2} ms (incl. setup)",
+            mode.label(),
+            dt * 1e3
+        );
+        assert!(err < 1e-9, "mode must match the serial kernel");
+    }
+
+    // simulated mode ranking at 8 nodes
+    if m.nrows() >= 8 * westmere.node.num_lds() {
+        println!("\nsimulated on 8 Westmere nodes (per-LD layout, kappa = {kappa:.2}):");
+        let cfgs: Vec<SimConfig> =
+            KernelMode::ALL.iter().map(|&mode| SimConfig::new(mode).with_kappa(kappa)).collect();
+        let results = simulate_modes(&m, &westmere, 8, HybridLayout::ProcessPerLd, &cfgs);
+        for (mode, r) in KernelMode::ALL.iter().zip(results) {
+            match r {
+                Some(r) => println!("  {:<22} {:.2} GFlop/s", mode.label(), r.gflops),
+                None => println!("  {:<22} (not realizable)", mode.label()),
+            }
+        }
+    }
+}

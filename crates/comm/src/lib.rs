@@ -1,0 +1,40 @@
+//! # spmv-comm
+//!
+//! An in-process message-passing substrate with MPI semantics. Ranks are OS
+//! threads inside one process; each holds a [`Comm`] handle. The substrate
+//! provides what the paper's kernels need from MPI:
+//!
+//! * nonblocking point-to-point ([`Comm::isend`] / [`Comm::irecv`] /
+//!   [`Comm::waitall`]) with per-`(source, tag)` FIFO matching,
+//! * blocking send/recv,
+//! * the collectives used for bookkeeping (barrier, allreduce, allgather,
+//!   all-to-all),
+//! * per-world traffic statistics (message and byte counters, used by the
+//!   message-aggregation analysis).
+//!
+//! ## Progress semantics
+//!
+//! Real MPI libraries "support progress, i.e. actual data transfer, only
+//! when MPI library code is executed by the user process" (paper §3). This
+//! substrate mirrors that structure faithfully: `isend` deposits the message
+//! in a shared mailbox, and the bytes are copied into the receive buffer
+//! only when the *receiver* executes a communication call (`wait*` /
+//! `recv`). Nothing moves "in the background" — exactly like a standard MPI
+//! without an asynchronous progress thread. Explicit overlap therefore
+//! requires a thread that sits inside communication calls, which is
+//! precisely the paper's task mode. (Quantitative timing of both progress
+//! models lives in `spmv-sim`.)
+//!
+//! Functional correctness is independent of timing, so this substrate is
+//! used by the functional execution engine and by the solvers; the
+//! discrete-event simulator reuses the same communication plans to model
+//! time.
+
+pub mod collectives;
+pub mod pod;
+pub mod stats;
+pub mod world;
+
+pub use pod::Pod;
+pub use stats::WorldStats;
+pub use world::{Comm, CommWorld, RecvRequest, Request, Tag};

@@ -1,0 +1,80 @@
+//! Per-world traffic statistics.
+//!
+//! The paper attributes part of the hybrid modes' scalability advantage to
+//! "the smaller number of messages in the hybrid case (message
+//! aggregation)" (§4). These counters make that claim measurable on our
+//! substrate: the ablation bench compares message counts and volumes across
+//! the per-core / per-LD / per-node layouts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Aggregate point-to-point traffic counters for one communication world.
+#[derive(Debug, Default)]
+pub struct WorldStats {
+    messages: AtomicU64,
+    bytes: AtomicU64,
+    max_message_bytes: AtomicU64,
+}
+
+impl WorldStats {
+    pub(crate) fn record_message(&self, bytes: usize) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.max_message_bytes.fetch_max(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Total point-to-point messages sent since creation (collectives and
+    /// self-messages excluded).
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Total point-to-point payload bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Largest single message seen.
+    pub fn max_message_bytes(&self) -> u64 {
+        self.max_message_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Average message size in bytes (0 if no messages).
+    pub fn avg_message_bytes(&self) -> f64 {
+        let m = self.messages();
+        if m == 0 { 0.0 } else { self.bytes() as f64 / m as f64 }
+    }
+
+    /// Resets all counters (e.g. after warm-up iterations).
+    pub fn reset(&self) {
+        self.messages.store(0, Ordering::Relaxed);
+        self.bytes.store(0, Ordering::Relaxed);
+        self.max_message_bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = WorldStats::default();
+        s.record_message(100);
+        s.record_message(50);
+        assert_eq!(s.messages(), 2);
+        assert_eq!(s.bytes(), 150);
+        assert_eq!(s.max_message_bytes(), 100);
+        assert_eq!(s.avg_message_bytes(), 75.0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = WorldStats::default();
+        s.record_message(10);
+        s.reset();
+        assert_eq!(s.messages(), 0);
+        assert_eq!(s.bytes(), 0);
+        assert_eq!(s.avg_message_bytes(), 0.0);
+    }
+}

@@ -1,0 +1,570 @@
+//! The communication world: rank handles, mailboxes, nonblocking
+//! point-to-point with MPI matching semantics.
+
+use crate::pod::{as_bytes, from_bytes_vec, Pod};
+use crate::stats::WorldStats;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// Message tag. User tags must be below [`Tag::MAX`]` / 2`; the upper half
+/// is reserved for internal collectives.
+pub type Tag = u32;
+
+/// First tag reserved for internal use (collectives).
+pub(crate) const RESERVED_TAG_BASE: Tag = 1 << 31;
+
+/// One rank's incoming mailbox: per-`(source, tag)` FIFO queues, exactly
+/// MPI's matching rule for non-wildcard receives.
+/// Per-`(source, tag)` FIFO queues of raw payloads.
+type MatchQueues = HashMap<(usize, Tag), VecDeque<Vec<u8>>>;
+
+struct RankMailbox {
+    queues: Mutex<MatchQueues>,
+    cv: Condvar,
+}
+
+impl RankMailbox {
+    fn new() -> Self {
+        Self { queues: Mutex::new(HashMap::new()), cv: Condvar::new() }
+    }
+
+    fn deposit(&self, src: usize, tag: Tag, payload: Vec<u8>) {
+        let mut q = self.queues.lock();
+        q.entry((src, tag)).or_default().push_back(payload);
+        self.cv.notify_all();
+    }
+
+    /// Blocks until a message from `(src, tag)` is available and pops it.
+    fn pop_blocking(&self, src: usize, tag: Tag) -> Vec<u8> {
+        let mut q = self.queues.lock();
+        loop {
+            if let Some(dq) = q.get_mut(&(src, tag)) {
+                if let Some(msg) = dq.pop_front() {
+                    return msg;
+                }
+            }
+            self.cv.wait(&mut q);
+        }
+    }
+
+    /// Non-blocking probe-and-pop.
+    fn try_pop(&self, src: usize, tag: Tag) -> Option<Vec<u8>> {
+        let mut q = self.queues.lock();
+        q.get_mut(&(src, tag)).and_then(|dq| dq.pop_front())
+    }
+
+    /// Non-destructive probe: byte length of the next queued message.
+    fn peek_len(&self, src: usize, tag: Tag) -> Option<usize> {
+        let q = self.queues.lock();
+        q.get(&(src, tag)).and_then(|dq| dq.front()).map(|m| m.len())
+    }
+}
+
+struct BarrierState {
+    count: usize,
+    generation: u64,
+}
+
+pub(crate) struct WorldShared {
+    pub(crate) size: usize,
+    mailboxes: Vec<RankMailbox>,
+    stats: WorldStats,
+    barrier_lock: Mutex<BarrierState>,
+    barrier_cv: Condvar,
+}
+
+/// Factory for communication worlds.
+///
+/// ```
+/// use spmv_comm::CommWorld;
+///
+/// let mut comms = CommWorld::create(2).into_iter();
+/// let (c0, c1) = (comms.next().unwrap(), comms.next().unwrap());
+/// let peer = std::thread::spawn(move || {
+///     let mut buf = [0.0f64; 3];
+///     c1.recv(0, 7, &mut buf);                      // blocking receive
+///     c1.send(0, 8, &[buf.iter().sum::<f64>()]);    // reply with the sum
+/// });
+/// c0.send(1, 7, &[1.0, 2.0, 3.0]);
+/// let mut total = [0.0f64];
+/// c0.recv(1, 8, &mut total);
+/// assert_eq!(total[0], 6.0);
+/// peer.join().unwrap();
+/// ```
+pub struct CommWorld;
+
+impl CommWorld {
+    /// Creates a world of `size` ranks and returns one [`Comm`] handle per
+    /// rank (index = rank). Hand each to its rank's thread.
+    pub fn create(size: usize) -> Vec<Comm> {
+        assert!(size >= 1, "world needs at least one rank");
+        let shared = Arc::new(WorldShared {
+            size,
+            mailboxes: (0..size).map(|_| RankMailbox::new()).collect(),
+            stats: WorldStats::default(),
+            barrier_lock: Mutex::new(BarrierState { count: 0, generation: 0 }),
+            barrier_cv: Condvar::new(),
+        });
+        (0..size).map(|rank| Comm { rank, shared: Arc::clone(&shared) }).collect()
+    }
+}
+
+/// A nonblocking-operation handle. Receive requests borrow their buffer
+/// until completed by [`Comm::wait`] / [`Comm::waitall`]; the borrow makes
+/// buffer reuse before completion a compile error.
+pub struct Request<'buf> {
+    kind: ReqKind,
+    _buf: PhantomData<&'buf mut [u8]>,
+}
+
+/// Alias emphasizing that only receives carry interesting state.
+pub type RecvRequest<'buf> = Request<'buf>;
+
+enum ReqKind {
+    /// Buffered sends complete at post time (eager protocol).
+    SendDone,
+    Recv { src: usize, tag: Tag, dst: *mut u8, bytes: usize },
+}
+
+// Safety: the raw pointer targets a buffer whose exclusive borrow is held by
+// the request itself (lifetime parameter), and completion writes happen on
+// whichever thread calls wait — never concurrently with user access.
+unsafe impl Send for Request<'_> {}
+
+/// A rank's handle to the communication world; cheap to move across
+/// threads. Cloning yields another handle to the *same* rank (useful when a
+/// solver needs the communicator while the engine is mutably borrowed).
+#[derive(Clone)]
+pub struct Comm {
+    rank: usize,
+    shared: Arc<WorldShared>,
+}
+
+impl Comm {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    /// World-wide traffic statistics.
+    pub fn stats(&self) -> &WorldStats {
+        &self.shared.stats
+    }
+
+    fn assert_user_tag(tag: Tag) {
+        assert!(tag < RESERVED_TAG_BASE, "tags >= {RESERVED_TAG_BASE:#x} are reserved");
+    }
+
+    fn assert_peer(&self, peer: usize) {
+        assert!(peer < self.shared.size, "rank {peer} out of range ({})", self.shared.size);
+    }
+
+    // -- point-to-point -----------------------------------------------------
+
+    pub(crate) fn isend_internal<T: Pod>(&self, dst: usize, tag: Tag, data: &[T]) {
+        self.assert_peer(dst);
+        let payload = as_bytes(data).to_vec();
+        self.shared.stats.record_message(payload.len());
+        self.shared.mailboxes[dst].deposit(self.rank, tag, payload);
+    }
+
+    pub(crate) fn recv_vec_internal<T: Pod>(&self, src: usize, tag: Tag) -> Vec<T> {
+        self.assert_peer(src);
+        let bytes = self.shared.mailboxes[self.rank].pop_blocking(src, tag);
+        from_bytes_vec(&bytes)
+    }
+
+    /// Nonblocking send. The payload is copied out immediately (eager,
+    /// buffered — like small-message MPI), so the returned request is
+    /// already complete and the slice may be reused right away.
+    pub fn isend<T: Pod>(&self, dst: usize, tag: Tag, data: &[T]) -> Request<'static> {
+        Self::assert_user_tag(tag);
+        self.isend_internal(dst, tag, data);
+        Request { kind: ReqKind::SendDone, _buf: PhantomData }
+    }
+
+    /// Blocking send (same delivery semantics as [`Comm::isend`]).
+    pub fn send<T: Pod>(&self, dst: usize, tag: Tag, data: &[T]) {
+        let req = self.isend(dst, tag, data);
+        self.wait(req);
+    }
+
+    /// Nonblocking receive into `buf`. The message is matched and copied
+    /// when this rank *waits* on the request — data transfer happens inside
+    /// communication calls only, mirroring standard MPI progress (§3 of the
+    /// paper).
+    pub fn irecv<'buf, T: Pod>(
+        &self,
+        src: usize,
+        tag: Tag,
+        buf: &'buf mut [T],
+    ) -> Request<'buf> {
+        Self::assert_user_tag(tag);
+        self.assert_peer(src);
+        Request {
+            kind: ReqKind::Recv {
+                src,
+                tag,
+                dst: buf.as_mut_ptr() as *mut u8,
+                bytes: std::mem::size_of_val(buf),
+            },
+            _buf: PhantomData,
+        }
+    }
+
+    /// Blocking receive into `buf`; the message length must match exactly.
+    pub fn recv<T: Pod>(&self, src: usize, tag: Tag, buf: &mut [T]) {
+        Self::assert_user_tag(tag);
+        let req = self.irecv(src, tag, buf);
+        self.wait(req);
+    }
+
+    /// Blocking receive of a message of unknown length.
+    pub fn recv_vec<T: Pod>(&self, src: usize, tag: Tag) -> Vec<T> {
+        Self::assert_user_tag(tag);
+        self.recv_vec_internal(src, tag)
+    }
+
+    /// Completes one request (blocking).
+    pub fn wait(&self, req: Request<'_>) {
+        match req.kind {
+            ReqKind::SendDone => {}
+            ReqKind::Recv { src, tag, dst, bytes } => {
+                let payload = self.shared.mailboxes[self.rank].pop_blocking(src, tag);
+                assert_eq!(
+                    payload.len(),
+                    bytes,
+                    "message from rank {src} (tag {tag}) has {} bytes, buffer holds {bytes}",
+                    payload.len()
+                );
+                // Safety: `dst` points to a live exclusive buffer of `bytes`
+                // bytes (borrow held by the request), lengths checked above.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(payload.as_ptr(), dst, payload.len());
+                }
+            }
+        }
+    }
+
+    /// Completes all requests (blocking, in order — the set is completed
+    /// when the call returns, like `MPI_Waitall`).
+    pub fn waitall<'a>(&self, reqs: impl IntoIterator<Item = Request<'a>>) {
+        for r in reqs {
+            self.wait(r);
+        }
+    }
+
+    /// Attempts to complete one request without blocking. Returns the
+    /// request back if it is not ready.
+    pub fn test<'a>(&self, req: Request<'a>) -> Result<(), Request<'a>> {
+        match req.kind {
+            ReqKind::SendDone => Ok(()),
+            ReqKind::Recv { src, tag, dst, bytes } => {
+                match self.shared.mailboxes[self.rank].try_pop(src, tag) {
+                    Some(payload) => {
+                        assert_eq!(payload.len(), bytes, "message size mismatch in test");
+                        unsafe {
+                            std::ptr::copy_nonoverlapping(payload.as_ptr(), dst, payload.len());
+                        }
+                        Ok(())
+                    }
+                    None => Err(req),
+                }
+            }
+        }
+    }
+
+    /// Combined send-and-receive (like `MPI_Sendrecv`): sends `outgoing` to
+    /// `dst` and receives from `src` into `incoming`, deadlock-free
+    /// regardless of call ordering across ranks (the send is buffered).
+    pub fn sendrecv<T: Pod>(
+        &self,
+        dst: usize,
+        send_tag: Tag,
+        outgoing: &[T],
+        src: usize,
+        recv_tag: Tag,
+        incoming: &mut [T],
+    ) {
+        let sreq = self.isend(dst, send_tag, outgoing);
+        self.recv(src, recv_tag, incoming);
+        self.wait(sreq);
+    }
+
+    /// Non-blocking probe: whether a message from `(src, tag)` is waiting,
+    /// and its payload size in bytes if so.
+    pub fn iprobe(&self, src: usize, tag: Tag) -> Option<usize> {
+        Self::assert_user_tag(tag);
+        self.assert_peer(src);
+        self.shared.mailboxes[self.rank].peek_len(src, tag)
+    }
+
+    // -- barrier -------------------------------------------------------------
+
+    /// World barrier: returns when all ranks have entered.
+    pub fn barrier(&self) {
+        let shared = &self.shared;
+        let mut st = shared.barrier_lock.lock();
+        let gen = st.generation;
+        st.count += 1;
+        if st.count == shared.size {
+            st.count = 0;
+            st.generation += 1;
+            shared.barrier_cv.notify_all();
+        } else {
+            while st.generation == gen {
+                shared.barrier_cv.wait(&mut st);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spawn_world<F>(size: usize, f: F)
+    where
+        F: Fn(Comm) + Send + Sync + Copy + 'static,
+    {
+        let comms = CommWorld::create(size);
+        let handles: Vec<_> =
+            comms.into_iter().map(|c| std::thread::spawn(move || f(c))).collect();
+        for h in handles {
+            h.join().expect("rank thread panicked");
+        }
+    }
+
+    #[test]
+    fn basic_send_recv() {
+        spawn_world(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 7, &[1.0f64, 2.0, 3.0]);
+            } else {
+                let mut buf = [0.0f64; 3];
+                c.recv(0, 7, &mut buf);
+                assert_eq!(buf, [1.0, 2.0, 3.0]);
+            }
+        });
+    }
+
+    #[test]
+    fn nonblocking_roundtrip_with_waitall() {
+        spawn_world(2, |c| {
+            let peer = 1 - c.rank();
+            let mut inbox = [0u32; 4];
+            let rreq = c.irecv(peer, 1, &mut inbox);
+            let data = [c.rank() as u32; 4];
+            let sreq = c.isend(peer, 1, &data);
+            c.waitall([rreq, sreq]);
+            assert_eq!(inbox, [peer as u32; 4]);
+        });
+    }
+
+    #[test]
+    fn messages_match_by_tag() {
+        spawn_world(2, |c| {
+            if c.rank() == 0 {
+                // send tag 2 first, then tag 1
+                c.send(1, 2, &[20.0f64]);
+                c.send(1, 1, &[10.0f64]);
+            } else {
+                // receive in the opposite tag order
+                let mut a = [0.0f64];
+                let mut b = [0.0f64];
+                c.recv(0, 1, &mut a);
+                c.recv(0, 2, &mut b);
+                assert_eq!(a, [10.0]);
+                assert_eq!(b, [20.0]);
+            }
+        });
+    }
+
+    #[test]
+    fn same_tag_messages_are_fifo() {
+        spawn_world(2, |c| {
+            if c.rank() == 0 {
+                for i in 0..10u64 {
+                    c.send(1, 5, &[i]);
+                }
+            } else {
+                for i in 0..10u64 {
+                    let mut buf = [0u64];
+                    c.recv(0, 5, &mut buf);
+                    assert_eq!(buf[0], i, "FIFO order violated");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn self_messaging_works() {
+        spawn_world(1, |c| {
+            c.send(0, 3, &[42i32]);
+            let mut buf = [0i32];
+            c.recv(0, 3, &mut buf);
+            assert_eq!(buf[0], 42);
+        });
+    }
+
+    #[test]
+    fn recv_vec_handles_unknown_lengths() {
+        spawn_world(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 9, &[1u32, 2, 3, 4, 5]);
+            } else {
+                let v: Vec<u32> = c.recv_vec(0, 9);
+                assert_eq!(v, vec![1, 2, 3, 4, 5]);
+            }
+        });
+    }
+
+    #[test]
+    fn test_returns_request_when_not_ready() {
+        spawn_world(2, |c| {
+            if c.rank() == 1 {
+                let mut buf = [0.0f64];
+                let mut req = c.irecv(0, 4, &mut buf);
+                // spin with test() until the message lands
+                loop {
+                    match c.test(req) {
+                        Ok(()) => break,
+                        Err(r) => {
+                            req = r;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                assert_eq!(buf[0], 6.5);
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                c.send(1, 4, &[6.5f64]);
+            }
+        });
+    }
+
+    #[test]
+    fn barrier_synchronizes_all_ranks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static BEFORE: AtomicUsize = AtomicUsize::new(0);
+        static FAILED: AtomicUsize = AtomicUsize::new(0);
+        BEFORE.store(0, Ordering::SeqCst);
+        spawn_world(4, |c| {
+            for round in 1..=10 {
+                BEFORE.fetch_add(1, Ordering::SeqCst);
+                c.barrier();
+                if BEFORE.load(Ordering::SeqCst) < 4 * round {
+                    FAILED.fetch_add(1, Ordering::SeqCst);
+                }
+                c.barrier();
+            }
+        });
+        assert_eq!(FAILED.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let comms = CommWorld::create(2);
+        let stats_bytes;
+        {
+            let (c0, c1) = {
+                let mut it = comms.into_iter();
+                (it.next().unwrap(), it.next().unwrap())
+            };
+            let h = std::thread::spawn(move || {
+                c1.send(0, 1, &[0u8; 100]);
+                c1.barrier();
+            });
+            let mut buf = [0u8; 100];
+            c0.recv(1, 1, &mut buf);
+            c0.barrier();
+            h.join().unwrap();
+            stats_bytes = (c0.stats().messages(), c0.stats().bytes());
+        }
+        assert_eq!(stats_bytes, (1, 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn reserved_tags_rejected() {
+        let comms = CommWorld::create(1);
+        comms[0].isend(0, RESERVED_TAG_BASE, &[0u8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_peer_rejected() {
+        let comms = CommWorld::create(2);
+        comms[0].isend(5, 0, &[0u8]);
+    }
+
+    #[test]
+    fn size_mismatch_detected_on_wait() {
+        let comms = CommWorld::create(1);
+        let c = &comms[0];
+        c.send(0, 1, &[1.0f64, 2.0]);
+        let mut small = [0.0f64; 1];
+        let req = c.irecv(0, 1, &mut small);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| c.wait(req)));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn many_ranks_ring_exchange() {
+        spawn_world(8, |c| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            let mut incoming = [0usize; 1];
+            let rreq = c.irecv(prev, 11, &mut incoming);
+            let sreq = c.isend(next, 11, &[c.rank()]);
+            c.waitall([sreq, rreq]);
+            assert_eq!(incoming[0], prev);
+        });
+    }
+
+    #[test]
+    fn sendrecv_ring_shift() {
+        spawn_world(5, |c| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            let out = [c.rank() as f64 * 2.0];
+            let mut inc = [0.0f64];
+            c.sendrecv(next, 8, &out, prev, 8, &mut inc);
+            assert_eq!(inc[0], prev as f64 * 2.0);
+        });
+    }
+
+    #[test]
+    fn sendrecv_with_self() {
+        spawn_world(1, |c| {
+            let out = [7u32, 8];
+            let mut inc = [0u32; 2];
+            c.sendrecv(0, 2, &out, 0, 2, &mut inc);
+            assert_eq!(inc, [7, 8]);
+        });
+    }
+
+    #[test]
+    fn iprobe_reports_pending_message_length() {
+        spawn_world(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 6, &[1.0f64, 2.0, 3.0]);
+                c.barrier();
+            } else {
+                c.barrier(); // message is definitely queued now
+                assert_eq!(c.iprobe(0, 6), Some(24));
+                assert_eq!(c.iprobe(0, 7), None, "different tag must not match");
+                let mut buf = [0.0f64; 3];
+                c.recv(0, 6, &mut buf);
+                assert_eq!(c.iprobe(0, 6), None, "probe after consume");
+            }
+        });
+    }
+}

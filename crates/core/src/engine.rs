@@ -1,0 +1,735 @@
+//! The per-rank execution engine: one object that can run a distributed
+//! SpMV in any of the paper's three kernel modes (Fig. 4).
+//!
+//! The engine owns the *extended RHS vector* `x_ext = [local | halo]`: the
+//! caller writes the local part ([`RankEngine::x_local_mut`]), the halo part
+//! is filled by communication during [`RankEngine::spmv`], and the result
+//! appears in [`RankEngine::y_local`]. This mirrors how production SpMV
+//! codes lay out the RHS so the unsplit kernel can run over one contiguous
+//! vector.
+//!
+//! ## Threading
+//!
+//! With `compute_threads = C` and an optional dedicated communication
+//! thread, the engine owns a persistent [`ThreadTeam`]:
+//!
+//! * vector modes use the team's threads for gather and compute regions,
+//!   with all communication issued between regions by the calling thread —
+//!   the "vector mode" structure where communication never overlaps
+//!   computation;
+//! * task mode runs one team region for the whole kernel: thread 0 executes
+//!   MPI calls only, threads `1..=C` gather / compute, synchronized by two
+//!   explicit barriers exactly as in Fig. 4c.
+//!
+//! Work distribution is explicit — contiguous, nonzero-balanced row chunks
+//! per compute thread — because "the standard OpenMP loop worksharing
+//! directive cannot be used, since there is no concept of 'subteams' in the
+//! current OpenMP standard" (§3.2).
+
+use crate::modes::KernelMode;
+use crate::partition::RowPartition;
+use crate::plan::{build_plan_distributed, RankPlan};
+use crate::split::SplitMatrix;
+use spmv_comm::{Comm, Tag};
+use spmv_matrix::CsrMatrix;
+use spmv_smp::workshare::{balanced_chunks, static_chunk};
+use spmv_smp::ThreadTeam;
+use std::ops::Range;
+
+/// Tag used for halo-exchange messages.
+const TAG_HALO: Tag = 17;
+
+/// Threading configuration of one rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Number of compute threads (`>= 1`).
+    pub compute_threads: usize,
+    /// Whether to provision a dedicated communication thread (required for
+    /// [`KernelMode::TaskMode`]).
+    pub comm_thread: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self { compute_threads: 1, comm_thread: false }
+    }
+}
+
+impl EngineConfig {
+    /// Single-threaded pure-MPI rank.
+    pub fn pure_mpi() -> Self {
+        Self::default()
+    }
+
+    /// Hybrid rank with `c` compute threads (vector modes).
+    pub fn hybrid(c: usize) -> Self {
+        Self { compute_threads: c, comm_thread: false }
+    }
+
+    /// Hybrid rank with `c` compute threads plus a communication thread
+    /// (task mode capable; also runs vector modes, leaving the comm thread
+    /// idle there).
+    pub fn task_mode(c: usize) -> Self {
+        Self { compute_threads: c, comm_thread: true }
+    }
+}
+
+/// Raw pointer wrapper for disjoint multi-threaded writes.
+#[derive(Clone, Copy)]
+struct MutPtr(*mut f64);
+unsafe impl Send for MutPtr {}
+unsafe impl Sync for MutPtr {}
+impl MutPtr {
+    /// # Safety
+    /// Caller must guarantee disjoint element access across threads.
+    #[inline]
+    unsafe fn at(&self, i: usize) -> *mut f64 {
+        self.0.add(i)
+    }
+
+    /// The raw pointer (avoids closure field-capture of the `*mut`).
+    #[inline]
+    fn raw(&self) -> *mut f64 {
+        self.0
+    }
+}
+
+/// The per-rank engine.
+pub struct RankEngine {
+    comm: Comm,
+    plan: RankPlan,
+    mats: SplitMatrix,
+    cfg: EngineConfig,
+    team: Option<ThreadTeam>,
+    // buffers
+    x_ext: Vec<f64>,
+    y: Vec<f64>,
+    send_buf: Vec<f64>,
+    // flattened gather list and per-neighbour segment offsets
+    gather_indices: Vec<u32>,
+    send_offsets: Vec<usize>,
+    halo_offsets: Vec<usize>,
+    // per-thread contiguous nonzero-balanced row chunks
+    full_chunks: Vec<Range<usize>>,
+    local_chunks: Vec<Range<usize>>,
+    nonlocal_chunks: Vec<Range<usize>>,
+    // counters
+    spmv_calls: u64,
+}
+
+impl RankEngine {
+    /// Builds the engine collectively: all ranks of `comm` must call this
+    /// with their own row block (global column indices) and the shared
+    /// partition. Exchanges the communication plan, splits the matrix, and
+    /// spawns the thread team.
+    pub fn new(
+        comm: Comm,
+        block: &CsrMatrix,
+        partition: &RowPartition,
+        cfg: EngineConfig,
+    ) -> Self {
+        assert!(cfg.compute_threads >= 1, "need at least one compute thread");
+        let plan = build_plan_distributed(&comm, block, partition);
+        let mats = SplitMatrix::build(block, &plan);
+        let nloc = plan.local_len;
+        let halo_len = plan.halo_len();
+
+        let mut gather_indices = Vec::with_capacity(plan.send_len());
+        let mut send_offsets = Vec::with_capacity(plan.send.len() + 1);
+        send_offsets.push(0);
+        for n in &plan.send {
+            gather_indices.extend_from_slice(&n.indices);
+            send_offsets.push(gather_indices.len());
+        }
+
+        let team_size = cfg.compute_threads + usize::from(cfg.comm_thread);
+        let team = if team_size > 1 { Some(ThreadTeam::new(team_size)) } else { None };
+
+        let c = cfg.compute_threads;
+        Self {
+            halo_offsets: plan.halo_offsets(),
+            full_chunks: balanced_chunks(mats.full.row_ptr(), c),
+            local_chunks: balanced_chunks(mats.local.row_ptr(), c),
+            nonlocal_chunks: balanced_chunks(mats.nonlocal.row_ptr(), c),
+            x_ext: vec![0.0; nloc + halo_len],
+            y: vec![0.0; nloc],
+            send_buf: vec![0.0; gather_indices.len()],
+            gather_indices,
+            send_offsets,
+            comm,
+            plan,
+            mats,
+            cfg,
+            team,
+            spmv_calls: 0,
+        }
+    }
+
+    /// Number of locally owned rows.
+    pub fn local_len(&self) -> usize {
+        self.plan.local_len
+    }
+
+    /// First global row owned by this rank.
+    pub fn row_start(&self) -> usize {
+        self.plan.row_start
+    }
+
+    /// The rank's communication plan.
+    pub fn plan(&self) -> &RankPlan {
+        &self.plan
+    }
+
+    /// The rank's split matrices.
+    pub fn matrices(&self) -> &SplitMatrix {
+        &self.mats
+    }
+
+    /// The communicator (for reductions in solvers).
+    pub fn comm(&self) -> &Comm {
+        &self.comm
+    }
+
+    /// The threading configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.cfg
+    }
+
+    /// Mutable access to the local part of the RHS vector.
+    pub fn x_local_mut(&mut self) -> &mut [f64] {
+        &mut self.x_ext[..self.plan.local_len]
+    }
+
+    /// The local part of the RHS vector.
+    pub fn x_local(&self) -> &[f64] {
+        &self.x_ext[..self.plan.local_len]
+    }
+
+    /// The local part of the result vector (valid after [`Self::spmv`]).
+    pub fn y_local(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// Copies the result back into the RHS (power-iteration style chaining).
+    pub fn promote_y_to_x(&mut self) {
+        let nloc = self.plan.local_len;
+        self.x_ext[..nloc].copy_from_slice(&self.y);
+    }
+
+    /// Number of SpMV calls executed so far.
+    pub fn spmv_calls(&self) -> u64 {
+        self.spmv_calls
+    }
+
+    /// Executes one distributed SpMV `y = A x` in the given mode. All ranks
+    /// must call this collectively with the same mode.
+    pub fn spmv(&mut self, mode: KernelMode) {
+        if mode.needs_comm_thread() {
+            assert!(
+                self.cfg.comm_thread,
+                "task mode requires an engine configured with a communication thread"
+            );
+        }
+        self.spmv_calls += 1;
+        match mode {
+            KernelMode::VectorNoOverlap => self.vector_no_overlap(),
+            KernelMode::VectorNaiveOverlap => self.vector_naive_overlap(),
+            KernelMode::TaskMode => self.task_mode(),
+        }
+    }
+
+    /// Convenience wrapper copying `x` in and `y` out (costs two extra
+    /// vector copies; iterative solvers should use the in-place API).
+    pub fn apply(&mut self, x: &[f64], y: &mut [f64], mode: KernelMode) {
+        assert_eq!(x.len(), self.plan.local_len);
+        assert_eq!(y.len(), self.plan.local_len);
+        self.x_local_mut().copy_from_slice(x);
+        self.spmv(mode);
+        y.copy_from_slice(&self.y);
+    }
+
+    // -- gather ---------------------------------------------------------------
+
+    /// Issues all halo receives, returning the requests. Splits the halo
+    /// region of `x_ext` into per-neighbour segments.
+    fn post_receives<'a>(
+        comm: &Comm,
+        plan: &RankPlan,
+        halo_offsets: &[usize],
+        halo: &'a mut [f64],
+    ) -> Vec<spmv_comm::Request<'a>> {
+        let mut reqs = Vec::with_capacity(plan.recv.len());
+        let mut rest = halo;
+        let mut consumed = 0usize;
+        for (k, n) in plan.recv.iter().enumerate() {
+            let seg_len = halo_offsets[k + 1] - halo_offsets[k];
+            debug_assert_eq!(halo_offsets[k], consumed);
+            let (seg, tail) = rest.split_at_mut(seg_len);
+            reqs.push(comm.irecv(n.peer, TAG_HALO, seg));
+            rest = tail;
+            consumed += seg_len;
+        }
+        reqs
+    }
+
+    /// Issues all halo sends from the flat send buffer.
+    fn post_sends(comm: &Comm, plan: &RankPlan, send_offsets: &[usize], send_buf: &[f64]) {
+        for (k, n) in plan.send.iter().enumerate() {
+            let seg = &send_buf[send_offsets[k]..send_offsets[k + 1]];
+            // eager buffered send: the request completes immediately
+            let _ = comm.isend(n.peer, TAG_HALO, seg);
+        }
+    }
+
+    /// Row-chunked SpMV compute: `y[rows] (=|+=) mat[rows] · x`.
+    ///
+    /// # Safety
+    /// `y` must be valid for `mat.nrows()` elements, and concurrent callers
+    /// must use disjoint `rows` ranges.
+    unsafe fn compute_rows(mat: &CsrMatrix, rows: Range<usize>, x: &[f64], y: MutPtr, add: bool) {
+        let row_ptr = mat.row_ptr();
+        let col_idx = mat.col_idx();
+        let values = mat.values();
+        for i in rows {
+            let mut sum = 0.0;
+            for j in row_ptr[i]..row_ptr[i + 1] {
+                sum += values[j] * x[col_idx[j] as usize];
+            }
+            let dst = y.at(i);
+            if add {
+                *dst += sum;
+            } else {
+                *dst = sum;
+            }
+        }
+    }
+
+    // -- kernels ---------------------------------------------------------------
+
+    /// Fig. 4a: Irecv → gather → Isend → Waitall → full SpMV.
+    fn vector_no_overlap(&mut self) {
+        let nloc = self.plan.local_len;
+
+        // 1. post receives, 2. gather, 3. send
+        {
+            let (x_loc, halo) = self.x_ext.split_at_mut(nloc);
+            let reqs = Self::post_receives(&self.comm, &self.plan, &self.halo_offsets, halo);
+            // gather (parallel when a team exists)
+            match &self.team {
+                Some(team) => {
+                    let total = self.gather_indices.len();
+                    let c = self.cfg.compute_threads;
+                    let sp = MutPtr(self.send_buf.as_mut_ptr());
+                    let gi = &self.gather_indices;
+                    let x_loc = &*x_loc;
+                    team.run(|ctx| {
+                        if ctx.tid >= c {
+                            return; // idle comm thread in vector modes
+                        }
+                        for i in static_chunk(total, c, ctx.tid) {
+                            // Safety: static chunks are disjoint.
+                            unsafe { *sp.at(i) = x_loc[gi[i] as usize] };
+                        }
+                    });
+                }
+                None => {
+                    for (i, &src) in self.gather_indices.iter().enumerate() {
+                        self.send_buf[i] = x_loc[src as usize];
+                    }
+                }
+            }
+            Self::post_sends(&self.comm, &self.plan, &self.send_offsets, &self.send_buf);
+            // 4. waitall — all halo data lands here (progress inside the call)
+            self.comm.waitall(reqs);
+        }
+
+        // 5. full SpMV over the extended vector
+        let x_ext = &self.x_ext;
+        let yp = MutPtr(self.y.as_mut_ptr());
+        match &self.team {
+            Some(team) => {
+                let c = self.cfg.compute_threads;
+                let chunks = &self.full_chunks;
+                let mat = &self.mats.full;
+                team.run(|ctx| {
+                    if ctx.tid >= c {
+                        return;
+                    }
+                    // Safety: chunks are disjoint row ranges.
+                    unsafe { Self::compute_rows(mat, chunks[ctx.tid].clone(), x_ext, yp, false) };
+                });
+            }
+            None => unsafe {
+                Self::compute_rows(&self.mats.full, 0..nloc, x_ext, yp, false);
+            },
+        }
+    }
+
+    /// Fig. 4b: Irecv → gather → Isend → local SpMV → Waitall → non-local
+    /// SpMV. The nonblocking calls *could* overlap the local compute, but
+    /// the substrate (like standard MPI) only progresses messages inside
+    /// communication calls, so the transfer really happens in `Waitall`.
+    fn vector_naive_overlap(&mut self) {
+        let nloc = self.plan.local_len;
+        let (x_loc, halo) = self.x_ext.split_at_mut(nloc);
+        let x_loc = &*x_loc;
+        let reqs = Self::post_receives(&self.comm, &self.plan, &self.halo_offsets, halo);
+
+        // gather + send
+        match &self.team {
+            Some(team) => {
+                let total = self.gather_indices.len();
+                let c = self.cfg.compute_threads;
+                let sp = MutPtr(self.send_buf.as_mut_ptr());
+                let gi = &self.gather_indices;
+                team.run(|ctx| {
+                    if ctx.tid >= c {
+                        return;
+                    }
+                    for i in static_chunk(total, c, ctx.tid) {
+                        unsafe { *sp.at(i) = x_loc[gi[i] as usize] };
+                    }
+                });
+            }
+            None => {
+                for (i, &src) in self.gather_indices.iter().enumerate() {
+                    self.send_buf[i] = x_loc[src as usize];
+                }
+            }
+        }
+        Self::post_sends(&self.comm, &self.plan, &self.send_offsets, &self.send_buf);
+
+        // local SpMV (communication does NOT progress meanwhile)
+        let yp = MutPtr(self.y.as_mut_ptr());
+        match &self.team {
+            Some(team) => {
+                let c = self.cfg.compute_threads;
+                let chunks = &self.local_chunks;
+                let mat = &self.mats.local;
+                team.run(|ctx| {
+                    if ctx.tid >= c {
+                        return;
+                    }
+                    unsafe { Self::compute_rows(mat, chunks[ctx.tid].clone(), x_loc, yp, false) };
+                });
+            }
+            None => unsafe {
+                Self::compute_rows(&self.mats.local, 0..nloc, x_loc, yp, false);
+            },
+        }
+
+        // the transfers actually complete here
+        self.comm.waitall(reqs);
+
+        // non-local part accumulates into y (second write — Eq. 2 traffic)
+        let halo = &self.x_ext[nloc..];
+        match &self.team {
+            Some(team) => {
+                let c = self.cfg.compute_threads;
+                let chunks = &self.nonlocal_chunks;
+                let mat = &self.mats.nonlocal;
+                team.run(|ctx| {
+                    if ctx.tid >= c {
+                        return;
+                    }
+                    unsafe { Self::compute_rows(mat, chunks[ctx.tid].clone(), halo, yp, true) };
+                });
+            }
+            None => unsafe {
+                Self::compute_rows(&self.mats.nonlocal, 0..nloc, halo, yp, true);
+            },
+        }
+    }
+
+    /// Fig. 4c: one team region; thread 0 executes MPI calls only, the rest
+    /// gather and compute. Two barriers:
+    ///
+    /// * **B1** — gather complete (compute) / receives posted (comm);
+    ///   afterwards the comm thread sends and waits while compute threads
+    ///   run the local SpMV: *explicit overlap*.
+    /// * **B2** — communication complete and local SpMV done; afterwards
+    ///   compute threads run the non-local SpMV.
+    fn task_mode(&mut self) {
+        let team = self.team.as_ref().expect("task mode requires a thread team");
+        let c = self.cfg.compute_threads;
+        debug_assert_eq!(team.size(), c + 1);
+
+        let nloc = self.plan.local_len;
+        let (x_loc_slice, halo_slice) = self.x_ext.split_at_mut(nloc);
+        let x_loc: &[f64] = x_loc_slice;
+        let halo_ptr = MutPtr(halo_slice.as_mut_ptr());
+        let halo_len = halo_slice.len();
+        let yp = MutPtr(self.y.as_mut_ptr());
+        let sp = MutPtr(self.send_buf.as_mut_ptr());
+        let send_buf_len = self.send_buf.len();
+        let gi = &self.gather_indices;
+        let comm = &self.comm;
+        let plan = &self.plan;
+        let halo_offsets = &self.halo_offsets;
+        let send_offsets = &self.send_offsets;
+        let local_chunks = &self.local_chunks;
+        let nonlocal_chunks = &self.nonlocal_chunks;
+        let mats = &self.mats;
+
+        team.run(|ctx| {
+            if ctx.tid == 0 {
+                // ---- dedicated communication thread ----
+                // Safety: until B2 the halo region is exclusively owned by
+                // this thread (compute threads read only the local part).
+                let halo: &mut [f64] =
+                    unsafe { std::slice::from_raw_parts_mut(halo_ptr.raw(), halo_len) };
+                let reqs = Self::post_receives(comm, plan, halo_offsets, halo);
+                ctx.barrier(); // B1: gather finished
+                let send_buf: &[f64] =
+                    unsafe { std::slice::from_raw_parts(sp.raw(), send_buf_len) };
+                Self::post_sends(comm, plan, send_offsets, send_buf);
+                comm.waitall(reqs); // progress happens here, overlapping compute
+                ctx.barrier(); // B2: comm done & local SpMV done
+                // non-local phase: nothing to do for the comm thread
+            } else {
+                // ---- compute threads ----
+                let ctid = ctx.tid - 1;
+                // gather into the send buffer (disjoint static chunks)
+                for i in static_chunk(gi.len(), c, ctid) {
+                    unsafe { *sp.at(i) = x_loc[gi[i] as usize] };
+                }
+                ctx.barrier(); // B1
+                // local SpMV, one contiguous nonzero-balanced chunk each
+                unsafe {
+                    Self::compute_rows(&mats.local, local_chunks[ctid].clone(), x_loc, yp, false)
+                };
+                ctx.barrier(); // B2: halo data is now in place
+                // non-local SpMV reads the halo (now immutable)
+                let halo: &[f64] = unsafe { std::slice::from_raw_parts(halo_ptr.raw(), halo_len) };
+                unsafe {
+                    Self::compute_rows(
+                        &mats.nonlocal,
+                        nonlocal_chunks[ctid].clone(),
+                        halo,
+                        yp,
+                        true,
+                    )
+                };
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::RowPartition;
+    use spmv_comm::CommWorld;
+    use spmv_matrix::{synthetic, vecops, CsrMatrix};
+    use std::sync::Arc;
+
+    /// Runs `modes` on `matrix` with the given rank/thread layout and
+    /// compares every result against the serial reference.
+    fn check_all_modes(matrix: CsrMatrix, ranks: usize, cfg: EngineConfig) {
+        let n = matrix.nrows();
+        let x = vecops::random_vec(n, 1234);
+        let mut y_ref = vec![0.0; n];
+        matrix.spmv(&x, &mut y_ref);
+
+        let matrix = Arc::new(matrix);
+        let partition = Arc::new(RowPartition::by_nnz(&matrix, ranks));
+        let modes: Vec<KernelMode> = if cfg.comm_thread {
+            KernelMode::ALL.to_vec()
+        } else {
+            vec![KernelMode::VectorNoOverlap, KernelMode::VectorNaiveOverlap]
+        };
+
+        let comms = CommWorld::create(ranks);
+        let x = Arc::new(x);
+        let modes = Arc::new(modes);
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|c| {
+                let matrix = Arc::clone(&matrix);
+                let partition = Arc::clone(&partition);
+                let x = Arc::clone(&x);
+                let modes = Arc::clone(&modes);
+                std::thread::spawn(move || {
+                    let range = partition.range(c.rank());
+                    let block = matrix.row_block(range.clone());
+                    let mut eng = RankEngine::new(c, &block, &partition, cfg);
+                    let mut results = Vec::new();
+                    for &mode in modes.iter() {
+                        eng.x_local_mut().copy_from_slice(&x[range.clone()]);
+                        eng.spmv(mode);
+                        results.push((mode, eng.y_local().to_vec()));
+                    }
+                    (range, results)
+                })
+            })
+            .collect();
+
+        for h in handles {
+            let (range, results) = h.join().expect("rank panicked");
+            for (mode, y) in results {
+                let err = vecops::max_abs_diff(&y, &y_ref[range.clone()]);
+                assert!(err < 1e-11, "{mode} wrong by {err} on rows {range:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pure_mpi_vector_modes_match_reference() {
+        let m = synthetic::random_banded_symmetric(400, 30, 6.0, 5);
+        check_all_modes(m, 4, EngineConfig::pure_mpi());
+    }
+
+    #[test]
+    fn hybrid_vector_modes_match_reference() {
+        let m = synthetic::random_general(300, 300, 9, 8);
+        check_all_modes(m, 3, EngineConfig::hybrid(4));
+    }
+
+    #[test]
+    fn task_mode_matches_reference() {
+        let m = synthetic::random_banded_symmetric(500, 40, 7.0, 13);
+        check_all_modes(m, 4, EngineConfig::task_mode(3));
+    }
+
+    #[test]
+    fn task_mode_single_compute_thread() {
+        // paper: pure MPI + comm thread on the SMT sibling
+        let m = synthetic::random_general(200, 200, 6, 3);
+        check_all_modes(m, 5, EngineConfig::task_mode(1));
+    }
+
+    #[test]
+    fn scattered_matrix_heavy_communication() {
+        let m = synthetic::scattered(256, 16, 9);
+        check_all_modes(m, 8, EngineConfig::task_mode(2));
+    }
+
+    #[test]
+    fn diagonal_matrix_no_communication() {
+        let m = CsrMatrix::from_diagonal(&vecops::random_vec(128, 2));
+        check_all_modes(m, 4, EngineConfig::task_mode(2));
+    }
+
+    #[test]
+    fn single_rank_all_modes() {
+        let m = synthetic::random_general(150, 150, 8, 4);
+        check_all_modes(m, 1, EngineConfig::task_mode(3));
+    }
+
+    #[test]
+    fn more_ranks_than_rows() {
+        let m = synthetic::tridiagonal(5, 2.0, -1.0);
+        check_all_modes(m, 8, EngineConfig::pure_mpi());
+    }
+
+    #[test]
+    fn repeated_spmv_is_stable() {
+        // iterate y = A x ten times and compare against serial iteration
+        let n = 200;
+        let m = synthetic::random_banded_symmetric(n, 15, 5.0, 77);
+        let x0 = vecops::random_vec(n, 5);
+        let mut x_ref = x0.clone();
+        let mut y_ref = vec![0.0; n];
+        for _ in 0..10 {
+            m.spmv(&x_ref, &mut y_ref);
+            let norm = vecops::norm2(&y_ref);
+            x_ref.copy_from_slice(&y_ref);
+            vecops::scale(1.0 / norm, &mut x_ref);
+        }
+
+        let m = Arc::new(m);
+        let p = Arc::new(RowPartition::by_nnz(&m, 3));
+        let x0 = Arc::new(x0);
+        let comms = CommWorld::create(3);
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|c| {
+                let m = Arc::clone(&m);
+                let p = Arc::clone(&p);
+                let x0 = Arc::clone(&x0);
+                std::thread::spawn(move || {
+                    let range = p.range(c.rank());
+                    let block = m.row_block(range.clone());
+                    let mut eng =
+                        RankEngine::new(c, &block, &p, EngineConfig::task_mode(2));
+                    eng.x_local_mut().copy_from_slice(&x0[range.clone()]);
+                    for _ in 0..10 {
+                        eng.spmv(KernelMode::TaskMode);
+                        // normalize globally
+                        let local_ss: f64 = eng.y_local().iter().map(|v| v * v).sum();
+                        let global_ss = eng
+                            .comm()
+                            .allreduce_scalar(local_ss, spmv_comm::collectives::ReduceOp::Sum);
+                        let norm = global_ss.sqrt();
+                        eng.promote_y_to_x();
+                        for v in eng.x_local_mut() {
+                            *v /= norm;
+                        }
+                    }
+                    (range, eng.x_local().to_vec())
+                })
+            })
+            .collect();
+        for h in handles {
+            let (range, x) = h.join().unwrap();
+            let err = vecops::max_abs_diff(&x, &x_ref[range.clone()]);
+            assert!(err < 1e-10, "iterated power step diverged: {err}");
+        }
+    }
+
+    #[test]
+    fn apply_copies_in_and_out() {
+        let m = synthetic::tridiagonal(30, 2.0, -1.0);
+        let x = vecops::random_vec(30, 3);
+        let mut y_ref = vec![0.0; 30];
+        m.spmv(&x, &mut y_ref);
+        let p = RowPartition::by_nnz(&m, 1);
+        let comms = CommWorld::create(1);
+        let mut eng = RankEngine::new(
+            comms.into_iter().next().unwrap(),
+            &m,
+            &p,
+            EngineConfig::pure_mpi(),
+        );
+        let mut y = vec![0.0; 30];
+        eng.apply(&x, &mut y, KernelMode::VectorNoOverlap);
+        assert!(vecops::max_abs_diff(&y, &y_ref) < 1e-13);
+        assert_eq!(eng.spmv_calls(), 1);
+    }
+
+    #[test]
+    fn task_mode_without_comm_thread_panics() {
+        let m = synthetic::tridiagonal(10, 2.0, -1.0);
+        let p = RowPartition::by_nnz(&m, 1);
+        let comms = CommWorld::create(1);
+        let mut eng = RankEngine::new(
+            comms.into_iter().next().unwrap(),
+            &m,
+            &p,
+            EngineConfig::hybrid(2),
+        );
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            eng.spmv(KernelMode::TaskMode)
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn engine_reports_plan_and_config() {
+        let m = synthetic::tridiagonal(40, 2.0, -1.0);
+        let p = RowPartition::by_nnz(&m, 1);
+        let comms = CommWorld::create(1);
+        let eng = RankEngine::new(
+            comms.into_iter().next().unwrap(),
+            &m,
+            &p,
+            EngineConfig::hybrid(2),
+        );
+        assert_eq!(eng.local_len(), 40);
+        assert_eq!(eng.row_start(), 0);
+        assert_eq!(eng.config().compute_threads, 2);
+        assert_eq!(eng.plan().halo_len(), 0);
+        assert_eq!(eng.matrices().nonlocal_nnz(), 0);
+        assert_eq!(eng.comm().size(), 1);
+    }
+}

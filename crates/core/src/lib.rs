@@ -1,0 +1,48 @@
+//! # spmv-core
+//!
+//! The paper's primary contribution, as a library: distributed-memory
+//! parallel sparse matrix-vector multiplication with three parallelization
+//! schemes over the `spmv-comm` message-passing substrate and the
+//! `spmv-smp` thread-team substrate.
+//!
+//! The pipeline (§3.1 of the paper):
+//!
+//! 1. [`partition::RowPartition`] — distribute matrix rows (and with them
+//!    the RHS and result vectors) across MPI ranks, balancing the *nonzeros*
+//!    rather than the rows (footnote 2).
+//! 2. [`plan::RankPlan`] — the communication bookkeeping: which RHS
+//!    elements must come from which rank, and which of ours we must send.
+//!    "The resulting communication pattern depends only on the sparsity
+//!    structure, so the necessary bookkeeping needs to be done only once."
+//! 3. [`split::SplitMatrix`] — the rank-local matrix, stored whole (for the
+//!    non-overlapping kernel) and split into *local* and *non-local* parts
+//!    (for the overlapping kernels, at the cost of writing the result twice
+//!    — Eq. 2).
+//! 4. [`engine::RankEngine`] — executes one SpMV in any [`modes::KernelMode`]:
+//!    * **vector mode, no overlap** (Fig. 4a),
+//!    * **vector mode, naive overlap** via nonblocking calls (Fig. 4b),
+//!    * **task mode, explicit overlap** via a dedicated communication
+//!      thread (Fig. 4c).
+//! 5. [`runner`] — spawns one OS thread per MPI rank and drives whole jobs
+//!    (the harness tests and examples use this).
+//! 6. [`workload::RankWorkload`] — the per-rank compute/communication
+//!    volumes the discrete-event simulator prices.
+
+pub mod engine;
+pub mod modes;
+pub mod node;
+pub mod partition;
+pub mod plan;
+pub mod runner;
+pub mod split;
+pub mod symmetric;
+pub mod workload;
+
+pub use engine::RankEngine;
+pub use modes::KernelMode;
+pub use partition::RowPartition;
+pub use plan::RankPlan;
+pub use runner::distributed_spmv;
+pub use split::SplitMatrix;
+pub use symmetric::{parallel_symmetric_spmv, SymmetricWorkspace};
+pub use workload::RankWorkload;

@@ -1,0 +1,90 @@
+//! The paper's kernel variants (Fig. 4).
+
+/// Parallelization scheme of one distributed SpMV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelMode {
+    /// Fig. 4a — "vector mode, no overlap": exchange the full halo first
+    /// (`Irecv` / gather / `Isend` / `Waitall`), then run the whole local
+    /// SpMV in one sweep. The result vector is written once (Eq. 1
+    /// balance). Pure MPI is this mode with one thread per rank.
+    VectorNoOverlap,
+    /// Fig. 4b — "vector mode, naive overlap": issue nonblocking calls,
+    /// compute the *local* part of the SpMV, `Waitall`, then the non-local
+    /// part. Intends to overlap communication with the local compute, but
+    /// standard MPI progresses messages only inside MPI calls, so the
+    /// overlap does not materialize — and the split kernel writes the
+    /// result twice (Eq. 2 balance).
+    VectorNaiveOverlap,
+    /// Fig. 4c — "task mode, explicit overlap": a dedicated communication
+    /// thread executes all MPI calls while the remaining threads gather,
+    /// compute the local part, and (after communication completes) the
+    /// non-local part. Overlap is guaranteed by construction; work
+    /// distribution across compute threads is explicit (contiguous chunks
+    /// of nonzeros) because OpenMP has no subteams.
+    TaskMode,
+}
+
+impl KernelMode {
+    /// All modes in the order of the paper's figure legends.
+    pub const ALL: [KernelMode; 3] =
+        [KernelMode::VectorNoOverlap, KernelMode::VectorNaiveOverlap, KernelMode::TaskMode];
+
+    /// Short label for experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelMode::VectorNoOverlap => "vector w/o overlap",
+            KernelMode::VectorNaiveOverlap => "vector naive overlap",
+            KernelMode::TaskMode => "task mode",
+        }
+    }
+
+    /// Whether this mode runs the split (local + non-local) kernel and
+    /// therefore pays the Eq.-2 code balance.
+    pub fn uses_split_kernel(&self) -> bool {
+        !matches!(self, KernelMode::VectorNoOverlap)
+    }
+
+    /// Whether this mode requires a dedicated communication thread.
+    pub fn needs_comm_thread(&self) -> bool {
+        matches!(self, KernelMode::TaskMode)
+    }
+}
+
+impl std::fmt::Display for KernelMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<_> = KernelMode::ALL.iter().map(|m| m.label()).collect();
+        assert_eq!(labels.len(), 3);
+        assert!(labels.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn split_kernel_flags() {
+        assert!(!KernelMode::VectorNoOverlap.uses_split_kernel());
+        assert!(KernelMode::VectorNaiveOverlap.uses_split_kernel());
+        assert!(KernelMode::TaskMode.uses_split_kernel());
+    }
+
+    #[test]
+    fn comm_thread_flags() {
+        assert!(KernelMode::TaskMode.needs_comm_thread());
+        assert!(!KernelMode::VectorNoOverlap.needs_comm_thread());
+        assert!(!KernelMode::VectorNaiveOverlap.needs_comm_thread());
+    }
+
+    #[test]
+    fn display_matches_label() {
+        for m in KernelMode::ALL {
+            assert_eq!(format!("{m}"), m.label());
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! Halo-exchange bookkeeping.
+//!
+//! "Due to off-diagonal nonzeros, every process requires some parts of the
+//! RHS vector from other processes to complete its own chunk of the result,
+//! and must send parts of its own RHS chunk to others. The resulting
+//! communication pattern depends only on the sparsity structure, so the
+//! necessary bookkeeping needs to be done only once." (§3.1)
+//!
+//! A [`RankPlan`] holds both directions for one rank:
+//!
+//! * `recv`: for each peer (ascending), the sorted global column indices we
+//!   need from it. Their concatenation defines the layout of the rank's
+//!   *halo buffer*; because peers own disjoint ascending index ranges, the
+//!   concatenation is globally sorted.
+//! * `send`: for each peer, the local indices (relative to our row range)
+//!   we must gather into a contiguous send buffer for it.
+
+use crate::partition::RowPartition;
+use spmv_comm::Comm;
+use spmv_matrix::CsrMatrix;
+
+/// One neighbour's worth of halo traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Neighbor {
+    /// Peer rank.
+    pub peer: usize,
+    /// For `recv`: global column indices we need from `peer` (sorted).
+    /// For `send`: *local* indices (relative to our first row) to gather.
+    pub indices: Vec<u32>,
+}
+
+/// The complete communication plan of one rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankPlan {
+    /// This rank.
+    pub rank: usize,
+    /// First global row/column owned by this rank.
+    pub row_start: usize,
+    /// Number of rows owned.
+    pub local_len: usize,
+    /// Incoming halo, grouped by source peer (ascending peer order).
+    pub recv: Vec<Neighbor>,
+    /// Outgoing halo, grouped by destination peer (ascending peer order).
+    pub send: Vec<Neighbor>,
+}
+
+impl RankPlan {
+    /// Total halo elements received per SpMV.
+    pub fn halo_len(&self) -> usize {
+        self.recv.iter().map(|n| n.indices.len()).sum()
+    }
+
+    /// Total elements gathered and sent per SpMV.
+    pub fn send_len(&self) -> usize {
+        self.send.iter().map(|n| n.indices.len()).sum()
+    }
+
+    /// Offsets of each recv neighbour's segment within the halo buffer
+    /// (`recv.len() + 1` entries).
+    pub fn halo_offsets(&self) -> Vec<usize> {
+        let mut offs = Vec::with_capacity(self.recv.len() + 1);
+        offs.push(0);
+        for n in &self.recv {
+            offs.push(offs.last().unwrap() + n.indices.len());
+        }
+        offs
+    }
+
+    /// The concatenated, globally sorted halo column indices.
+    pub fn halo_globals(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.halo_len());
+        for n in &self.recv {
+            out.extend_from_slice(&n.indices);
+        }
+        debug_assert!(out.windows(2).all(|w| w[0] < w[1]), "halo must be globally sorted");
+        out
+    }
+
+    /// Number of messages this rank sends per SpMV.
+    pub fn messages_out(&self) -> usize {
+        self.send.len()
+    }
+
+    /// Bytes this rank sends per SpMV (8-byte elements).
+    pub fn bytes_out(&self) -> usize {
+        self.send_len() * 8
+    }
+
+    /// Bytes this rank receives per SpMV.
+    pub fn bytes_in(&self) -> usize {
+        self.halo_len() * 8
+    }
+}
+
+/// Collects, for one rank-local row block (with global column indices), the
+/// remote columns it references, grouped by owning peer in ascending order.
+fn needed_columns(
+    local: &CsrMatrix,
+    partition: &RowPartition,
+    me: usize,
+) -> Vec<(usize, Vec<u32>)> {
+    let my_range = partition.range(me);
+    let mut remote: Vec<u32> = Vec::new();
+    for &c in local.col_idx() {
+        let ci = c as usize;
+        if !my_range.contains(&ci) {
+            remote.push(c);
+        }
+    }
+    remote.sort_unstable();
+    remote.dedup();
+    // group by owner (ascending because the indices are sorted)
+    let mut grouped: Vec<(usize, Vec<u32>)> = Vec::new();
+    for c in remote {
+        let owner = partition.owner_of(c as usize);
+        debug_assert_ne!(owner, me);
+        match grouped.last_mut() {
+            Some((p, v)) if *p == owner => v.push(c),
+            _ => grouped.push((owner, vec![c])),
+        }
+    }
+    grouped
+}
+
+/// Builds all rank plans centrally from the full matrix (used by tests, the
+/// workload analyzer, and the simulator — no communication involved).
+#[allow(clippy::needless_range_loop)] // rank-indexed cross-references between plans
+pub fn build_plans_serial(matrix: &CsrMatrix, partition: &RowPartition) -> Vec<RankPlan> {
+    assert_eq!(matrix.nrows(), partition.nrows(), "partition must cover the matrix");
+    assert_eq!(matrix.nrows(), matrix.ncols(), "distributed SpMV needs a square matrix");
+    let parts = partition.parts();
+    let mut plans: Vec<RankPlan> = (0..parts)
+        .map(|r| RankPlan {
+            rank: r,
+            row_start: partition.range(r).start,
+            local_len: partition.len(r),
+            recv: Vec::new(),
+            send: Vec::new(),
+        })
+        .collect();
+    // recv sides
+    for me in 0..parts {
+        let block = matrix.row_block(partition.range(me));
+        let needed = needed_columns(&block, partition, me);
+        plans[me].recv =
+            needed.iter().map(|(p, v)| Neighbor { peer: *p, indices: v.clone() }).collect();
+    }
+    // send sides: transpose of the recv relation
+    for me in 0..parts {
+        let my_start = partition.range(me).start;
+        let mut send: Vec<Neighbor> = Vec::new();
+        for other in 0..parts {
+            if other == me {
+                continue;
+            }
+            if let Some(n) = plans[other].recv.iter().find(|n| n.peer == me) {
+                send.push(Neighbor {
+                    peer: other,
+                    indices: n.indices.iter().map(|&g| g - my_start as u32).collect(),
+                });
+            }
+        }
+        plans[me].send = send;
+    }
+    plans
+}
+
+/// Builds this rank's plan collectively: every rank contributes its local
+/// row block; required-index lists are exchanged with a personalized
+/// all-to-all (this is the path the functional engine uses, exercising the
+/// message-passing substrate the way a real code would).
+pub fn build_plan_distributed(
+    comm: &Comm,
+    local: &CsrMatrix,
+    partition: &RowPartition,
+) -> RankPlan {
+    let me = comm.rank();
+    assert_eq!(partition.parts(), comm.size(), "one partition part per rank");
+    assert_eq!(local.nrows(), partition.len(me), "local block must match partition");
+    let needed = needed_columns(local, partition, me);
+
+    // request lists: to each peer, the globals we need from it
+    let mut outgoing: Vec<Vec<u32>> = vec![Vec::new(); comm.size()];
+    for (peer, cols) in &needed {
+        outgoing[*peer] = cols.clone();
+    }
+    let incoming = comm.alltoallv(&outgoing);
+
+    let my_start = partition.range(me).start;
+    let my_len = partition.len(me);
+    let send: Vec<Neighbor> = incoming
+        .into_iter()
+        .enumerate()
+        .filter(|(peer, req)| *peer != me && !req.is_empty())
+        .map(|(peer, req)| {
+            let indices: Vec<u32> = req
+                .into_iter()
+                .map(|g| {
+                    let l = g as usize - my_start;
+                    assert!(l < my_len, "peer {peer} requested column {g} we do not own");
+                    l as u32
+                })
+                .collect();
+            Neighbor { peer, indices }
+        })
+        .collect();
+
+    RankPlan {
+        rank: me,
+        row_start: my_start,
+        local_len: my_len,
+        recv: needed.into_iter().map(|(peer, indices)| Neighbor { peer, indices }).collect(),
+        send,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_comm::CommWorld;
+    use spmv_matrix::synthetic;
+    use std::sync::Arc;
+
+    #[test]
+    fn tridiagonal_plan_exchanges_single_boundary_elements() {
+        let m = synthetic::tridiagonal(12, 2.0, -1.0);
+        let p = RowPartition::by_rows(12, 3);
+        let plans = build_plans_serial(&m, &p);
+        // middle rank needs one element from each side
+        let mid = &plans[1];
+        assert_eq!(mid.recv.len(), 2);
+        assert_eq!(mid.recv[0].peer, 0);
+        assert_eq!(mid.recv[0].indices, vec![3]);
+        assert_eq!(mid.recv[1].peer, 2);
+        assert_eq!(mid.recv[1].indices, vec![8]);
+        // and sends its own boundary rows to each side
+        assert_eq!(mid.send.len(), 2);
+        assert_eq!(mid.send[0].peer, 0);
+        assert_eq!(mid.send[0].indices, vec![0]); // local row 0 = global 4
+        assert_eq!(mid.send[1].peer, 2);
+        assert_eq!(mid.send[1].indices, vec![3]); // local row 3 = global 7
+        // end ranks have one neighbour each
+        assert_eq!(plans[0].recv.len(), 1);
+        assert_eq!(plans[2].recv.len(), 1);
+    }
+
+    #[test]
+    fn send_and_recv_sides_are_transposes() {
+        let m = synthetic::random_banded_symmetric(300, 25, 6.0, 8);
+        let p = RowPartition::by_nnz(&m, 5);
+        let plans = build_plans_serial(&m, &p);
+        for plan in &plans {
+            for n in &plan.recv {
+                let peer_plan = &plans[n.peer];
+                let back = peer_plan
+                    .send
+                    .iter()
+                    .find(|s| s.peer == plan.rank)
+                    .expect("peer must have a matching send entry");
+                // the peer's send indices, re-globalized, equal our recv list
+                let peer_start = peer_plan.row_start as u32;
+                let globals: Vec<u32> = back.indices.iter().map(|&l| l + peer_start).collect();
+                assert_eq!(globals, n.indices);
+            }
+            // no self-communication
+            assert!(plan.recv.iter().all(|n| n.peer != plan.rank));
+            assert!(plan.send.iter().all(|n| n.peer != plan.rank));
+        }
+    }
+
+    #[test]
+    fn plan_covers_every_offpart_column_exactly_once() {
+        let m = synthetic::random_general(200, 200, 7, 77);
+        let p = RowPartition::by_nnz(&m, 4);
+        let plans = build_plans_serial(&m, &p);
+        for (r, plan) in plans.iter().enumerate() {
+            let range = p.range(r);
+            let block = m.row_block(range.clone());
+            let mut required: Vec<u32> = block
+                .col_idx()
+                .iter()
+                .copied()
+                .filter(|&c| !range.contains(&(c as usize)))
+                .collect();
+            required.sort_unstable();
+            required.dedup();
+            assert_eq!(plan.halo_globals(), required);
+        }
+    }
+
+    #[test]
+    fn halo_offsets_partition_the_halo() {
+        let m = synthetic::random_banded_symmetric(150, 30, 5.0, 3);
+        let p = RowPartition::by_nnz(&m, 6);
+        for plan in build_plans_serial(&m, &p) {
+            let offs = plan.halo_offsets();
+            assert_eq!(offs.len(), plan.recv.len() + 1);
+            assert_eq!(*offs.last().unwrap(), plan.halo_len());
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_needs_no_communication() {
+        let m = CsrMatrix::identity(40);
+        let p = RowPartition::by_rows(40, 4);
+        for plan in build_plans_serial(&m, &p) {
+            assert_eq!(plan.halo_len(), 0);
+            assert_eq!(plan.send_len(), 0);
+            assert_eq!(plan.messages_out(), 0);
+        }
+    }
+
+    #[test]
+    fn distributed_plan_matches_serial_plan() {
+        let m = Arc::new(synthetic::random_banded_symmetric(240, 18, 6.0, 21));
+        let p = Arc::new(RowPartition::by_nnz(&m, 4));
+        let serial = build_plans_serial(&m, &p);
+        let comms = CommWorld::create(4);
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|c| {
+                let m = Arc::clone(&m);
+                let p = Arc::clone(&p);
+                std::thread::spawn(move || {
+                    let block = m.row_block(p.range(c.rank()));
+                    build_plan_distributed(&c, &block, &p)
+                })
+            })
+            .collect();
+        let dist: Vec<RankPlan> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(dist, serial);
+    }
+
+    #[test]
+    fn single_rank_plan_is_empty() {
+        let m = synthetic::random_general(50, 50, 5, 6);
+        let p = RowPartition::by_nnz(&m, 1);
+        let plans = build_plans_serial(&m, &p);
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].halo_len(), 0);
+        assert_eq!(plans[0].local_len, 50);
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let m = synthetic::tridiagonal(10, 2.0, -1.0);
+        let p = RowPartition::by_rows(10, 2);
+        let plans = build_plans_serial(&m, &p);
+        assert_eq!(plans[0].bytes_in(), 8);
+        assert_eq!(plans[0].bytes_out(), 8);
+        assert_eq!(plans[0].messages_out(), 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Local/non-local splitting of the rank-local matrix.
+//!
+//! The overlapping kernels split the rank-local matrix `A_r` into
+//!
+//! * `A_loc` — entries whose column is owned by this rank (can be computed
+//!   before any halo data arrives), columns renumbered to `0..local_len`;
+//! * `A_nl` — entries whose column lives in the halo, columns renumbered to
+//!   positions in the halo buffer.
+//!
+//! "A disadvantage of splitting the spMVM in two parts is that the local
+//! result vector must be written twice, incurring additional memory
+//! traffic" (§3.1, Eq. 2) — which is why we *also* keep the unsplit matrix
+//! with columns renumbered into the concatenated `[local | halo]` vector,
+//! for the non-overlapping kernel.
+
+use crate::plan::RankPlan;
+use spmv_matrix::{CsrBuilder, CsrMatrix};
+
+/// The rank-local matrix in the three layouts the kernels need.
+#[derive(Debug, Clone)]
+pub struct SplitMatrix {
+    /// Rows owned by this rank; columns `0..local_len` index the local part
+    /// of the RHS.
+    pub local: CsrMatrix,
+    /// Same rows; columns `0..halo_len` index the halo buffer.
+    pub nonlocal: CsrMatrix,
+    /// Same rows; columns `0..local_len + halo_len` index the concatenated
+    /// `[local | halo]` extended RHS (unsplit kernel).
+    pub full: CsrMatrix,
+}
+
+impl SplitMatrix {
+    /// Splits a rank-local row block (global column indices) according to
+    /// `plan`.
+    pub fn build(block: &CsrMatrix, plan: &RankPlan) -> Self {
+        assert_eq!(block.nrows(), plan.local_len, "block must match the plan's row range");
+        let lo = plan.row_start as u32;
+        let hi = lo + plan.local_len as u32;
+        let halo_globals = plan.halo_globals();
+        let nloc = plan.local_len;
+        let halo_len = halo_globals.len();
+
+        let mut bl = CsrBuilder::new(nloc, block.nnz());
+        let mut bn = CsrBuilder::new(halo_len, block.nnz() / 4 + 1);
+        let mut bf = CsrBuilder::new(nloc + halo_len, block.nnz());
+
+        for i in 0..block.nrows() {
+            let (cols, vals) = block.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                if (lo..hi).contains(&c) {
+                    let l = (c - lo) as usize;
+                    bl.push(l, v);
+                    bf.push(l, v);
+                } else {
+                    let h = halo_globals
+                        .binary_search(&c)
+                        .expect("plan must cover every remote column");
+                    bn.push(h, v);
+                    bf.push(nloc + h, v);
+                }
+            }
+            bl.finish_row();
+            bn.finish_row();
+            bf.finish_row();
+        }
+        let s = Self { local: bl.build(), nonlocal: bn.build(), full: bf.build() };
+        debug_assert_eq!(s.local.nnz() + s.nonlocal.nnz(), block.nnz());
+        debug_assert_eq!(s.full.nnz(), block.nnz());
+        s
+    }
+
+    /// Nonzeros computable without halo data.
+    pub fn local_nnz(&self) -> usize {
+        self.local.nnz()
+    }
+
+    /// Nonzeros requiring halo data.
+    pub fn nonlocal_nnz(&self) -> usize {
+        self.nonlocal.nnz()
+    }
+
+    /// Fraction of this rank's nonzeros that depend on communication.
+    pub fn nonlocal_fraction(&self) -> f64 {
+        let total = self.local_nnz() + self.nonlocal_nnz();
+        if total == 0 { 0.0 } else { self.nonlocal_nnz() as f64 / total as f64 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::RowPartition;
+    use crate::plan::build_plans_serial;
+    use spmv_matrix::{synthetic, vecops};
+
+    fn split_all(m: &CsrMatrix, parts: usize) -> (RowPartition, Vec<SplitMatrix>) {
+        let p = RowPartition::by_nnz(m, parts);
+        let plans = build_plans_serial(m, &p);
+        let splits = plans
+            .iter()
+            .map(|plan| SplitMatrix::build(&m.row_block(p.range(plan.rank)), plan))
+            .collect();
+        (p, splits)
+    }
+
+    #[test]
+    fn split_conserves_nonzeros() {
+        let m = synthetic::random_banded_symmetric(200, 20, 6.0, 4);
+        let (_, splits) = split_all(&m, 4);
+        let total: usize = splits.iter().map(|s| s.local_nnz() + s.nonlocal_nnz()).sum();
+        assert_eq!(total, m.nnz());
+    }
+
+    #[test]
+    fn split_spmv_equals_full_spmv_per_rank() {
+        let m = synthetic::random_general(150, 150, 8, 31);
+        let p = RowPartition::by_nnz(&m, 3);
+        let plans = build_plans_serial(&m, &p);
+        let x = vecops::random_vec(150, 7);
+        for plan in &plans {
+            let range = p.range(plan.rank);
+            let block = m.row_block(range.clone());
+            let s = SplitMatrix::build(&block, plan);
+            // assemble the extended RHS: local part then halo values
+            let x_local = &x[range.clone()];
+            let halo: Vec<f64> =
+                plan.halo_globals().iter().map(|&g| x[g as usize]).collect();
+            let mut x_ext = x_local.to_vec();
+            x_ext.extend_from_slice(&halo);
+
+            // reference: rows of the global product
+            let mut y_ref = vec![0.0; m.nrows()];
+            m.spmv(&x, &mut y_ref);
+            let y_ref = &y_ref[range.clone()];
+
+            // full (unsplit) kernel
+            let mut y_full = vec![0.0; range.len()];
+            s.full.spmv(&x_ext, &mut y_full);
+            assert!(vecops::max_abs_diff(&y_full, y_ref) < 1e-12);
+
+            // split kernel: local then nonlocal accumulate
+            let mut y_split = vec![0.0; range.len()];
+            s.local.spmv(x_local, &mut y_split);
+            s.nonlocal.spmv_add(&halo, &mut y_split);
+            assert!(vecops::max_abs_diff(&y_split, y_ref) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tridiagonal_nonlocal_is_only_boundary() {
+        let m = synthetic::tridiagonal(100, 2.0, -1.0);
+        let (_, splits) = split_all(&m, 4);
+        for (k, s) in splits.iter().enumerate() {
+            let expected = match k {
+                0 | 3 => 1,
+                _ => 2,
+            };
+            assert_eq!(s.nonlocal_nnz(), expected, "rank {k}");
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_has_empty_nonlocal_part() {
+        let m = CsrMatrix::identity(64);
+        let (_, splits) = split_all(&m, 4);
+        for s in &splits {
+            assert_eq!(s.nonlocal_nnz(), 0);
+            assert_eq!(s.nonlocal_fraction(), 0.0);
+        }
+    }
+
+    #[test]
+    fn single_rank_split_everything_local() {
+        let m = synthetic::random_general(60, 60, 6, 9);
+        let (_, splits) = split_all(&m, 1);
+        assert_eq!(splits[0].local_nnz(), m.nnz());
+        assert_eq!(splits[0].nonlocal_nnz(), 0);
+    }
+
+    #[test]
+    fn scattered_matrix_is_mostly_nonlocal() {
+        let m = synthetic::scattered(128, 16, 3);
+        let (_, splits) = split_all(&m, 8);
+        for s in &splits {
+            assert!(
+                s.nonlocal_fraction() > 0.5,
+                "scattered matrix should be communication-dominated, got {}",
+                s.nonlocal_fraction()
+            );
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # spmv-machine
+//!
+//! Parameterized models of the hardware the paper evaluates on: multicore
+//! ccNUMA nodes (Intel Nehalem EP / Westmere EP, AMD Magny Cours), their
+//! memory subsystems, and the cluster interconnects (QDR InfiniBand fat
+//! tree, Cray Gemini 2-D torus).
+//!
+//! The models exist because the paper's experiments require hardware we do
+//! not have; see DESIGN.md §2. Every preset constant is taken from the
+//! paper's own measurements or public specifications of the named parts, and
+//! is documented at its definition in [`presets`].
+//!
+//! The central abstraction is the [`saturation::SaturationCurve`]: memory
+//! bandwidth within a NUMA locality domain (LD) as a function of the number
+//! of active cores. The paper's node-level analysis (Fig. 3) rests on the
+//! observation that STREAM saturates at 2–3 cores while SpMV keeps profiting
+//! up to 4–5, leaving spare cores for a communication thread — the whole
+//! premise of task mode.
+
+pub mod affinity;
+pub mod network;
+pub mod presets;
+pub mod saturation;
+pub mod topology;
+
+pub use affinity::{plan_layout, CommThreadPlacement, HybridLayout, LayoutPlan, RankPlacement};
+pub use network::NetworkModel;
+pub use saturation::SaturationCurve;
+pub use topology::{ClusterSpec, LdSpec, NodeTopology, SocketSpec};

@@ -1,0 +1,361 @@
+//! Internode network models.
+//!
+//! Two interconnects appear in the paper:
+//!
+//! * the Westmere cluster's **fully nonblocking QDR InfiniBand fat tree** —
+//!   modeled as pure injection/ejection limits per node (a nonblocking core
+//!   never becomes the bottleneck);
+//! * the Cray XE6's **Gemini 2-D torus** — higher link bandwidth, but
+//!   messages traverse multiple hops and share links, so non-nearest-
+//!   neighbor traffic degrades with scale and load. The paper observed "a
+//!   strong influence of job topology and machine load on the communication
+//!   performance over the 2D torus network" (§4): on a shared production
+//!   machine a job's nodes are scattered over a large torus, stretching
+//!   routes through links also used by other jobs. Both effects are modeled
+//!   — [`Placement`] controls the job topology, `background_load` the
+//!   foreign traffic.
+//!
+//! The models expose what the flow-level simulator in `spmv-sim` needs:
+//! per-message latency, per-node injection/ejection caps, and the list of
+//! links a message occupies (for link-capacity sharing on the torus).
+
+/// A directed torus link identified by `(machine node, dimension,
+/// direction)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TorusLink {
+    /// Machine-torus node at which the link originates.
+    pub node: usize,
+    /// Torus dimension: 0 = x, 1 = y.
+    pub dim: u8,
+    /// Direction along the dimension (`true` = positive).
+    pub positive: bool,
+}
+
+/// Parameters of a fully nonblocking fat-tree network (QDR InfiniBand).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FatTreeParams {
+    /// One-way small-message latency (µs).
+    pub latency_us: f64,
+    /// Per-node injection (= ejection) bandwidth (GB/s).
+    pub injection_gbs: f64,
+}
+
+/// How a job's logical nodes map onto the machine torus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Nodes `0..n` occupy machine nodes `0..n` — a dedicated, compact
+    /// allocation (best case).
+    Compact,
+    /// Nodes are scattered pseudo-randomly over the whole machine torus —
+    /// the shared-production-machine situation the paper ran in.
+    Scattered {
+        /// Seed of the deterministic scatter.
+        seed: u64,
+    },
+}
+
+/// Parameters of a 2-D torus network (Cray Gemini as configured in the
+/// paper's XE6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TorusParams {
+    /// One-way small-message latency (µs).
+    pub latency_us: f64,
+    /// Per-node injection bandwidth (GB/s).
+    pub injection_gbs: f64,
+    /// Per-link, per-direction bandwidth (GB/s).
+    pub link_gbs: f64,
+    /// Machine torus extent `(x, y)`.
+    pub dims: (usize, usize),
+    /// Fraction of link capacity consumed by other jobs sharing the torus
+    /// (`[0, 1)`); 0 = dedicated machine.
+    pub background_load: f64,
+    /// Job-to-machine node mapping.
+    pub placement: Placement,
+}
+
+impl TorusParams {
+    /// Machine node hosting the job's logical node `i` (of `num_nodes`).
+    pub fn machine_node(&self, i: usize, num_nodes: usize) -> usize {
+        let machine = self.dims.0 * self.dims.1;
+        assert!(num_nodes <= machine, "job larger than the machine torus");
+        assert!(i < num_nodes);
+        match self.placement {
+            Placement::Compact => i,
+            Placement::Scattered { seed } => {
+                // Deterministic partial Fisher–Yates: the first `num_nodes`
+                // entries of a seeded shuffle of 0..machine.
+                let mut slots: Vec<usize> = (0..machine).collect();
+                let mut state = seed | 1;
+                for k in 0..num_nodes {
+                    // xorshift64*
+                    state ^= state >> 12;
+                    state ^= state << 25;
+                    state ^= state >> 27;
+                    let r = (state.wrapping_mul(0x2545F4914F6CDD1D) >> 33) as usize;
+                    let j = k + r % (machine - k);
+                    slots.swap(k, j);
+                }
+                slots[i]
+            }
+        }
+    }
+
+    fn coords(&self, machine_node: usize) -> (usize, usize) {
+        (machine_node % self.dims.0, machine_node / self.dims.0)
+    }
+}
+
+/// An internode network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetworkModel {
+    /// Fully nonblocking fat tree.
+    FatTree(FatTreeParams),
+    /// 2-D torus with dimension-order routing.
+    Torus2D(TorusParams),
+}
+
+impl NetworkModel {
+    /// One-way message latency in seconds.
+    pub fn latency_s(&self) -> f64 {
+        match self {
+            NetworkModel::FatTree(p) => p.latency_us * 1e-6,
+            NetworkModel::Torus2D(p) => p.latency_us * 1e-6,
+        }
+    }
+
+    /// Per-node injection bandwidth in bytes/second.
+    pub fn injection_bps(&self) -> f64 {
+        match self {
+            NetworkModel::FatTree(p) => p.injection_gbs * 1e9,
+            NetworkModel::Torus2D(p) => p.injection_gbs * 1e9,
+        }
+    }
+
+    /// Per-link capacity in bytes/second (after background load), or `None`
+    /// for networks whose core is never the bottleneck.
+    pub fn link_bps(&self) -> Option<f64> {
+        match self {
+            NetworkModel::FatTree(_) => None,
+            NetworkModel::Torus2D(p) => Some(p.link_gbs * 1e9 * (1.0 - p.background_load)),
+        }
+    }
+
+    /// The links a message from job node `src` to job node `dst` occupies.
+    /// Empty for the fat tree (nonblocking core) and for self-messages.
+    pub fn route(&self, src: usize, dst: usize, num_nodes: usize) -> Vec<TorusLink> {
+        match self {
+            NetworkModel::FatTree(_) => Vec::new(),
+            NetworkModel::Torus2D(p) => {
+                if src == dst {
+                    return Vec::new();
+                }
+                torus_route(p, p.machine_node(src, num_nodes), p.machine_node(dst, num_nodes))
+            }
+        }
+    }
+
+    /// Number of hops between two job nodes (1 for the fat tree).
+    pub fn hops(&self, src: usize, dst: usize, num_nodes: usize) -> usize {
+        if src == dst {
+            return 0;
+        }
+        match self {
+            NetworkModel::FatTree(_) => 1,
+            NetworkModel::Torus2D(p) => {
+                let (dx, dy) = torus_delta(
+                    p,
+                    p.machine_node(src, num_nodes),
+                    p.machine_node(dst, num_nodes),
+                );
+                dx + dy
+            }
+        }
+    }
+}
+
+/// Shortest-way hop counts per dimension between machine nodes.
+fn torus_delta(p: &TorusParams, src: usize, dst: usize) -> (usize, usize) {
+    let (sx, sy) = p.coords(src);
+    let (dx_, dy_) = p.coords(dst);
+    let wrap = |a: usize, b: usize, extent: usize| -> usize {
+        let d = a.abs_diff(b);
+        d.min(extent - d)
+    };
+    (wrap(sx, dx_, p.dims.0), wrap(sy, dy_, p.dims.1))
+}
+
+/// Dimension-order (x then y) shortest-path route between machine nodes.
+fn torus_route(p: &TorusParams, src: usize, dst: usize) -> Vec<TorusLink> {
+    let (dim_x, dim_y) = p.dims;
+    let (mut cx, mut cy) = p.coords(src);
+    let (tx, ty) = p.coords(dst);
+    let mut links = Vec::new();
+    while cx != tx {
+        let fwd = (tx + dim_x - cx) % dim_x;
+        let positive = fwd <= dim_x - fwd && fwd != 0;
+        let node = cy * dim_x + cx;
+        links.push(TorusLink { node, dim: 0, positive });
+        cx = if positive { (cx + 1) % dim_x } else { (cx + dim_x - 1) % dim_x };
+    }
+    while cy != ty {
+        let fwd = (ty + dim_y - cy) % dim_y;
+        let positive = fwd <= dim_y - fwd && fwd != 0;
+        let node = cy * dim_x + cx;
+        links.push(TorusLink { node, dim: 1, positive });
+        cy = if positive { (cy + 1) % dim_y } else { (cy + dim_y - 1) % dim_y };
+    }
+    links
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn torus() -> NetworkModel {
+        NetworkModel::Torus2D(TorusParams {
+            latency_us: 1.5,
+            injection_gbs: 6.0,
+            link_gbs: 4.7,
+            dims: (4, 4),
+            background_load: 0.0,
+            placement: Placement::Compact,
+        })
+    }
+
+    fn fat_tree() -> NetworkModel {
+        NetworkModel::FatTree(FatTreeParams { latency_us: 1.3, injection_gbs: 3.2 })
+    }
+
+    #[test]
+    fn fat_tree_has_no_internal_links() {
+        let n = fat_tree();
+        assert!(n.route(0, 7, 16).is_empty());
+        assert_eq!(n.hops(0, 7, 16), 1);
+        assert_eq!(n.hops(3, 3, 16), 0);
+        assert!(n.link_bps().is_none());
+    }
+
+    #[test]
+    fn torus_neighbor_route_is_one_link() {
+        let n = torus();
+        let r = n.route(0, 1, 16);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0], TorusLink { node: 0, dim: 0, positive: true });
+    }
+
+    #[test]
+    fn torus_route_length_equals_hops() {
+        let n = torus();
+        for src in 0..16 {
+            for dst in 0..16 {
+                assert_eq!(n.route(src, dst, 16).len(), n.hops(src, dst, 16), "{src}->{dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn torus_wraps_around() {
+        let n = torus();
+        // 0 -> 3 in a 4-wide torus: one hop in negative x
+        assert_eq!(n.hops(0, 3, 16), 1);
+        let r = n.route(0, 3, 16);
+        assert_eq!(r.len(), 1);
+        assert!(!r[0].positive);
+    }
+
+    #[test]
+    fn torus_diagonal_uses_dimension_order() {
+        let n = torus();
+        // 0=(0,0) -> 5=(1,1): x first, then y
+        let r = n.route(0, 5, 16);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].dim, 0);
+        assert_eq!(r[1].dim, 1);
+        assert_eq!(r[1].node, 1, "y hop starts after x correction");
+    }
+
+    #[test]
+    fn background_load_shrinks_link_capacity() {
+        let busy = NetworkModel::Torus2D(TorusParams {
+            background_load: 0.5,
+            ..match torus() {
+                NetworkModel::Torus2D(p) => p,
+                _ => unreachable!(),
+            }
+        });
+        assert!((busy.link_bps().unwrap() - 2.35e9).abs() < 1e6);
+    }
+
+    #[test]
+    fn latency_units() {
+        assert!((fat_tree().latency_s() - 1.3e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn far_nodes_need_more_hops_than_near() {
+        let n = torus();
+        assert!(n.hops(0, 10, 16) > n.hops(0, 1, 16));
+    }
+
+    #[test]
+    fn scattered_placement_is_deterministic_and_injective() {
+        let p = TorusParams {
+            latency_us: 1.5,
+            injection_gbs: 6.0,
+            link_gbs: 4.7,
+            dims: (8, 8),
+            background_load: 0.0,
+            placement: Placement::Scattered { seed: 7 },
+        };
+        let slots: Vec<usize> = (0..16).map(|i| p.machine_node(i, 16)).collect();
+        let again: Vec<usize> = (0..16).map(|i| p.machine_node(i, 16)).collect();
+        assert_eq!(slots, again, "placement must be deterministic");
+        let mut dedup = slots.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 16, "machine nodes must be distinct");
+        assert!(slots.iter().all(|&s| s < 64));
+    }
+
+    #[test]
+    fn scattered_placement_stretches_routes() {
+        let compact = TorusParams {
+            latency_us: 1.5,
+            injection_gbs: 6.0,
+            link_gbs: 4.7,
+            dims: (16, 16),
+            background_load: 0.0,
+            placement: Placement::Compact,
+        };
+        let scattered =
+            TorusParams { placement: Placement::Scattered { seed: 3 }, ..compact };
+        let hops = |p: TorusParams| -> usize {
+            let n = NetworkModel::Torus2D(p);
+            let mut total = 0;
+            for src in 0..16 {
+                for dst in 0..16 {
+                    total += n.hops(src, dst, 16);
+                }
+            }
+            total
+        };
+        assert!(
+            hops(scattered) > hops(compact),
+            "scattering a 16-node job over a 256-node machine must lengthen routes"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than the machine")]
+    fn oversized_job_rejected() {
+        let p = TorusParams {
+            latency_us: 1.5,
+            injection_gbs: 6.0,
+            link_gbs: 4.7,
+            dims: (2, 2),
+            background_load: 0.0,
+            placement: Placement::Compact,
+        };
+        let _ = p.machine_node(0, 5);
+    }
+}

@@ -1,0 +1,651 @@
+//! Compressed Row Storage (CRS/CSR) matrices.
+//!
+//! The layout follows the paper exactly: all nonzeros live in one contiguous
+//! `values` array (8-byte `f64`), the original column index of each entry is
+//! kept in `col_idx` (4-byte `u32`), and `row_ptr` holds the starting offset
+//! of every row (with a final sentinel equal to `nnz`). The sparse
+//! matrix-vector kernel is the canonical two-loop CRS kernel from §1.2:
+//!
+//! ```text
+//! do i = 1, Nr
+//!   do j = row_ptr(i), row_ptr(i+1) - 1
+//!     C(i) = C(i) + val(j) * B(col_idx(j))
+//! ```
+
+use crate::{MatrixError, Result};
+
+/// A sparse matrix in Compressed Row Storage format.
+///
+/// ```
+/// use spmv_matrix::CsrBuilder;
+///
+/// // [ 2 -1  0 ]
+/// // [-1  2 -1 ]
+/// // [ 0 -1  2 ]
+/// let mut b = CsrBuilder::new(3, 7);
+/// b.push(0, 2.0); b.push(1, -1.0); b.finish_row();
+/// b.push(0, -1.0); b.push(1, 2.0); b.push(2, -1.0); b.finish_row();
+/// b.push(1, -1.0); b.push(2, 2.0); b.finish_row();
+/// let a = b.build();
+///
+/// let mut y = vec![0.0; 3];
+/// a.spmv(&[1.0, 1.0, 1.0], &mut y);
+/// assert_eq!(y, vec![1.0, 0.0, 1.0]);
+/// assert_eq!(a.nnz(), 7);
+/// assert!(a.is_symmetric(0.0));
+/// ```
+///
+/// Invariants (enforced by [`CsrMatrix::try_new`] and preserved by every
+/// method in this crate):
+///
+/// * `row_ptr.len() == nrows + 1`, `row_ptr[0] == 0`, non-decreasing,
+///   `row_ptr[nrows] == values.len() == col_idx.len()`;
+/// * inside each row, column indices are strictly increasing (sorted and
+///   duplicate-free) and `< ncols`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a matrix after validating every CRS invariant.
+    pub fn try_new(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        if ncols > u32::MAX as usize {
+            return Err(MatrixError::DimensionTooLarge { ncols });
+        }
+        if row_ptr.len() != nrows + 1 {
+            return Err(MatrixError::RowPtrLength { expected: nrows + 1, got: row_ptr.len() });
+        }
+        if row_ptr[0] != 0 {
+            return Err(MatrixError::RowPtrNotMonotonic { row: 0 });
+        }
+        for i in 0..nrows {
+            if row_ptr[i + 1] < row_ptr[i] {
+                return Err(MatrixError::RowPtrNotMonotonic { row: i });
+            }
+        }
+        if row_ptr[nrows] != values.len() || values.len() != col_idx.len() {
+            return Err(MatrixError::NnzMismatch {
+                row_ptr_end: row_ptr[nrows],
+                values: values.len(),
+                col_idx: col_idx.len(),
+            });
+        }
+        for i in 0..nrows {
+            let row = &col_idx[row_ptr[i]..row_ptr[i + 1]];
+            for w in row.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(MatrixError::UnsortedRow { row: i });
+                }
+            }
+            if let Some(&last) = row.last() {
+                if last as usize >= ncols {
+                    return Err(MatrixError::ColumnOutOfRange { row: i, col: last, ncols });
+                }
+            }
+        }
+        Ok(Self { nrows, ncols, row_ptr, col_idx, values })
+    }
+
+    /// Builds a matrix without validation.
+    ///
+    /// Callers must guarantee the invariants documented on [`CsrMatrix`];
+    /// all generators in this crate produce rows sorted by construction and
+    /// use this constructor on their (checked-in-debug) output.
+    pub fn from_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Self {
+        debug_assert!(
+            Self::try_new(nrows, ncols, row_ptr.clone(), col_idx.clone(), values.clone()).is_ok()
+        );
+        Self { nrows, ncols, row_ptr, col_idx, values }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let row_ptr = (0..=n).collect();
+        let col_idx = (0..n as u32).collect();
+        let values = vec![1.0; n];
+        Self { nrows: n, ncols: n, row_ptr, col_idx, values }
+    }
+
+    /// A square matrix with the given diagonal.
+    pub fn from_diagonal(diag: &[f64]) -> Self {
+        let n = diag.len();
+        Self {
+            nrows: n,
+            ncols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n as u32).collect(),
+            values: diag.to_vec(),
+        }
+    }
+
+    /// Number of rows (the paper's `N_r`).
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored nonzeros (the paper's `N_nz`).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Average nonzeros per row (the paper's `N_nzr = N_nz / N_r`).
+    pub fn avg_nnz_per_row(&self) -> f64 {
+        if self.nrows == 0 { 0.0 } else { self.nnz() as f64 / self.nrows as f64 }
+    }
+
+    /// Maximum nonzeros in any row.
+    pub fn max_nnz_per_row(&self) -> usize {
+        (0..self.nrows).map(|i| self.row_range(i).len()).max().unwrap_or(0)
+    }
+
+    /// The row pointer array (`nrows + 1` entries, last one equals `nnz`).
+    #[inline]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The column index array.
+    #[inline]
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// The nonzero value array.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the nonzero values (structure stays fixed).
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Index range of row `i` into `col_idx` / `values`.
+    #[inline]
+    pub fn row_range(&self, i: usize) -> std::ops::Range<usize> {
+        self.row_ptr[i]..self.row_ptr[i + 1]
+    }
+
+    /// The column indices and values of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[u32], &[f64]) {
+        let r = self.row_range(i);
+        (&self.col_idx[r.clone()], &self.values[r])
+    }
+
+    /// Returns the entry at `(i, j)`, or `0.0` if it is structurally zero.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (cols, vals) = self.row(i);
+        match cols.binary_search(&(j as u32)) {
+            Ok(k) => vals[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterates over `(row, col, value)` of all stored entries.
+    pub fn triplets(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.nrows).flat_map(move |i| {
+            let (cols, vals) = self.row(i);
+            cols.iter().zip(vals.iter()).map(move |(&c, &v)| (i, c as usize, v))
+        })
+    }
+
+    /// Sparse matrix-vector multiplication `y = A x` (the CRS kernel of
+    /// §1.2). Serial reference implementation; parallel variants live in
+    /// `spmv-core`.
+    ///
+    /// # Panics
+    /// If `x.len() != ncols` or `y.len() != nrows`.
+    #[allow(clippy::needless_range_loop)] // indexed loops mirror the paper's kernel
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "x length must equal ncols");
+        assert_eq!(y.len(), self.nrows, "y length must equal nrows");
+        for i in 0..self.nrows {
+            let mut sum = 0.0;
+            for j in self.row_range(i) {
+                sum += self.values[j] * x[self.col_idx[j] as usize];
+            }
+            y[i] = sum;
+        }
+    }
+
+    /// `y += A x` — the accumulate form used by the split local/non-local
+    /// kernels (vector mode with naive overlap and task mode write the
+    /// result vector twice; see the paper's Eq. 2).
+    #[allow(clippy::needless_range_loop)] // indexed loops mirror the paper's kernel
+    pub fn spmv_add(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "x length must equal ncols");
+        assert_eq!(y.len(), self.nrows, "y length must equal nrows");
+        for i in 0..self.nrows {
+            let mut sum = 0.0;
+            for j in self.row_range(i) {
+                sum += self.values[j] * x[self.col_idx[j] as usize];
+            }
+            y[i] += sum;
+        }
+    }
+
+    /// SpMV restricted to a contiguous row block (used by explicit
+    /// worksharing: one contiguous chunk of nonzeros per compute thread).
+    pub fn spmv_rows(&self, rows: std::ops::Range<usize>, x: &[f64], y: &mut [f64]) {
+        assert!(rows.end <= self.nrows);
+        assert_eq!(x.len(), self.ncols);
+        for i in rows {
+            let mut sum = 0.0;
+            for j in self.row_range(i) {
+                sum += self.values[j] * x[self.col_idx[j] as usize];
+            }
+            y[i] = sum;
+        }
+    }
+
+    /// The transpose `Aᵀ` as a new CSR matrix.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.ncols + 1];
+        for &c in &self.col_idx {
+            counts[c as usize + 1] += 1;
+        }
+        for j in 0..self.ncols {
+            counts[j + 1] += counts[j];
+        }
+        let row_ptr = counts.clone();
+        let mut col_idx = vec![0u32; self.nnz()];
+        let mut values = vec![0.0f64; self.nnz()];
+        let mut next = counts;
+        for i in 0..self.nrows {
+            for j in self.row_range(i) {
+                let c = self.col_idx[j] as usize;
+                let dst = next[c];
+                next[c] += 1;
+                col_idx[dst] = i as u32;
+                values[dst] = self.values[j];
+            }
+        }
+        // Rows of the transpose are filled in increasing source-row order,
+        // so each row is already sorted.
+        CsrMatrix { nrows: self.ncols, ncols: self.nrows, row_ptr, col_idx, values }
+    }
+
+    /// Checks structural and numerical symmetry to tolerance `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        let t = self.transpose();
+        if t.row_ptr != self.row_ptr || t.col_idx != self.col_idx {
+            return false;
+        }
+        self.values
+            .iter()
+            .zip(t.values.iter())
+            .all(|(a, b)| (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0))
+    }
+
+    /// Extracts a contiguous row block `rows` as a standalone matrix with
+    /// unchanged (global) column indices. This is exactly the per-process
+    /// chunk produced by the distributed row partitioning.
+    pub fn row_block(&self, rows: std::ops::Range<usize>) -> CsrMatrix {
+        assert!(rows.end <= self.nrows);
+        let base = self.row_ptr[rows.start];
+        let end = self.row_ptr[rows.end];
+        let row_ptr: Vec<usize> =
+            self.row_ptr[rows.start..=rows.end].iter().map(|&p| p - base).collect();
+        CsrMatrix {
+            nrows: rows.len(),
+            ncols: self.ncols,
+            row_ptr,
+            col_idx: self.col_idx[base..end].to_vec(),
+            values: self.values[base..end].to_vec(),
+        }
+    }
+
+    /// Symmetric permutation `P A Pᵀ`: entry `(i, j)` moves to
+    /// `(perm[i], perm[j])` where `perm` maps old index → new index.
+    pub fn permute_symmetric(&self, perm: &crate::Permutation) -> Result<CsrMatrix> {
+        if perm.len() != self.nrows || self.nrows != self.ncols {
+            return Err(MatrixError::InvalidPermutation {
+                n: perm.len(),
+                detail: "length must equal matrix dimension (square matrices only)",
+            });
+        }
+        let inv = perm.inverse();
+        let mut row_ptr = Vec::with_capacity(self.nrows + 1);
+        row_ptr.push(0usize);
+        let mut col_idx = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        let mut scratch: Vec<(u32, f64)> = Vec::new();
+        for new_i in 0..self.nrows {
+            let old_i = inv.apply(new_i);
+            let (cols, vals) = self.row(old_i);
+            scratch.clear();
+            scratch.extend(
+                cols.iter().zip(vals.iter()).map(|(&c, &v)| (perm.apply(c as usize) as u32, v)),
+            );
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            for &(c, v) in &scratch {
+                col_idx.push(c);
+                values.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Ok(CsrMatrix { nrows: self.nrows, ncols: self.ncols, row_ptr, col_idx, values })
+    }
+
+    /// Frobenius norm of the stored entries.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// The matrix bandwidth `max |i - j|` over stored entries.
+    pub fn bandwidth(&self) -> usize {
+        let mut bw = 0usize;
+        for i in 0..self.nrows {
+            let (cols, _) = self.row(i);
+            if let (Some(&first), Some(&last)) = (cols.first(), cols.last()) {
+                bw = bw.max(i.abs_diff(first as usize)).max(i.abs_diff(last as usize));
+            }
+        }
+        bw
+    }
+
+    /// Bytes of storage for the three CRS arrays — 8 per value, 4 per column
+    /// index, 8 per row pointer entry. Used by the traffic model.
+    pub fn storage_bytes(&self) -> usize {
+        self.values.len() * 8 + self.col_idx.len() * 4 + self.row_ptr.len() * 8
+    }
+
+    /// Consumes the matrix, returning `(nrows, ncols, row_ptr, col_idx, values)`.
+    pub fn into_parts(self) -> (usize, usize, Vec<usize>, Vec<u32>, Vec<f64>) {
+        (self.nrows, self.ncols, self.row_ptr, self.col_idx, self.values)
+    }
+}
+
+/// Incremental row-by-row CSR builder used by all matrix generators.
+///
+/// Rows must be pushed in order; entries inside a row may be pushed in any
+/// order and are sorted (and coalesced by summation) when the row is closed.
+#[derive(Debug, Clone)]
+pub struct CsrBuilder {
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+    current: Vec<(u32, f64)>,
+}
+
+impl CsrBuilder {
+    /// Starts a builder for a matrix with `ncols` columns, reserving space
+    /// for `nnz_hint` nonzeros.
+    pub fn new(ncols: usize, nnz_hint: usize) -> Self {
+        Self {
+            ncols,
+            row_ptr: vec![0],
+            col_idx: Vec::with_capacity(nnz_hint),
+            values: Vec::with_capacity(nnz_hint),
+            current: Vec::new(),
+        }
+    }
+
+    /// Adds an entry to the row currently being assembled. Duplicate columns
+    /// are summed when the row is finished.
+    #[inline]
+    pub fn push(&mut self, col: usize, value: f64) {
+        debug_assert!(col < self.ncols, "column {col} out of range {}", self.ncols);
+        self.current.push((col as u32, value));
+    }
+
+    /// Closes the current row: sorts it, sums duplicates, drops exact zeros
+    /// produced by cancellation only if `drop_zeros` is set.
+    pub fn finish_row(&mut self) {
+        self.current.sort_unstable_by_key(|&(c, _)| c);
+        let mut k = 0;
+        while k < self.current.len() {
+            let (col, mut val) = self.current[k];
+            let mut k2 = k + 1;
+            while k2 < self.current.len() && self.current[k2].0 == col {
+                val += self.current[k2].1;
+                k2 += 1;
+            }
+            self.col_idx.push(col);
+            self.values.push(val);
+            k = k2;
+        }
+        self.current.clear();
+        self.row_ptr.push(self.col_idx.len());
+    }
+
+    /// Number of rows completed so far.
+    pub fn rows_finished(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Finalizes the builder into a validated-by-construction [`CsrMatrix`].
+    pub fn build(mut self) -> CsrMatrix {
+        if !self.current.is_empty() {
+            self.finish_row();
+        }
+        let nrows = self.row_ptr.len() - 1;
+        CsrMatrix::from_parts_unchecked(nrows, self.ncols, self.row_ptr, self.col_idx, self.values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CsrMatrix {
+        // [ 2 0 1 ]
+        // [ 0 3 0 ]
+        // [ 4 0 5 ]
+        CsrMatrix::try_new(
+            3,
+            3,
+            vec![0, 2, 3, 5],
+            vec![0, 2, 1, 0, 2],
+            vec![2.0, 1.0, 3.0, 4.0, 5.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn try_new_validates_row_ptr_length() {
+        let err = CsrMatrix::try_new(2, 2, vec![0, 1], vec![0], vec![1.0]).unwrap_err();
+        assert_eq!(err, MatrixError::RowPtrLength { expected: 3, got: 2 });
+    }
+
+    #[test]
+    fn try_new_validates_monotonicity() {
+        let err =
+            CsrMatrix::try_new(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).unwrap_err();
+        assert_eq!(err, MatrixError::RowPtrNotMonotonic { row: 1 });
+    }
+
+    #[test]
+    fn try_new_validates_nnz() {
+        let err = CsrMatrix::try_new(1, 2, vec![0, 2], vec![0], vec![1.0]).unwrap_err();
+        assert!(matches!(err, MatrixError::NnzMismatch { .. }));
+    }
+
+    #[test]
+    fn try_new_validates_column_range() {
+        let err = CsrMatrix::try_new(1, 2, vec![0, 1], vec![5], vec![1.0]).unwrap_err();
+        assert!(matches!(err, MatrixError::ColumnOutOfRange { .. }));
+    }
+
+    #[test]
+    fn try_new_rejects_unsorted_and_duplicate_rows() {
+        let err =
+            CsrMatrix::try_new(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).unwrap_err();
+        assert_eq!(err, MatrixError::UnsortedRow { row: 0 });
+        let err =
+            CsrMatrix::try_new(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 1.0]).unwrap_err();
+        assert_eq!(err, MatrixError::UnsortedRow { row: 0 });
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = small();
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0; 3];
+        a.spmv(&x, &mut y);
+        assert_eq!(y, [2.0 * 1.0 + 1.0 * 3.0, 3.0 * 2.0, 4.0 * 1.0 + 5.0 * 3.0]);
+    }
+
+    #[test]
+    fn spmv_add_accumulates() {
+        let a = small();
+        let x = [1.0, 1.0, 1.0];
+        let mut y = [10.0, 10.0, 10.0];
+        a.spmv_add(&x, &mut y);
+        assert_eq!(y, [13.0, 13.0, 19.0]);
+    }
+
+    #[test]
+    fn spmv_rows_partial() {
+        let a = small();
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [-1.0; 3];
+        a.spmv_rows(1..3, &x, &mut y);
+        assert_eq!(y, [-1.0, 6.0, 19.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = small();
+        let att = a.transpose().transpose();
+        assert_eq!(a, att);
+        assert_eq!(a.transpose().get(2, 0), 1.0);
+        assert_eq!(a.transpose().get(0, 2), 4.0);
+    }
+
+    #[test]
+    fn identity_and_diagonal() {
+        let i = CsrMatrix::identity(4);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let mut y = [0.0; 4];
+        i.spmv(&x, &mut y);
+        assert_eq!(y, x);
+        let d = CsrMatrix::from_diagonal(&[2.0, 3.0]);
+        assert_eq!(d.get(0, 0), 2.0);
+        assert_eq!(d.get(1, 1), 3.0);
+        assert_eq!(d.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        let sym = CsrMatrix::try_new(
+            2,
+            2,
+            vec![0, 2, 4],
+            vec![0, 1, 0, 1],
+            vec![2.0, 1.0, 1.0, 2.0],
+        )
+        .unwrap();
+        assert!(sym.is_symmetric(0.0));
+        assert!(!small().is_symmetric(1e-12));
+        // structurally symmetric, numerically not
+        let nonsym = CsrMatrix::try_new(
+            2,
+            2,
+            vec![0, 2, 4],
+            vec![0, 1, 0, 1],
+            vec![2.0, 1.0, 1.5, 2.0],
+        )
+        .unwrap();
+        assert!(!nonsym.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn row_block_extracts_global_columns() {
+        let a = small();
+        let b = a.row_block(1..3);
+        assert_eq!(b.nrows(), 2);
+        assert_eq!(b.ncols(), 3);
+        assert_eq!(b.get(0, 1), 3.0);
+        assert_eq!(b.get(1, 0), 4.0);
+        assert_eq!(b.get(1, 2), 5.0);
+        assert_eq!(b.nnz(), 3);
+    }
+
+    #[test]
+    fn permute_symmetric_reverse() {
+        let a = small();
+        let p = crate::Permutation::try_from_vec(vec![2, 1, 0]).unwrap();
+        let b = a.permute_symmetric(&p).unwrap();
+        // (0,0)=2 -> (2,2); (0,2)=1 -> (2,0); (2,0)=4 -> (0,2); (2,2)=5 -> (0,0)
+        assert_eq!(b.get(2, 2), 2.0);
+        assert_eq!(b.get(2, 0), 1.0);
+        assert_eq!(b.get(0, 2), 4.0);
+        assert_eq!(b.get(0, 0), 5.0);
+        assert_eq!(b.get(1, 1), 3.0);
+        assert_eq!(b.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn builder_sorts_and_coalesces() {
+        let mut b = CsrBuilder::new(4, 8);
+        b.push(3, 1.0);
+        b.push(0, 2.0);
+        b.push(3, 0.5);
+        b.finish_row();
+        b.push(1, -1.0);
+        b.finish_row();
+        let m = b.build();
+        assert_eq!(m.nrows(), 2);
+        assert_eq!(m.get(0, 0), 2.0);
+        assert_eq!(m.get(0, 3), 1.5);
+        assert_eq!(m.get(1, 1), -1.0);
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn bandwidth_and_norm() {
+        let a = small();
+        assert_eq!(a.bandwidth(), 2);
+        let f = a.frobenius_norm();
+        assert!((f - (4.0f64 + 1.0 + 9.0 + 16.0 + 25.0).sqrt()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn storage_bytes_counts_crs_arrays() {
+        let a = small();
+        assert_eq!(a.storage_bytes(), 5 * 8 + 5 * 4 + 4 * 8);
+    }
+
+    #[test]
+    fn triplets_iterates_all_entries() {
+        let a = small();
+        let t: Vec<_> = a.triplets().collect();
+        assert_eq!(
+            t,
+            vec![(0, 0, 2.0), (0, 2, 1.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)]
+        );
+    }
+}

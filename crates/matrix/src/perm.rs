@@ -1,0 +1,166 @@
+//! Permutations of `0..n`, used by bandwidth-reducing reorderings (RCM) and
+//! by the HMEp ↔ HMeP basis renumbering of the Holstein–Hubbard matrices.
+
+use crate::{MatrixError, Result};
+
+/// A bijection `old index → new index` on `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    map: Vec<usize>,
+}
+
+impl Permutation {
+    /// The identity permutation on `0..n`.
+    pub fn identity(n: usize) -> Self {
+        Self { map: (0..n).collect() }
+    }
+
+    /// Validates that `map` is a bijection on `0..map.len()`.
+    pub fn try_from_vec(map: Vec<usize>) -> Result<Self> {
+        let n = map.len();
+        let mut seen = vec![false; n];
+        for &v in &map {
+            if v >= n {
+                return Err(MatrixError::InvalidPermutation { n, detail: "image out of range" });
+            }
+            if seen[v] {
+                return Err(MatrixError::InvalidPermutation { n, detail: "duplicate image" });
+            }
+            seen[v] = true;
+        }
+        Ok(Self { map })
+    }
+
+    /// Builds the permutation that sends `order[k]` to position `k`
+    /// (i.e. from a "new ordering listed as old indices" vector, the form
+    /// BFS-based reorderings naturally produce).
+    pub fn from_order(order: &[usize]) -> Result<Self> {
+        let n = order.len();
+        let mut map = vec![usize::MAX; n];
+        for (new, &old) in order.iter().enumerate() {
+            if old >= n {
+                return Err(MatrixError::InvalidPermutation { n, detail: "order entry out of range" });
+            }
+            if map[old] != usize::MAX {
+                return Err(MatrixError::InvalidPermutation { n, detail: "duplicate order entry" });
+            }
+            map[old] = new;
+        }
+        Ok(Self { map })
+    }
+
+    /// Length `n` of the domain.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the domain is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Applies the permutation: new index of `old`.
+    #[inline]
+    pub fn apply(&self, old: usize) -> usize {
+        self.map[old]
+    }
+
+    /// The raw map (`map[old] = new`).
+    pub fn as_slice(&self) -> &[usize] {
+        &self.map
+    }
+
+    /// The inverse permutation (`new index → old index`).
+    pub fn inverse(&self) -> Permutation {
+        let mut inv = vec![0usize; self.map.len()];
+        for (old, &new) in self.map.iter().enumerate() {
+            inv[new] = old;
+        }
+        Permutation { map: inv }
+    }
+
+    /// Composition `other ∘ self`: applies `self` first, then `other`.
+    pub fn then(&self, other: &Permutation) -> Permutation {
+        assert_eq!(self.len(), other.len(), "composed permutations must have equal length");
+        Permutation { map: self.map.iter().map(|&m| other.apply(m)).collect() }
+    }
+
+    /// Permutes a dense vector: `out[perm(i)] = v[i]`.
+    pub fn permute_vec<T: Clone + Default>(&self, v: &[T]) -> Vec<T> {
+        assert_eq!(v.len(), self.len());
+        let mut out = vec![T::default(); v.len()];
+        for (old, x) in v.iter().enumerate() {
+            out[self.map[old]] = x.clone();
+        }
+        out
+    }
+
+    /// Checks whether this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.map.iter().enumerate().all(|(i, &m)| i == m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_identity() {
+        let p = Permutation::identity(5);
+        assert!(p.is_identity());
+        assert_eq!(p.len(), 5);
+        for i in 0..5 {
+            assert_eq!(p.apply(i), i);
+        }
+    }
+
+    #[test]
+    fn rejects_non_bijections() {
+        assert!(Permutation::try_from_vec(vec![0, 0, 1]).is_err());
+        assert!(Permutation::try_from_vec(vec![0, 3, 1]).is_err());
+        assert!(Permutation::try_from_vec(vec![]).is_ok());
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let p = Permutation::try_from_vec(vec![2, 0, 3, 1]).unwrap();
+        assert!(p.then(&p.inverse()).is_identity());
+        assert!(p.inverse().then(&p).is_identity());
+    }
+
+    #[test]
+    fn from_order_matches_semantics() {
+        // order lists old indices in their new sequence
+        let p = Permutation::from_order(&[2, 0, 1]).unwrap();
+        assert_eq!(p.apply(2), 0);
+        assert_eq!(p.apply(0), 1);
+        assert_eq!(p.apply(1), 2);
+    }
+
+    #[test]
+    fn from_order_rejects_invalid() {
+        assert!(Permutation::from_order(&[0, 0]).is_err());
+        assert!(Permutation::from_order(&[1, 2]).is_err());
+    }
+
+    #[test]
+    fn permute_vec_moves_elements() {
+        let p = Permutation::try_from_vec(vec![1, 2, 0]).unwrap();
+        let v = vec![10, 20, 30];
+        assert_eq!(p.permute_vec(&v), vec![30, 10, 20]);
+    }
+
+    #[test]
+    fn composition_order() {
+        let p = Permutation::try_from_vec(vec![1, 2, 0]).unwrap();
+        let q = Permutation::try_from_vec(vec![0, 2, 1]).unwrap();
+        let r = p.then(&q);
+        // i -> p(i) -> q(p(i))
+        assert_eq!(r.apply(0), 2);
+        assert_eq!(r.apply(1), 1);
+        assert_eq!(r.apply(2), 0);
+    }
+}

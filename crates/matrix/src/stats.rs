@@ -1,0 +1,267 @@
+//! Sparsity-pattern statistics and the aggregated block-occupancy maps of
+//! the paper's Fig. 1.
+
+use crate::csr::CsrMatrix;
+
+/// Summary statistics of a sparsity pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparsityStats {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// Number of stored nonzeros.
+    pub nnz: usize,
+    /// Average nonzeros per row (`N_nzr`).
+    pub avg_nnzr: f64,
+    /// Minimum nonzeros in any row.
+    pub min_nnzr: usize,
+    /// Maximum nonzeros in any row.
+    pub max_nnzr: usize,
+    /// Standard deviation of nonzeros per row (load-imbalance indicator).
+    pub stddev_nnzr: f64,
+    /// Matrix bandwidth `max |i-j|`.
+    pub bandwidth: usize,
+    /// Mean over rows of the row spread `max_j - min_j`.
+    pub avg_row_spread: f64,
+    /// Fraction of rows whose diagonal entry is stored.
+    pub diag_fraction: f64,
+}
+
+impl SparsityStats {
+    /// Computes all statistics in one pass over the matrix.
+    pub fn compute(m: &CsrMatrix) -> Self {
+        let nrows = m.nrows();
+        let mut min_nnzr = usize::MAX;
+        let mut max_nnzr = 0usize;
+        let mut sum = 0usize;
+        let mut sum_sq = 0f64;
+        let mut bandwidth = 0usize;
+        let mut spread_sum = 0f64;
+        let mut diag_count = 0usize;
+        for i in 0..nrows {
+            let (cols, _) = m.row(i);
+            let k = cols.len();
+            min_nnzr = min_nnzr.min(k);
+            max_nnzr = max_nnzr.max(k);
+            sum += k;
+            sum_sq += (k * k) as f64;
+            if let (Some(&first), Some(&last)) = (cols.first(), cols.last()) {
+                bandwidth =
+                    bandwidth.max(i.abs_diff(first as usize)).max(i.abs_diff(last as usize));
+                spread_sum += (last - first) as f64;
+            }
+            if cols.binary_search(&(i as u32)).is_ok() {
+                diag_count += 1;
+            }
+        }
+        let avg = if nrows == 0 { 0.0 } else { sum as f64 / nrows as f64 };
+        let var = if nrows == 0 { 0.0 } else { (sum_sq / nrows as f64 - avg * avg).max(0.0) };
+        Self {
+            nrows,
+            ncols: m.ncols(),
+            nnz: m.nnz(),
+            avg_nnzr: avg,
+            min_nnzr: if nrows == 0 { 0 } else { min_nnzr },
+            max_nnzr,
+            stddev_nnzr: var.sqrt(),
+            bandwidth,
+            avg_row_spread: if nrows == 0 { 0.0 } else { spread_sum / nrows as f64 },
+            diag_fraction: if nrows == 0 { 0.0 } else { diag_count as f64 / nrows as f64 },
+        }
+    }
+}
+
+/// Histogram of nonzeros-per-row: `hist[k]` = number of rows with `k`
+/// stored entries (capped at `max_bucket`, with an overflow bucket at the
+/// end).
+pub fn row_nnz_histogram(m: &CsrMatrix, max_bucket: usize) -> Vec<usize> {
+    let mut hist = vec![0usize; max_bucket + 2];
+    for i in 0..m.nrows() {
+        let k = m.row_range(i).len();
+        hist[k.min(max_bucket + 1)] += 1;
+    }
+    hist
+}
+
+/// The aggregated block-occupancy map of the paper's Fig. 1: the matrix is
+/// divided into a `blocks × blocks` grid of square subblocks, and each cell
+/// holds the occupancy (stored nonzeros divided by subblock area).
+///
+/// Row-major: `map[bi * blocks + bj]` is the occupancy of block row `bi`,
+/// block column `bj`.
+pub fn block_occupancy(m: &CsrMatrix, blocks: usize) -> Vec<f64> {
+    assert!(blocks > 0);
+    let n = m.nrows().max(1);
+    let nc = m.ncols().max(1);
+    let rb = n.div_ceil(blocks);
+    let cb = nc.div_ceil(blocks);
+    let mut counts = vec![0u64; blocks * blocks];
+    for i in 0..m.nrows() {
+        let bi = i / rb;
+        let (cols, _) = m.row(i);
+        for &c in cols {
+            let bj = (c as usize) / cb;
+            counts[bi * blocks + bj] += 1;
+        }
+    }
+    let mut map = vec![0.0f64; blocks * blocks];
+    for bi in 0..blocks {
+        let rows_in = rb.min(m.nrows().saturating_sub(bi * rb));
+        for bj in 0..blocks {
+            let cols_in = cb.min(m.ncols().saturating_sub(bj * cb));
+            let area = (rows_in * cols_in) as f64;
+            map[bi * blocks + bj] =
+                if area > 0.0 { counts[bi * blocks + bj] as f64 / area } else { 0.0 };
+        }
+    }
+    map
+}
+
+/// Renders a block-occupancy map as ASCII art with a logarithmic shading
+/// scale mirroring Fig. 1's color code (occupancy decades from `10⁰` down
+/// to `10⁻⁶`).
+pub fn render_occupancy_ascii(map: &[f64], blocks: usize) -> String {
+    assert_eq!(map.len(), blocks * blocks);
+    const SHADES: &[u8] = b" .:-=+*#%@"; // low -> high occupancy
+    let mut out = String::with_capacity(blocks * (blocks + 1));
+    for bi in 0..blocks {
+        for bj in 0..blocks {
+            let occ = map[bi * blocks + bj];
+            let ch = if occ <= 0.0 {
+                b' '
+            } else {
+                // map log10(occ) in [-6, 0] onto shades[1..]
+                let l = occ.log10().clamp(-6.0, 0.0);
+                let t = (l + 6.0) / 6.0; // 0..1
+                let k = 1 + (t * (SHADES.len() - 2) as f64).round() as usize;
+                SHADES[k.min(SHADES.len() - 1)]
+            };
+            out.push(ch as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// For a contiguous row partition (given as boundary offsets, `parts + 1`
+/// entries), the fraction of nonzeros whose column falls outside the owning
+/// part's row range — the communication-coupling measure that explains the
+/// difference between Fig. 5 (HMeP, strong coupling) and Fig. 6 (sAMG, weak
+/// coupling).
+pub fn off_part_fraction(m: &CsrMatrix, boundaries: &[usize]) -> f64 {
+    assert!(boundaries.len() >= 2);
+    assert_eq!(*boundaries.last().unwrap(), m.nrows());
+    if m.nnz() == 0 {
+        return 0.0;
+    }
+    let mut off = 0usize;
+    for p in 0..boundaries.len() - 1 {
+        let (lo, hi) = (boundaries[p], boundaries[p + 1]);
+        for i in lo..hi {
+            let (cols, _) = m.row(i);
+            for &c in cols {
+                let c = c as usize;
+                if c < lo || c >= hi {
+                    off += 1;
+                }
+            }
+        }
+    }
+    off as f64 / m.nnz() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic;
+
+    #[test]
+    fn stats_of_tridiagonal() {
+        let m = synthetic::tridiagonal(10, 2.0, -1.0);
+        let s = SparsityStats::compute(&m);
+        assert_eq!(s.nrows, 10);
+        assert_eq!(s.nnz, 28);
+        assert_eq!(s.min_nnzr, 2);
+        assert_eq!(s.max_nnzr, 3);
+        assert_eq!(s.bandwidth, 1);
+        assert_eq!(s.diag_fraction, 1.0);
+        assert!((s.avg_nnzr - 2.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_empty_matrix() {
+        let m = crate::CooMatrix::new(0, 0).to_csr().unwrap();
+        let s = SparsityStats::compute(&m);
+        assert_eq!(s.nnz, 0);
+        assert_eq!(s.avg_nnzr, 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let m = synthetic::tridiagonal(10, 2.0, -1.0);
+        let h = row_nnz_histogram(&m, 5);
+        assert_eq!(h[2], 2); // two end rows
+        assert_eq!(h[3], 8);
+        assert_eq!(h.iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn block_occupancy_identity() {
+        let m = CsrMatrix::identity(16);
+        let map = block_occupancy(&m, 4);
+        // diagonal blocks: 4 nonzeros / 16 cells; off-diagonal: 0
+        for bi in 0..4 {
+            for bj in 0..4 {
+                let expect = if bi == bj { 0.25 } else { 0.0 };
+                assert_eq!(map[bi * 4 + bj], expect);
+            }
+        }
+    }
+
+    #[test]
+    fn block_occupancy_handles_non_divisible_sizes() {
+        let m = CsrMatrix::identity(10);
+        let map = block_occupancy(&m, 3);
+        let total: f64 = map.iter().sum();
+        assert!(total > 0.0);
+        assert_eq!(map.len(), 9);
+    }
+
+    #[test]
+    fn ascii_render_shapes() {
+        let m = CsrMatrix::identity(16);
+        let map = block_occupancy(&m, 4);
+        let art = render_occupancy_ascii(&map, 4);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // diagonal shaded, off-diagonal blank
+        for (i, line) in lines.iter().enumerate() {
+            for (j, ch) in line.chars().enumerate() {
+                if i == j {
+                    assert_ne!(ch, ' ');
+                } else {
+                    assert_eq!(ch, ' ');
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn off_part_fraction_tridiagonal() {
+        let m = synthetic::tridiagonal(100, 2.0, -1.0);
+        // 4 parts of 25 rows: each boundary cuts exactly 2 entries
+        let f = off_part_fraction(&m, &[0, 25, 50, 75, 100]);
+        let expected = 6.0 / m.nnz() as f64;
+        assert!((f - expected).abs() < 1e-12, "{f} vs {expected}");
+        // single part: nothing off-part
+        assert_eq!(off_part_fraction(&m, &[0, 100]), 0.0);
+    }
+
+    #[test]
+    fn off_part_fraction_scattered_is_high() {
+        let m = synthetic::scattered(100, 10, 7);
+        let f = off_part_fraction(&m, &[0, 25, 50, 75, 100]);
+        assert!(f > 0.5, "scattered matrix should be strongly coupled, got {f}");
+    }
+}

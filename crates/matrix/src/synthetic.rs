@@ -1,0 +1,275 @@
+//! Synthetic matrix generators for tests, property tests and benchmark
+//! calibration: banded random matrices, model Laplacians, and fully random
+//! sparse matrices with controlled `N_nzr`.
+
+use crate::coo::CooMatrix;
+use crate::csr::{CsrBuilder, CsrMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Symmetric tridiagonal matrix with `diag` on the diagonal and `off` on the
+/// sub/super-diagonals (the 1-D Laplacian is `tridiagonal(n, 2.0, -1.0)`).
+pub fn tridiagonal(n: usize, diag: f64, off: f64) -> CsrMatrix {
+    let mut b = CsrBuilder::new(n, 3 * n);
+    for i in 0..n {
+        if i > 0 {
+            b.push(i - 1, off);
+        }
+        b.push(i, diag);
+        if i + 1 < n {
+            b.push(i + 1, off);
+        }
+        b.finish_row();
+    }
+    b.build()
+}
+
+/// 5-point Laplacian on an `nx × ny` grid with Dirichlet boundaries.
+pub fn laplacian_2d(nx: usize, ny: usize) -> CsrMatrix {
+    let n = nx * ny;
+    let mut b = CsrBuilder::new(n, 5 * n);
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = y * nx + x;
+            if y > 0 {
+                b.push(i - nx, -1.0);
+            }
+            if x > 0 {
+                b.push(i - 1, -1.0);
+            }
+            b.push(i, 4.0);
+            if x + 1 < nx {
+                b.push(i + 1, -1.0);
+            }
+            if y + 1 < ny {
+                b.push(i + nx, -1.0);
+            }
+            b.finish_row();
+        }
+    }
+    b.build()
+}
+
+/// Random symmetric banded matrix: `n × n`, half-bandwidth `bw`, and an
+/// expected `nnzr` nonzeros per row (including the always-present diagonal).
+/// Deterministic in `seed`.
+pub fn random_banded_symmetric(n: usize, bw: usize, nnzr: f64, seed: u64) -> CsrMatrix {
+    assert!(nnzr >= 1.0, "nnzr must include the diagonal");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::new(n, n);
+    // Expected off-diagonal entries per row (split between upper and lower
+    // by symmetry: we draw the strict upper triangle).
+    let per_row_upper = (nnzr - 1.0) / 2.0;
+    for i in 0..n {
+        coo.push(i, i, 4.0 + rng.gen::<f64>());
+        let hi = (i + bw).min(n - 1);
+        if hi > i {
+            let width = (hi - i) as f64;
+            let p = (per_row_upper / width).min(1.0);
+            if p >= 1.0 {
+                for j in (i + 1)..=hi {
+                    let v = rng.gen::<f64>() - 0.5;
+                    coo.push(i, j, v);
+                    coo.push(j, i, v);
+                }
+            } else if p > 0.0 {
+                // Geometric skip sampling: equivalent to a Bernoulli(p) draw
+                // per column but O(selected) instead of O(width) — essential
+                // for wide bands.
+                let ln_q = (1.0 - p).ln();
+                let mut j = i + 1;
+                loop {
+                    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                    let skip = (u.ln() / ln_q).floor() as usize;
+                    j = match j.checked_add(skip) {
+                        Some(v) => v,
+                        None => break,
+                    };
+                    if j > hi {
+                        break;
+                    }
+                    let v = rng.gen::<f64>() - 0.5;
+                    coo.push(i, j, v);
+                    coo.push(j, i, v);
+                    j += 1;
+                }
+            }
+        }
+    }
+    coo.to_csr().expect("construction cannot fail")
+}
+
+/// Random general (non-symmetric) sparse matrix with exactly `nnzr` entries
+/// per row at uniformly random columns. Deterministic in `seed`.
+pub fn random_general(nrows: usize, ncols: usize, nnzr: usize, seed: u64) -> CsrMatrix {
+    assert!(nnzr <= ncols);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CsrBuilder::new(ncols, nrows * nnzr);
+    let mut cols: Vec<u32> = Vec::with_capacity(nnzr);
+    for _ in 0..nrows {
+        cols.clear();
+        while cols.len() < nnzr {
+            let c = rng.gen_range(0..ncols) as u32;
+            if !cols.contains(&c) {
+                cols.push(c);
+            }
+        }
+        for &c in cols.iter() {
+            b.push(c as usize, rng.gen::<f64>() - 0.5);
+        }
+        b.finish_row();
+    }
+    let m = b.build();
+    debug_assert_eq!(m.nrows(), nrows);
+    m
+}
+
+/// "Anti-locality" matrix: every row references `nnzr` columns spread across
+/// the entire column space at maximal stride. Used as a worst case for cache
+/// reuse (high κ) and for communication volume.
+pub fn scattered(n: usize, nnzr: usize, seed: u64) -> CsrMatrix {
+    assert!(nnzr >= 1 && nnzr <= n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let stride = (n / nnzr).max(1);
+    let mut b = CsrBuilder::new(n, n * nnzr);
+    for i in 0..n {
+        let offset = rng.gen_range(0..stride);
+        for k in 0..nnzr {
+            let c = (k * stride + offset + i) % n;
+            b.push(c, 1.0 / nnzr as f64);
+        }
+        b.finish_row();
+    }
+    b.build()
+}
+
+/// Power-law row-length matrix: row `i` has `max(1, round(c·(i+1)^{-alpha} ·
+/// scale))` nonzeros at uniformly random columns, producing the heavy-tailed
+/// row-length distributions (web graphs, circuit matrices) that stress load
+/// balancing — the paper's stated future work ("a more complete
+/// investigation of load balancing effects", §5). Deterministic in `seed`.
+pub fn power_law_rows(n: usize, avg_nnzr: f64, alpha: f64, seed: u64) -> CsrMatrix {
+    assert!(n > 0);
+    assert!(avg_nnzr >= 1.0);
+    assert!(alpha >= 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // normalize so the average row length is ~avg_nnzr
+    let raw: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-alpha)).collect();
+    let raw_sum: f64 = raw.iter().sum();
+    let scale = avg_nnzr * n as f64 / raw_sum;
+    let mut b = CsrBuilder::new(n, (avg_nnzr * n as f64) as usize + n);
+    let mut cols: Vec<u32> = Vec::new();
+    for r in &raw {
+        let k = ((r * scale).round() as usize).clamp(1, n);
+        cols.clear();
+        while cols.len() < k {
+            let c = rng.gen_range(0..n) as u32;
+            if !cols.contains(&c) {
+                cols.push(c);
+            }
+        }
+        for &c in &cols {
+            b.push(c as usize, rng.gen::<f64>() - 0.5);
+        }
+        b.finish_row();
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tridiagonal_structure() {
+        let m = tridiagonal(5, 2.0, -1.0);
+        assert_eq!(m.nnz(), 13);
+        assert!(m.is_symmetric(0.0));
+        assert_eq!(m.get(2, 2), 2.0);
+        assert_eq!(m.get(2, 1), -1.0);
+        assert_eq!(m.get(2, 3), -1.0);
+        assert_eq!(m.get(2, 4), 0.0);
+        assert_eq!(m.bandwidth(), 1);
+    }
+
+    #[test]
+    fn tridiagonal_degenerate_sizes() {
+        assert_eq!(tridiagonal(1, 2.0, -1.0).nnz(), 1);
+        assert_eq!(tridiagonal(0, 2.0, -1.0).nnz(), 0);
+    }
+
+    #[test]
+    fn laplacian_2d_row_sums() {
+        let m = laplacian_2d(4, 4);
+        assert_eq!(m.nrows(), 16);
+        assert!(m.is_symmetric(0.0));
+        // interior row sums to 0, boundary rows are positive
+        let x = vec![1.0; 16];
+        let mut y = vec![0.0; 16];
+        m.spmv(&x, &mut y);
+        let interior = 4 + 1; // (1,1)
+        assert_eq!(y[interior], 0.0);
+        assert!(y[0] > 0.0);
+    }
+
+    #[test]
+    fn random_banded_is_symmetric_and_banded() {
+        let m = random_banded_symmetric(200, 10, 5.0, 123);
+        assert!(m.is_symmetric(0.0));
+        assert!(m.bandwidth() <= 10);
+        let nnzr = m.avg_nnz_per_row();
+        assert!((2.0..=9.0).contains(&nnzr), "nnzr {nnzr} far from target 5");
+    }
+
+    #[test]
+    fn random_general_exact_row_count() {
+        let m = random_general(50, 80, 7, 99);
+        assert_eq!(m.nrows(), 50);
+        assert_eq!(m.ncols(), 80);
+        assert_eq!(m.nnz(), 350);
+        for i in 0..50 {
+            assert_eq!(m.row(i).0.len(), 7);
+        }
+    }
+
+    #[test]
+    fn generators_deterministic() {
+        assert_eq!(random_general(20, 20, 3, 5), random_general(20, 20, 3, 5));
+        assert_eq!(
+            random_banded_symmetric(50, 5, 3.0, 5),
+            random_banded_symmetric(50, 5, 3.0, 5)
+        );
+        assert_eq!(scattered(30, 4, 5), scattered(30, 4, 5));
+    }
+
+    #[test]
+    fn scattered_spreads_columns() {
+        let m = scattered(100, 4, 1);
+        assert_eq!(m.nnz(), 400);
+        // bandwidth must be near n, not small
+        assert!(m.bandwidth() > 50);
+    }
+
+    #[test]
+    fn power_law_has_heavy_head() {
+        let m = power_law_rows(500, 8.0, 1.0, 3);
+        assert_eq!(m.nrows(), 500);
+        let first = m.row(0).0.len();
+        let last = m.row(499).0.len();
+        assert!(first > 20 * last.max(1), "head {first} vs tail {last}");
+        let avg = m.avg_nnz_per_row();
+        assert!((4.0..=12.0).contains(&avg), "avg {avg}");
+    }
+
+    #[test]
+    fn power_law_alpha_zero_is_uniform() {
+        let m = power_law_rows(100, 6.0, 0.0, 1);
+        let lens: Vec<usize> = (0..100).map(|i| m.row(i).0.len()).collect();
+        assert!(lens.iter().all(|&l| l == lens[0]));
+    }
+
+    #[test]
+    fn power_law_deterministic() {
+        assert_eq!(power_law_rows(80, 5.0, 0.8, 9), power_law_rows(80, 5.0, 0.8, 9));
+    }
+}

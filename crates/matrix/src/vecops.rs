@@ -1,0 +1,128 @@
+//! Dense vector kernels used by the iterative solvers and the STREAM-style
+//! bandwidth benchmarks: dot products, AXPY variants, norms, and seeded
+//! random vectors.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Dot product `xᵀ y`.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Euclidean norm `‖x‖₂`.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// `y ← a·x + y`.
+#[inline]
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// `w ← a·x + b·y` (the STREAM-triad-shaped kernel when `b = 1`).
+#[inline]
+pub fn waxpby(a: f64, x: &[f64], b: f64, y: &[f64], w: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    assert_eq!(x.len(), w.len());
+    for i in 0..w.len() {
+        w[i] = a * x[i] + b * y[i];
+    }
+}
+
+/// `x ← a·x`.
+#[inline]
+pub fn scale(a: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= a;
+    }
+}
+
+/// Normalizes `x` to unit 2-norm, returning the original norm.
+/// Leaves a zero vector untouched and returns `0.0`.
+pub fn normalize(x: &mut [f64]) -> f64 {
+    let n = norm2(x);
+    if n > 0.0 {
+        scale(1.0 / n, x);
+    }
+    n
+}
+
+/// Maximum absolute componentwise difference `‖x - y‖_∞`.
+pub fn max_abs_diff(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+}
+
+/// Relative ∞-norm error of `x` against reference `r`, with an absolute
+/// floor so zero references don't blow up.
+pub fn rel_error(x: &[f64], r: &[f64]) -> f64 {
+    let scale = r.iter().map(|v| v.abs()).fold(0.0, f64::max).max(1e-300);
+    max_abs_diff(x, r) / scale
+}
+
+/// Deterministic uniform random vector in `[-1, 1)`.
+pub fn random_vec(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm2(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn waxpby_triad() {
+        let mut w = vec![0.0; 3];
+        waxpby(2.0, &[1.0, 2.0, 3.0], 1.0, &[10.0, 10.0, 10.0], &mut w);
+        assert_eq!(w, vec![12.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn normalize_unit_norm() {
+        let mut x = vec![3.0, 4.0];
+        let n = normalize(&mut x);
+        assert_eq!(n, 5.0);
+        assert!((norm2(&x) - 1.0).abs() < 1e-15);
+        let mut z = vec![0.0, 0.0];
+        assert_eq!(normalize(&mut z), 0.0);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn error_measures() {
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[1.5, 2.0]), 0.5);
+        assert!((rel_error(&[1.0, 2.1], &[1.0, 2.0]) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_vec_deterministic_and_bounded() {
+        let a = random_vec(100, 9);
+        let b = random_vec(100, 9);
+        let c = random_vec(100, 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|&v| (-1.0..1.0).contains(&v)));
+    }
+}

@@ -1,0 +1,108 @@
+//! Strong-scaling parallel efficiency and the 50 % efficiency point.
+//!
+//! Fig. 5 marks, on each data set, the node count at which parallel
+//! efficiency (relative to the best single-node performance) drops to 50 %:
+//! "in practice one would not go beyond this number of nodes because of bad
+//! resource utilization".
+
+/// One point of a strong-scaling series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingPoint {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Aggregate performance in GFlop/s.
+    pub gflops: f64,
+}
+
+/// Parallel efficiency of `point` with respect to a single-node baseline.
+pub fn parallel_efficiency(point: ScalingPoint, single_node_gflops: f64) -> f64 {
+    assert!(single_node_gflops > 0.0);
+    assert!(point.nodes >= 1);
+    point.gflops / (point.nodes as f64 * single_node_gflops)
+}
+
+/// Efficiency series for a whole scaling curve.
+pub fn efficiency_series(series: &[ScalingPoint], single_node_gflops: f64) -> Vec<f64> {
+    series.iter().map(|&p| parallel_efficiency(p, single_node_gflops)).collect()
+}
+
+/// The largest node count in `series` whose efficiency is still `>= frac`
+/// (the paper's marker uses `frac = 0.5`). Returns `None` if even the first
+/// point is below the threshold.
+///
+/// The series must be sorted by node count.
+pub fn efficiency_point(
+    series: &[ScalingPoint],
+    single_node_gflops: f64,
+    frac: f64,
+) -> Option<ScalingPoint> {
+    debug_assert!(series.windows(2).all(|w| w[0].nodes <= w[1].nodes));
+    series
+        .iter()
+        .copied().rfind(|&p| parallel_efficiency(p, single_node_gflops) >= frac)
+}
+
+/// Speedup of each point relative to the single-node baseline.
+pub fn speedup_series(series: &[ScalingPoint], single_node_gflops: f64) -> Vec<f64> {
+    series.iter().map(|p| p.gflops / single_node_gflops).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> Vec<ScalingPoint> {
+        vec![
+            ScalingPoint { nodes: 1, gflops: 4.0 },
+            ScalingPoint { nodes: 2, gflops: 7.6 },
+            ScalingPoint { nodes: 4, gflops: 13.0 },
+            ScalingPoint { nodes: 8, gflops: 20.0 },
+            ScalingPoint { nodes: 16, gflops: 26.0 },
+            ScalingPoint { nodes: 32, gflops: 30.0 },
+        ]
+    }
+
+    #[test]
+    fn perfect_scaling_is_efficiency_one() {
+        let p = ScalingPoint { nodes: 8, gflops: 32.0 };
+        assert!((parallel_efficiency(p, 4.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_series_decreases_for_sublinear_scaling() {
+        let eff = efficiency_series(&series(), 4.0);
+        for w in eff.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+        assert!((eff[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fifty_percent_point() {
+        // eff: 1.0, 0.95, 0.8125, 0.625, 0.406, 0.234
+        let p = efficiency_point(&series(), 4.0, 0.5).unwrap();
+        assert_eq!(p.nodes, 8);
+    }
+
+    #[test]
+    fn threshold_above_first_point_returns_none() {
+        let s = vec![ScalingPoint { nodes: 1, gflops: 1.0 }];
+        assert!(efficiency_point(&s, 4.0, 0.5).is_none());
+    }
+
+    #[test]
+    fn speedups() {
+        let sp = speedup_series(&series(), 4.0);
+        assert!((sp[0] - 1.0).abs() < 1e-12);
+        assert!((sp[5] - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn superlinear_points_allowed() {
+        // communication volume drops with few nodes (paper §4: "a strong
+        // decrease in overall internode communication volume when the number
+        // of nodes is small") — efficiency slightly above 1 must not panic.
+        let p = ScalingPoint { nodes: 2, gflops: 9.0 };
+        assert!(parallel_efficiency(p, 4.0) > 1.0);
+    }
+}

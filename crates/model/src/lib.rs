@@ -1,0 +1,24 @@
+//! # spmv-model
+//!
+//! The paper's analytic node-level performance model (§1.2 and §2):
+//!
+//! * [`balance`] — the CRS code balance, Eq. (1): `B_CRS = 6 + 12/N_nzr +
+//!   κ/2` bytes/flop, its split-kernel variant Eq. (2), predicted
+//!   performance `bandwidth / balance`, and experimental κ extraction;
+//! * [`kappa`] — a cache model (fully associative LRU over cache lines,
+//!   simulated on the matrix's actual column access stream) that *derives*
+//!   the RHS-reload parameter κ from the sparsity structure and cache
+//!   capacity, rather than assuming it;
+//! * [`roofline`] — the saturation roofline combining the in-core ceiling
+//!   with the bandwidth ceiling, giving the Fig. 3 performance-vs-cores
+//!   curves;
+//! * [`efficiency`] — strong-scaling parallel efficiency and the 50 %
+//!   efficiency point marked on every data set of Fig. 5.
+
+pub mod balance;
+pub mod efficiency;
+pub mod kappa;
+pub mod roofline;
+
+pub use balance::{code_balance_crs, code_balance_split, kappa_from_measurement, predicted_gflops};
+pub use kappa::{estimate_kappa, KappaEstimate};

@@ -1,0 +1,151 @@
+//! Saturation roofline: performance vs. active cores of one locality
+//! domain, combining the in-core flop ceiling with the bandwidth ceiling.
+//!
+//! This generates the model curves behind Fig. 3: for `k` cores,
+//!
+//! ```text
+//! P(k) = min( k · P_core ,  b_spmv(k) / B_CRS )
+//! ```
+//!
+//! where `b_spmv(k)` is the LD's SpMV-drawn bandwidth saturation curve and
+//! `B_CRS` the code balance of Eq. (1). SpMV is so strongly memory-bound
+//! (`B_CRS ≈ 7–9 bytes/flop` vs. machine balances well below 1) that the
+//! bandwidth term governs everywhere, but the in-core term keeps the model
+//! honest for cache-resident problems.
+
+use spmv_machine::topology::LdSpec;
+
+/// One point of the node-level performance curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RooflinePoint {
+    /// Active cores.
+    pub cores: usize,
+    /// Predicted SpMV performance (GFlop/s).
+    pub gflops: f64,
+    /// Bandwidth drawn by the SpMV at this core count (GB/s).
+    pub spmv_bandwidth_gbs: f64,
+    /// STREAM triad bandwidth at this core count (GB/s) — the "practical
+    /// upper bandwidth limit" curve of Fig. 3.
+    pub stream_bandwidth_gbs: f64,
+    /// Whether the bandwidth ceiling (not the in-core ceiling) binds.
+    pub bandwidth_bound: bool,
+}
+
+/// Predicted SpMV performance of `k` cores in one LD at code balance
+/// `balance` (bytes/flop).
+pub fn ld_performance(ld: &LdSpec, k: usize, balance: f64) -> f64 {
+    assert!(k <= ld.cores, "more threads than cores in the LD");
+    assert!(balance > 0.0);
+    let incore = k as f64 * ld.core_gflops;
+    let membound = ld.spmv_bw.bandwidth(k) / balance;
+    incore.min(membound)
+}
+
+/// The full intra-LD scaling curve `1..=cores` (Fig. 3a/b model series).
+pub fn ld_scaling_curve(ld: &LdSpec, balance: f64) -> Vec<RooflinePoint> {
+    (1..=ld.cores)
+        .map(|k| {
+            let incore = k as f64 * ld.core_gflops;
+            let bw = ld.spmv_bw.bandwidth(k);
+            let membound = bw / balance;
+            RooflinePoint {
+                cores: k,
+                gflops: incore.min(membound),
+                spmv_bandwidth_gbs: bw,
+                stream_bandwidth_gbs: ld.stream_bw.bandwidth(k),
+                bandwidth_bound: membound <= incore,
+            }
+        })
+        .collect()
+}
+
+/// Node-level performance: all LDs of the node active with `k` cores each.
+pub fn node_performance(lds: &[&LdSpec], k_per_ld: usize, balance: f64) -> f64 {
+    lds.iter().map(|ld| ld_performance(ld, k_per_ld, balance)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_machine::presets;
+    use spmv_model_test_util::*;
+
+    mod spmv_model_test_util {
+        pub fn paper_balance() -> f64 {
+            crate::balance::code_balance_crs(15.0, 2.5)
+        }
+    }
+
+    #[test]
+    fn nehalem_curve_matches_fig3a() {
+        // Fig. 3a: 0.91 / 1.50 / 1.95 / 2.25 GFlop/s for 1–4 cores.
+        let node = presets::nehalem_ep_node();
+        let ld = node.lds()[0];
+        let curve = ld_scaling_curve(ld, paper_balance());
+        let expected = [0.91, 1.50, 1.95, 2.25];
+        for (pt, &exp) in curve.iter().zip(&expected) {
+            assert!(
+                (pt.gflops - exp).abs() < 0.05,
+                "{} cores: model {:.3} vs paper {exp}",
+                pt.cores,
+                pt.gflops
+            );
+            assert!(pt.bandwidth_bound, "SpMV must be memory bound");
+        }
+    }
+
+    #[test]
+    fn stream_curve_is_above_spmv_curve() {
+        let node = presets::westmere_ep_node();
+        let curve = ld_scaling_curve(node.lds()[0], paper_balance());
+        for pt in curve {
+            assert!(pt.stream_bandwidth_gbs >= pt.spmv_bandwidth_gbs);
+        }
+    }
+
+    #[test]
+    fn node_performance_sums_lds() {
+        let node = presets::magny_cours_node();
+        let lds = node.lds();
+        let one = ld_performance(lds[0], 6, paper_balance());
+        let all = node_performance(&lds, 6, paper_balance());
+        assert!((all - 4.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nehalem_node_close_to_fig3a_node_value() {
+        // Fig. 3a: one full node = 4.29 GFlop/s (model: 2 sockets × 2.25)
+        let node = presets::nehalem_ep_node();
+        let all = node_performance(&node.lds(), 4, paper_balance());
+        assert!((all - 4.29).abs() < 0.3, "node model {all}");
+    }
+
+    #[test]
+    fn in_core_limit_binds_for_tiny_balance() {
+        // balance → 0 means data comes from cache; the flop ceiling must cap
+        let node = presets::westmere_ep_node();
+        let ld = node.lds()[0];
+        let p = ld_performance(ld, 4, 1e-6);
+        assert!((p - 4.0 * ld.core_gflops).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "more threads")]
+    fn too_many_threads_rejected() {
+        let node = presets::westmere_ep_node();
+        let _ = ld_performance(node.lds()[0], 7, 8.0);
+    }
+
+    #[test]
+    fn diminishing_returns_along_curve() {
+        let node = presets::westmere_ep_node();
+        let curve = ld_scaling_curve(node.lds()[0], paper_balance());
+        let mut prev_gain = f64::INFINITY;
+        for w in curve.windows(2) {
+            let gain = w[1].gflops - w[0].gflops;
+            assert!(gain >= 0.0);
+            assert!(gain <= prev_gain + 1e-12);
+            prev_gain = gain;
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Lowering a kernel mode to per-rank lane programs with byte-accurate
+//! costs.
+//!
+//! Every rank runs one or two *lanes* (sequential activity lists):
+//!
+//! * vector modes — a single lane interleaving communication calls and
+//!   compute, exactly Fig. 4a/b;
+//! * task mode — a communication lane and a compute lane, synchronized by
+//!   the two barriers of Fig. 4c.
+//!
+//! Compute activities carry byte volumes derived from the paper's traffic
+//! accounting (Eq. 1/2): per nonzero 8 B value + 4 B column index, per
+//! result-vector write 16 B (write allocate + evict), 8 B per distinct RHS
+//! element touched, plus `κ` extra bytes per nonzero for capacity-induced
+//! RHS reloads. The non-local phase writes the result a second time — that
+//! is precisely the Eq.-2 penalty, and it falls out of the per-phase
+//! accounting here rather than being inserted by hand.
+
+use crate::progress::ProgressModel;
+use spmv_core::{KernelMode, RankWorkload};
+
+/// One activity in a lane program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Post receives: `messages × post_overhead` of CPU time, inside MPI.
+    PostRecvs,
+    /// Gather send data into contiguous buffers: memory-bound copy.
+    Gather,
+    /// Post sends (marks this rank's messages as posted), inside MPI.
+    SendAll,
+    /// Wait until all incoming (and outgoing rendezvous) messages are
+    /// delivered, inside MPI. This is where standard MPI actually moves
+    /// data.
+    WaitAll,
+    /// Memory-bound compute phase draining the given bytes.
+    Compute {
+        /// Traffic volume of the phase in bytes.
+        bytes: f64,
+        /// Phase label for traces.
+        label: &'static str,
+    },
+    /// Intra-rank barrier between the rank's two lanes (task mode).
+    TeamBarrier(u8),
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Kernel variant to price.
+    pub mode: KernelMode,
+    /// Progress semantics.
+    pub progress: ProgressModel,
+    /// RHS-reload parameter κ (bytes per nonzero) for the local/full
+    /// phases; use `spmv-model::estimate_kappa` or the paper's measured
+    /// values (2.5 for HMeP, 3.79 for HMEp, ≈0 for sAMG).
+    pub kappa: f64,
+    /// Messages at or below this size are sent eagerly (buffered); above it
+    /// the rendezvous protocol applies. Default 4 KiB (OpenMPI's InfiniBand
+    /// BTL and MVAPICH use 4–12 KiB internode).
+    pub eager_threshold_bytes: usize,
+    /// CPU overhead per posted message (seconds) — send/recv call cost,
+    /// which is what makes many small messages expensive ("the overhead of
+    /// intranode message passing cannot be neglected", §4).
+    pub post_overhead_s: f64,
+    /// Record a full activity trace (Fig. 4 regeneration).
+    pub trace: bool,
+}
+
+impl SimConfig {
+    /// Defaults for a given mode: standard progress, κ = 0, 4 KiB eager
+    /// threshold, 1 µs per message posting overhead, no trace.
+    pub fn new(mode: KernelMode) -> Self {
+        Self {
+            mode,
+            progress: ProgressModel::InsideCallsOnly,
+            kappa: 0.0,
+            eager_threshold_bytes: 4096,
+            post_overhead_s: 1.0e-6,
+            trace: false,
+        }
+    }
+
+    /// Sets κ.
+    pub fn with_kappa(mut self, kappa: f64) -> Self {
+        self.kappa = kappa;
+        self
+    }
+
+    /// Sets the progress model.
+    pub fn with_progress(mut self, p: ProgressModel) -> Self {
+        self.progress = p;
+        self
+    }
+
+    /// Enables trace recording.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+}
+
+/// Traffic of a compute phase: `nnz` nonzeros over `rows` result rows
+/// touching `rhs_elems` distinct RHS elements, with `kappa` extra bytes per
+/// nonzero of RHS reload traffic.
+fn phase_bytes(nnz: usize, rows: usize, rhs_elems: usize, kappa: f64) -> f64 {
+    nnz as f64 * (12.0 + kappa) + rows as f64 * 16.0 + rhs_elems as f64 * 8.0
+}
+
+/// Gather traffic: read 8 B (RHS element) + write 16 B (buffer, with write
+/// allocate) per gathered element.
+fn gather_bytes(elems: usize) -> f64 {
+    elems as f64 * 24.0
+}
+
+/// The lane programs of one rank for one SpMV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankProgram {
+    /// 1 (vector modes) or 2 (task mode: `lanes[0]` = comm, `lanes[1]` =
+    /// compute) activity lists.
+    pub lanes: Vec<Vec<Op>>,
+}
+
+/// Builds the lane programs for `workload` under `cfg`.
+pub fn build_program(workload: &RankWorkload, cfg: &SimConfig) -> RankProgram {
+    let w = workload;
+    let full =
+        Op::Compute { bytes: phase_bytes(w.nnz(), w.rows, w.rows + w.halo_elems, cfg.kappa), label: "spmv(full)" };
+    let local = Op::Compute {
+        bytes: phase_bytes(w.local_nnz, w.rows, w.rows, cfg.kappa),
+        label: "spmv(local)",
+    };
+    // The non-local phase re-writes the whole result vector — that second
+    // write is exactly the Eq.-2 delta. κ applies to *all* nonzeros, as in
+    // the paper's Eq. 2 (the κ/2 term is unchanged between Eq. 1 and 2):
+    // for strongly coupled matrices the halo is far from cache-resident.
+    let nonlocal = Op::Compute {
+        bytes: phase_bytes(w.nonlocal_nnz, w.rows, w.halo_elems, cfg.kappa),
+        label: "spmv(nonlocal)",
+    };
+    match cfg.mode {
+        KernelMode::VectorNoOverlap => RankProgram {
+            lanes: vec![vec![Op::PostRecvs, Op::Gather, Op::SendAll, Op::WaitAll, full]],
+        },
+        KernelMode::VectorNaiveOverlap => RankProgram {
+            lanes: vec![vec![
+                Op::PostRecvs,
+                Op::Gather,
+                Op::SendAll,
+                local,
+                Op::WaitAll,
+                nonlocal,
+            ]],
+        },
+        KernelMode::TaskMode => RankProgram {
+            lanes: vec![
+                vec![
+                    Op::PostRecvs,
+                    Op::TeamBarrier(1),
+                    Op::SendAll,
+                    Op::WaitAll,
+                    Op::TeamBarrier(2),
+                ],
+                vec![
+                    Op::Gather,
+                    Op::TeamBarrier(1),
+                    local,
+                    Op::TeamBarrier(2),
+                    nonlocal,
+                ],
+            ],
+        },
+    }
+}
+
+/// Bytes drained by a [`Op::Gather`] for this workload.
+pub fn gather_cost_bytes(workload: &RankWorkload) -> f64 {
+    gather_bytes(workload.gather_elems)
+}
+
+/// Whether an op counts as "inside MPI" for the progress rule.
+pub fn op_inside_mpi(op: &Op) -> bool {
+    matches!(op, Op::PostRecvs | Op::SendAll | Op::WaitAll)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_core::RowPartition;
+    use spmv_matrix::synthetic;
+
+    fn sample_workload() -> RankWorkload {
+        let m = synthetic::random_banded_symmetric(200, 20, 6.0, 4);
+        let p = RowPartition::by_nnz(&m, 4);
+        spmv_core::workload::analyze(&m, &p).remove(1)
+    }
+
+    #[test]
+    fn vector_modes_have_one_lane() {
+        let w = sample_workload();
+        for mode in [KernelMode::VectorNoOverlap, KernelMode::VectorNaiveOverlap] {
+            let p = build_program(&w, &SimConfig::new(mode));
+            assert_eq!(p.lanes.len(), 1, "{mode}");
+        }
+    }
+
+    #[test]
+    fn task_mode_has_two_lanes_with_matching_barriers() {
+        let w = sample_workload();
+        let p = build_program(&w, &SimConfig::new(KernelMode::TaskMode));
+        assert_eq!(p.lanes.len(), 2);
+        let barriers = |lane: &Vec<Op>| -> Vec<u8> {
+            lane.iter()
+                .filter_map(|o| match o {
+                    Op::TeamBarrier(k) => Some(*k),
+                    _ => None,
+                })
+                .collect()
+        };
+        assert_eq!(barriers(&p.lanes[0]), vec![1, 2]);
+        assert_eq!(barriers(&p.lanes[1]), vec![1, 2]);
+    }
+
+    #[test]
+    fn split_phases_cost_more_than_full_phase() {
+        // Eq. 2 vs Eq. 1: split kernel writes the result twice.
+        let w = sample_workload();
+        let cfg = SimConfig::new(KernelMode::VectorNaiveOverlap);
+        let split = build_program(&w, &cfg);
+        let total_split: f64 = split.lanes[0]
+            .iter()
+            .filter_map(|o| match o {
+                Op::Compute { bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .sum();
+        let full = build_program(&w, &SimConfig::new(KernelMode::VectorNoOverlap));
+        let total_full: f64 = full.lanes[0]
+            .iter()
+            .filter_map(|o| match o {
+                Op::Compute { bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .sum();
+        let expected_delta = w.rows as f64 * 16.0;
+        assert!(
+            (total_split - total_full - expected_delta).abs() < 1e-6,
+            "split-full = {} vs 16·rows = {expected_delta}",
+            total_split - total_full
+        );
+    }
+
+    #[test]
+    fn kappa_increases_compute_bytes() {
+        let w = sample_workload();
+        let b0 = build_program(&w, &SimConfig::new(KernelMode::VectorNoOverlap));
+        let b2 = build_program(&w, &SimConfig::new(KernelMode::VectorNoOverlap).with_kappa(2.5));
+        let get = |p: &RankProgram| match &p.lanes[0][4] {
+            Op::Compute { bytes, .. } => *bytes,
+            _ => panic!("expected compute"),
+        };
+        assert!((get(&b2) - get(&b0) - 2.5 * w.nnz() as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn phase_bytes_matches_code_balance() {
+        // For a square rank with rhs_elems == rows and nnzr = nnz/rows,
+        // phase_bytes / (2·nnz) must equal Eq. (1).
+        let nnz = 15_000usize;
+        let rows = 1_000usize;
+        let nnzr = nnz as f64 / rows as f64;
+        let bytes = phase_bytes(nnz, rows, rows, 2.5);
+        let balance = bytes / (2.0 * nnz as f64);
+        let eq1 = spmv_model::code_balance_crs(nnzr, 2.5);
+        assert!((balance - eq1).abs() < 1e-12, "{balance} vs {eq1}");
+    }
+
+    #[test]
+    fn inside_mpi_classification() {
+        assert!(op_inside_mpi(&Op::WaitAll));
+        assert!(op_inside_mpi(&Op::SendAll));
+        assert!(op_inside_mpi(&Op::PostRecvs));
+        assert!(!op_inside_mpi(&Op::Gather));
+        assert!(!op_inside_mpi(&Op::Compute { bytes: 1.0, label: "x" }));
+        assert!(!op_inside_mpi(&Op::TeamBarrier(1)));
+    }
+
+    #[test]
+    fn gather_cost_proportional_to_elements() {
+        let w = sample_workload();
+        assert_eq!(gather_cost_bytes(&w), w.gather_elems as f64 * 24.0);
+    }
+}

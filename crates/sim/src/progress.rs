@@ -1,0 +1,79 @@
+//! MPI progress semantics.
+
+/// When message data may actually move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgressModel {
+    /// Standard MPI: transfer progresses only while the involved user
+    /// processes execute communication calls. Rendezvous messages need both
+    /// endpoints inside a call; eager messages need the receiver inside a
+    /// call. This is the behaviour the paper verified for Intel MPI 4.0.1
+    /// and OpenMPI 1.5 (§3).
+    InsideCallsOnly,
+    /// Truly asynchronous progress (hardware offload or an MPI-internal
+    /// progress thread): posted messages flow regardless of what the hosts
+    /// are doing. The paper's outlook scenario (§5).
+    Async,
+}
+
+impl ProgressModel {
+    /// Whether a message may drain given the endpoint states.
+    pub fn message_may_flow(
+        &self,
+        eager: bool,
+        sender_inside_mpi: bool,
+        receiver_inside_mpi: bool,
+    ) -> bool {
+        match self {
+            ProgressModel::Async => true,
+            ProgressModel::InsideCallsOnly => {
+                if eager {
+                    receiver_inside_mpi
+                } else {
+                    sender_inside_mpi && receiver_inside_mpi
+                }
+            }
+        }
+    }
+
+    /// Label for experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProgressModel::InsideCallsOnly => "standard MPI progress",
+            ProgressModel::Async => "async progress",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn async_always_flows() {
+        let p = ProgressModel::Async;
+        for eager in [false, true] {
+            for s in [false, true] {
+                for r in [false, true] {
+                    assert!(p.message_may_flow(eager, s, r));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rendezvous_needs_both_endpoints() {
+        let p = ProgressModel::InsideCallsOnly;
+        assert!(p.message_may_flow(false, true, true));
+        assert!(!p.message_may_flow(false, true, false));
+        assert!(!p.message_may_flow(false, false, true));
+        assert!(!p.message_may_flow(false, false, false));
+    }
+
+    #[test]
+    fn eager_needs_only_receiver() {
+        let p = ProgressModel::InsideCallsOnly;
+        assert!(p.message_may_flow(true, false, true));
+        assert!(p.message_may_flow(true, true, true));
+        assert!(!p.message_may_flow(true, true, false));
+    }
+}

@@ -1,0 +1,192 @@
+//! High-level experiment drivers: one job = matrix × cluster × layout ×
+//! mode; a scaling series sweeps the node count (Figs. 5 and 6).
+
+use crate::fluid::{simulate_spmv, SimResult};
+use crate::program::SimConfig;
+use spmv_core::{workload, KernelMode, RowPartition};
+use spmv_machine::affinity::{plan_layout, CommThreadPlacement, HybridLayout};
+use spmv_machine::topology::ClusterSpec;
+use spmv_matrix::CsrMatrix;
+
+/// Picks the communication-thread placement for a mode on a machine:
+/// task mode uses an SMT sibling where available (Intel) and donates a
+/// physical core otherwise (Magny Cours) — exactly the paper's setup.
+pub fn default_comm_placement(
+    cluster: &ClusterSpec,
+    mode: KernelMode,
+) -> CommThreadPlacement {
+    if !mode.needs_comm_thread() {
+        return CommThreadPlacement::None;
+    }
+    if cluster.node.lds().iter().all(|l| l.smt >= 2) {
+        CommThreadPlacement::SmtSibling
+    } else {
+        CommThreadPlacement::DedicatedCore
+    }
+}
+
+/// Simulates one SpMV job on `nodes` nodes of `cluster` under the given
+/// layout and mode. Partitioning, plans and workloads come from the real
+/// matrix.
+pub fn simulate_job(
+    matrix: &CsrMatrix,
+    cluster: &ClusterSpec,
+    nodes: usize,
+    layout: HybridLayout,
+    cfg: &SimConfig,
+) -> SimResult {
+    try_simulate_job(matrix, cluster, nodes, layout, cfg)
+        .expect("layout must be realizable on this machine")
+}
+
+/// [`simulate_job`], returning `None` when the mode/layout combination is
+/// not realizable on the machine — e.g. task mode with one process per
+/// physical core on SMT-less hardware (Magny Cours), where there is no
+/// virtual core for the communication thread and donating the only
+/// physical core would leave no compute thread.
+pub fn try_simulate_job(
+    matrix: &CsrMatrix,
+    cluster: &ClusterSpec,
+    nodes: usize,
+    layout: HybridLayout,
+    cfg: &SimConfig,
+) -> Option<SimResult> {
+    assert!(nodes <= cluster.num_nodes, "cluster has only {} nodes", cluster.num_nodes);
+    let comm = default_comm_placement(cluster, cfg.mode);
+    let plan = plan_layout(&cluster.node, nodes, layout, comm).ok()?;
+    let partition = RowPartition::by_nnz(matrix, plan.num_ranks());
+    let workloads = workload::analyze(matrix, &partition);
+    Some(simulate_spmv(cluster, &plan, &workloads, cfg))
+}
+
+/// Simulates several configurations that share one (cluster, nodes,
+/// layout) triple, computing the partition and per-rank workloads once —
+/// the expensive analysis is mode-independent (the rank count is fixed by
+/// the layout; only thread placement differs). Entries are `None` when the
+/// combination is unrealizable on the machine.
+pub fn simulate_modes(
+    matrix: &CsrMatrix,
+    cluster: &ClusterSpec,
+    nodes: usize,
+    layout: HybridLayout,
+    cfgs: &[SimConfig],
+) -> Vec<Option<SimResult>> {
+    assert!(nodes <= cluster.num_nodes, "cluster has only {} nodes", cluster.num_nodes);
+    // the rank count is the same for any comm placement; derive it once
+    let probe = plan_layout(&cluster.node, nodes, layout, CommThreadPlacement::None)
+        .expect("layouts without comm threads are always realizable");
+    let partition = RowPartition::by_nnz(matrix, probe.num_ranks());
+    let workloads = workload::analyze(matrix, &partition);
+    cfgs.iter()
+        .map(|cfg| {
+            let comm = default_comm_placement(cluster, cfg.mode);
+            let plan = plan_layout(&cluster.node, nodes, layout, comm).ok()?;
+            debug_assert_eq!(plan.num_ranks(), workloads.len());
+            Some(simulate_spmv(cluster, &plan, &workloads, cfg))
+        })
+        .collect()
+}
+
+/// One strong-scaling curve: GFlop/s over node counts.
+#[derive(Debug, Clone)]
+pub struct ScalingSeries {
+    /// Kernel mode of this curve.
+    pub mode: KernelMode,
+    /// Process layout of this curve.
+    pub layout: HybridLayout,
+    /// `(nodes, GFlop/s)` points.
+    pub points: Vec<(usize, f64)>,
+}
+
+impl ScalingSeries {
+    /// Performance at the given node count, if simulated.
+    pub fn at(&self, nodes: usize) -> Option<f64> {
+        self.points.iter().find(|&&(n, _)| n == nodes).map(|&(_, g)| g)
+    }
+}
+
+/// Sweeps node counts for one mode/layout combination.
+pub fn strong_scaling(
+    matrix: &CsrMatrix,
+    cluster: &ClusterSpec,
+    node_counts: &[usize],
+    layout: HybridLayout,
+    cfg: &SimConfig,
+) -> ScalingSeries {
+    let points = node_counts
+        .iter()
+        .map(|&n| (n, simulate_job(matrix, cluster, n, layout, cfg).gflops))
+        .collect();
+    ScalingSeries { mode: cfg.mode, layout, points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_machine::presets;
+    use spmv_matrix::synthetic;
+
+    #[test]
+    fn default_placement_logic() {
+        let intel = presets::westmere_cluster(2);
+        let amd = presets::cray_xe6_cluster(2, 0.0);
+        assert_eq!(
+            default_comm_placement(&intel, KernelMode::TaskMode),
+            CommThreadPlacement::SmtSibling
+        );
+        assert_eq!(
+            default_comm_placement(&amd, KernelMode::TaskMode),
+            CommThreadPlacement::DedicatedCore
+        );
+        assert_eq!(
+            default_comm_placement(&intel, KernelMode::VectorNoOverlap),
+            CommThreadPlacement::None
+        );
+    }
+
+    #[test]
+    fn scaling_series_collects_points() {
+        let m = synthetic::random_banded_symmetric(40_000, 400, 7.0, 2);
+        let cluster = presets::westmere_cluster(4);
+        let s = strong_scaling(
+            &m,
+            &cluster,
+            &[1, 2, 4],
+            HybridLayout::ProcessPerLd,
+            &SimConfig::new(KernelMode::VectorNoOverlap),
+        );
+        assert_eq!(s.points.len(), 3);
+        assert!(s.at(2).is_some());
+        assert!(s.at(3).is_none());
+        assert!(s.points.iter().all(|&(_, g)| g > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "only")]
+    fn too_many_nodes_rejected() {
+        let m = synthetic::tridiagonal(1000, 2.0, -1.0);
+        let cluster = presets::westmere_cluster(2);
+        let _ = simulate_job(
+            &m,
+            &cluster,
+            8,
+            HybridLayout::ProcessPerNode,
+            &SimConfig::new(KernelMode::VectorNoOverlap),
+        );
+    }
+
+    #[test]
+    fn task_mode_on_cray_uses_dedicated_core() {
+        // ensures the whole pipeline works on the AMD/torus model too
+        let m = synthetic::random_banded_symmetric(30_000, 300, 7.0, 4);
+        let cluster = presets::cray_xe6_cluster(2, 0.1);
+        let r = simulate_job(
+            &m,
+            &cluster,
+            2,
+            HybridLayout::ProcessPerLd,
+            &SimConfig::new(KernelMode::TaskMode),
+        );
+        assert!(r.gflops > 0.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Activity traces — the simulator's regeneration of the paper's Fig. 4
+//! timeline schematics, with real (simulated) time on the axis.
+
+/// One contiguous activity segment of a lane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// MPI rank.
+    pub rank: usize,
+    /// Lane within the rank (0 = comm lane in task mode, otherwise the
+    /// single execution lane).
+    pub lane: usize,
+    /// Activity label ("gather", "waitall", "spmv(local)", ...).
+    pub label: &'static str,
+    /// Segment start (seconds).
+    pub t0: f64,
+    /// Segment end (seconds).
+    pub t1: f64,
+}
+
+/// A full activity trace of one simulated SpMV.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Segments in completion order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Events of one rank, sorted by start time.
+    pub fn rank_events(&self, rank: usize) -> Vec<&TraceEvent> {
+        let mut ev: Vec<&TraceEvent> = self.events.iter().filter(|e| e.rank == rank).collect();
+        ev.sort_by(|a, b| a.t0.total_cmp(&b.t0));
+        ev
+    }
+
+    /// Total time rank `rank` spent in segments whose label contains
+    /// `pattern`.
+    pub fn time_in(&self, rank: usize, pattern: &str) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| e.rank == rank && e.label.contains(pattern))
+            .map(|e| e.t1 - e.t0)
+            .sum()
+    }
+
+    /// Renders an ASCII timeline for one rank (one row per lane), `width`
+    /// characters across the full makespan — the Fig. 4 regenerator.
+    pub fn render_rank_ascii(&self, rank: usize, width: usize) -> String {
+        let ev = self.rank_events(rank);
+        if ev.is_empty() {
+            return String::from("(no events)\n");
+        }
+        let t_end = ev.iter().map(|e| e.t1).fold(0.0, f64::max);
+        let t_scale = if t_end > 0.0 { width as f64 / t_end } else { 0.0 };
+        let lanes: usize = ev.iter().map(|e| e.lane).max().unwrap_or(0) + 1;
+        let mut rows = vec![vec![b' '; width]; lanes];
+        for e in &ev {
+            let c = symbol_for(e.label);
+            let a = (e.t0 * t_scale).floor() as usize;
+            let b = ((e.t1 * t_scale).ceil() as usize).clamp(a + 1, width);
+            for cell in &mut rows[e.lane][a.min(width - 1)..b] {
+                *cell = c;
+            }
+        }
+        let mut out = String::new();
+        for (li, row) in rows.iter().enumerate() {
+            let name = if lanes == 2 && li == 0 { "comm   " } else { "compute" };
+            out.push_str(&format!("rank {rank} {name} |"));
+            out.push_str(std::str::from_utf8(row).expect("ascii"));
+            out.push_str("|\n");
+        }
+        out.push_str("legend: g=gather s=send r=post-recvs w=waitall L=spmv(local) N=spmv(nonlocal) F=spmv(full) b=barrier\n");
+        out
+    }
+}
+
+fn symbol_for(label: &str) -> u8 {
+    match label {
+        "gather" => b'g',
+        "send" => b's',
+        "post recvs" => b'r',
+        "waitall" => b'w',
+        "spmv(local)" => b'L',
+        "spmv(nonlocal)" => b'N',
+        "spmv(full)" => b'F',
+        "barrier" => b'b',
+        _ => b'?',
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace {
+            events: vec![
+                TraceEvent { rank: 0, lane: 0, label: "post recvs", t0: 0.0, t1: 0.1 },
+                TraceEvent { rank: 0, lane: 0, label: "waitall", t0: 0.1, t1: 0.9 },
+                TraceEvent { rank: 0, lane: 1, label: "gather", t0: 0.0, t1: 0.2 },
+                TraceEvent { rank: 0, lane: 1, label: "spmv(local)", t0: 0.2, t1: 0.8 },
+                TraceEvent { rank: 0, lane: 1, label: "spmv(nonlocal)", t0: 0.9, t1: 1.0 },
+                TraceEvent { rank: 1, lane: 0, label: "waitall", t0: 0.0, t1: 0.5 },
+            ],
+        }
+    }
+
+    #[test]
+    fn rank_events_filters_and_sorts() {
+        let t = sample();
+        let ev = t.rank_events(0);
+        assert_eq!(ev.len(), 5);
+        assert!(ev.windows(2).all(|w| w[0].t0 <= w[1].t0));
+        assert_eq!(t.rank_events(1).len(), 1);
+        assert!(t.rank_events(7).is_empty());
+    }
+
+    #[test]
+    fn time_in_sums_matching_segments() {
+        let t = sample();
+        assert!((t.time_in(0, "spmv") - 0.7).abs() < 1e-12);
+        assert!((t.time_in(0, "waitall") - 0.8).abs() < 1e-12);
+        assert_eq!(t.time_in(1, "gather"), 0.0);
+    }
+
+    #[test]
+    fn ascii_render_has_two_lanes_and_legend() {
+        let t = sample();
+        let art = t.render_rank_ascii(0, 40);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 3, "two lanes + legend");
+        assert!(lines[0].contains("comm"));
+        assert!(lines[1].contains("compute"));
+        assert!(lines[0].contains('w'));
+        assert!(lines[1].contains('L'));
+        assert!(lines[2].starts_with("legend"));
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        let t = Trace::default();
+        assert_eq!(t.render_rank_ascii(0, 10), "(no events)\n");
+    }
+}

@@ -1,0 +1,29 @@
+//! # spmv-smp
+//!
+//! OpenMP-like shared-memory substrate. The paper's kernels are written
+//! against OpenMP; Rust has no OpenMP, so this crate provides the features
+//! the paper actually uses:
+//!
+//! * [`team::ThreadTeam`] — a persistent team of worker threads executing
+//!   "parallel regions" (closures) with negligible startup cost, like an
+//!   OpenMP thread team that persists across `#pragma omp parallel`
+//!   regions;
+//! * [`team::TeamCtx::barrier`] — an `omp barrier` equivalent
+//!   (sense-reversing spin barrier);
+//! * [`workshare`] — static loop scheduling *and* the explicit
+//!   nonzero-balanced chunking the paper needs for task mode, where "the
+//!   standard OpenMP loop worksharing directive cannot be used, since there
+//!   is no concept of 'subteams' in the current OpenMP standard" (§3.2) —
+//!   work distribution is implemented explicitly, one contiguous chunk of
+//!   nonzeros per compute thread;
+//! * [`stream`] — the STREAM kernels used as the practical bandwidth limit
+//!   in the node-level analysis (Fig. 3);
+//! * [`numa`] — first-touch page-placement bookkeeping for ccNUMA locality
+//!   accounting.
+
+pub mod numa;
+pub mod stream;
+pub mod team;
+pub mod workshare;
+
+pub use team::{TeamCtx, ThreadTeam};

@@ -1,0 +1,192 @@
+//! ccNUMA page-placement bookkeeping.
+//!
+//! The paper's node model assumes "an appropriate NUMA-aware data placement
+//! strategy" — each locality domain's threads initialize (first-touch) the
+//! data they will later work on, so every LD streams from its own memory
+//! interface. This module models that accounting: which LD owns which pages
+//! of an array, and what fraction of a given access pattern is LD-local.
+//! The simulator uses it to quantify "the adverse effects of nonlocal
+//! memory access across ccNUMA locality domains" the analytic model
+//! neglects (§1.2), and an ablation bench exercises it.
+
+/// Page size used for placement accounting (4 KiB, 512 doubles).
+pub const PAGE_BYTES: usize = 4096;
+
+/// First-touch placement map of one array: the owning LD of each page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementMap {
+    /// Array length in elements.
+    len: usize,
+    /// Element size in bytes.
+    elem_bytes: usize,
+    /// Owning LD per page.
+    page_owner: Vec<u32>,
+}
+
+impl PlacementMap {
+    /// Builds the placement that results from first-touch initialization
+    /// where each `(range, ld)` pair in `touches` is initialized by a thread
+    /// of LD `ld`. Ranges are element ranges; a page is owned by whoever
+    /// touches its first element first (earlier entries win, matching OS
+    /// first-touch semantics).
+    pub fn first_touch(
+        len: usize,
+        elem_bytes: usize,
+        touches: &[(std::ops::Range<usize>, u32)],
+    ) -> Self {
+        assert!(elem_bytes > 0);
+        let elems_per_page = (PAGE_BYTES / elem_bytes).max(1);
+        let pages = len.div_ceil(elems_per_page);
+        let mut page_owner = vec![u32::MAX; pages];
+        for (range, ld) in touches {
+            assert!(range.end <= len, "touch range out of bounds");
+            if range.is_empty() {
+                continue;
+            }
+            let first_page = range.start / elems_per_page;
+            let last_page = (range.end - 1) / elems_per_page;
+            for owner in page_owner.iter_mut().take(last_page + 1).skip(first_page) {
+                if *owner == u32::MAX {
+                    *owner = *ld;
+                }
+            }
+        }
+        // untouched pages default to LD 0 (the OS places them on fault,
+        // usually near the allocating thread)
+        for o in &mut page_owner {
+            if *o == u32::MAX {
+                *o = 0;
+            }
+        }
+        Self { len, elem_bytes, page_owner }
+    }
+
+    /// Placement produced by contiguous chunked initialization across
+    /// `num_lds` LDs — the canonical NUMA-aware layout for a chunk-
+    /// partitioned vector.
+    pub fn chunked(len: usize, elem_bytes: usize, num_lds: usize) -> Self {
+        assert!(num_lds > 0);
+        let touches: Vec<(std::ops::Range<usize>, u32)> = (0..num_lds)
+            .map(|ld| {
+                let chunk = crate::workshare::static_chunk(len, num_lds, ld);
+                (chunk, ld as u32)
+            })
+            .collect();
+        Self::first_touch(len, elem_bytes, &touches)
+    }
+
+    /// Placement where one thread (LD 0) initialized everything — the
+    /// classic NUMA mistake the paper's "appropriate placement" avoids.
+    pub fn serial_init(len: usize, elem_bytes: usize) -> Self {
+        Self::first_touch(len, elem_bytes, &[(0..len, 0)])
+    }
+
+    /// Owning LD of element `i`.
+    pub fn owner_of(&self, i: usize) -> u32 {
+        assert!(i < self.len);
+        let elems_per_page = (PAGE_BYTES / self.elem_bytes).max(1);
+        self.page_owner[i / elems_per_page]
+    }
+
+    /// Number of pages owned by each LD (index = LD).
+    pub fn pages_per_ld(&self, num_lds: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; num_lds];
+        for &o in &self.page_owner {
+            counts[o as usize] += 1;
+        }
+        counts
+    }
+
+    /// Fraction of the accesses `(element, accessing LD)` that hit the
+    /// accessor's own LD. 1.0 = perfectly local.
+    pub fn locality_fraction<I>(&self, accesses: I) -> f64
+    where
+        I: IntoIterator<Item = (usize, u32)>,
+    {
+        let mut total = 0usize;
+        let mut local = 0usize;
+        for (i, ld) in accesses {
+            total += 1;
+            if self.owner_of(i) == ld {
+                local += 1;
+            }
+        }
+        if total == 0 { 1.0 } else { local as f64 / total as f64 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunked_placement_is_local_for_chunked_access() {
+        let pm = PlacementMap::chunked(512 * 8, 8, 4); // 8 pages, 4 LDs
+        let accesses = (0..512 * 8).map(|i| {
+            let ld = crate::workshare::static_chunk(512 * 8, 4, 0); // LD 0's chunk
+            let owner = if ld.contains(&i) { 0 } else { u32::MAX };
+            (i, if owner == 0 { 0 } else { pm.owner_of(i) })
+        });
+        assert_eq!(pm.locality_fraction(accesses), 1.0);
+    }
+
+    #[test]
+    fn serial_init_places_everything_on_ld0() {
+        let pm = PlacementMap::serial_init(10_000, 8);
+        let pages = pm.pages_per_ld(4);
+        assert_eq!(pages[0], pm.page_owner.len());
+        assert_eq!(pages[1] + pages[2] + pages[3], 0);
+    }
+
+    #[test]
+    fn serial_init_is_nonlocal_for_remote_lds() {
+        let pm = PlacementMap::serial_init(4096, 8);
+        // LD 1 accessing anything is remote
+        let frac = pm.locality_fraction((0..1000).map(|i| (i, 1u32)));
+        assert_eq!(frac, 0.0);
+    }
+
+    #[test]
+    fn first_touch_earlier_entry_wins() {
+        // two claims on the same page: the first wins
+        let pm = PlacementMap::first_touch(1024, 8, &[(0..10, 2), (5..100, 3)]);
+        assert_eq!(pm.owner_of(0), 2);
+        assert_eq!(pm.owner_of(99), 2, "same page as the earlier touch");
+    }
+
+    #[test]
+    fn page_granularity() {
+        // 512 doubles per page: elements 0..512 on one page
+        let pm = PlacementMap::first_touch(1024, 8, &[(0..512, 1), (512..1024, 2)]);
+        assert_eq!(pm.owner_of(0), 1);
+        assert_eq!(pm.owner_of(511), 1);
+        assert_eq!(pm.owner_of(512), 2);
+    }
+
+    #[test]
+    fn untouched_pages_default_to_ld0() {
+        let pm = PlacementMap::first_touch(2048, 8, &[(0..512, 3)]);
+        assert_eq!(pm.owner_of(0), 3);
+        assert_eq!(pm.owner_of(1024), 0);
+    }
+
+    #[test]
+    fn chunked_page_counts_are_balanced() {
+        let pm = PlacementMap::chunked(512 * 16, 8, 4);
+        let pages = pm.pages_per_ld(4);
+        assert_eq!(pages.iter().sum::<usize>(), 16);
+        assert!(pages.iter().all(|&p| p == 4), "{pages:?}");
+    }
+
+    #[test]
+    fn empty_access_stream_is_fully_local() {
+        let pm = PlacementMap::chunked(1024, 8, 2);
+        assert_eq!(pm.locality_fraction(std::iter::empty()), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn touch_range_out_of_bounds_panics() {
+        let _ = PlacementMap::first_touch(100, 8, &[(0..200, 0)]);
+    }
+}

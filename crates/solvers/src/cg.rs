@@ -1,0 +1,334 @@
+//! Conjugate gradients for symmetric positive definite systems — the
+//! canonical consumer of SpMV for the sAMG-type Poisson matrices.
+
+use crate::operator::LinOp;
+use crate::ops::GlobalOps;
+use spmv_matrix::vecops;
+
+/// Outcome of a CG solve.
+#[derive(Debug, Clone)]
+pub struct CgResult {
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final relative residual `‖b - Ax‖ / ‖b‖`.
+    pub rel_residual: f64,
+    /// Whether the tolerance was reached.
+    pub converged: bool,
+    /// Residual norm after each iteration.
+    pub history: Vec<f64>,
+}
+
+/// Solves `A x = b` (local parts) by unpreconditioned CG.
+///
+/// `x` carries the initial guess on entry and the solution on exit. All
+/// ranks must call collectively when `ops` is distributed.
+pub fn cg_solve<O: LinOp, G: GlobalOps>(
+    op: &mut O,
+    ops: &G,
+    b: &[f64],
+    x: &mut [f64],
+    tol: f64,
+    max_iter: usize,
+) -> CgResult {
+    assert_eq!(b.len(), op.len());
+    assert_eq!(x.len(), op.len());
+    let n = op.len();
+    let mut r = vec![0.0; n];
+    let mut p = vec![0.0; n];
+    let mut ap = vec![0.0; n];
+
+    // r = b - A x
+    op.apply(x, &mut r);
+    for i in 0..n {
+        r[i] = b[i] - r[i];
+    }
+    p.copy_from_slice(&r);
+
+    let b_norm = ops.norm2(b).max(f64::MIN_POSITIVE);
+    let mut rr = ops.dot(&r, &r);
+    let mut history = Vec::new();
+    let mut converged = rr.sqrt() / b_norm <= tol;
+    let mut iterations = 0;
+
+    while !converged && iterations < max_iter {
+        op.apply(&p, &mut ap);
+        let pap = ops.dot(&p, &ap);
+        if pap <= 0.0 {
+            // matrix not SPD (or breakdown); stop with what we have
+            break;
+        }
+        let alpha = rr / pap;
+        vecops::axpy(alpha, &p, x);
+        vecops::axpy(-alpha, &ap, &mut r);
+        let rr_new = ops.dot(&r, &r);
+        let beta = rr_new / rr;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        rr = rr_new;
+        iterations += 1;
+        let rel = rr.sqrt() / b_norm;
+        history.push(rel);
+        converged = rel <= tol;
+    }
+
+    CgResult { iterations, rel_residual: rr.sqrt() / b_norm, converged, history }
+}
+
+/// Solves `A x = b` by Jacobi-preconditioned CG: `M = diag(A)` — the
+/// standard zero-setup preconditioner, communication-free because the
+/// diagonal is locally owned under row partitioning.
+///
+/// `diag` is the local part of the matrix diagonal (must be nonzero).
+pub fn pcg_solve_jacobi<O: LinOp, G: GlobalOps>(
+    op: &mut O,
+    ops: &G,
+    diag: &[f64],
+    b: &[f64],
+    x: &mut [f64],
+    tol: f64,
+    max_iter: usize,
+) -> CgResult {
+    let n = op.len();
+    assert_eq!(b.len(), n);
+    assert_eq!(x.len(), n);
+    assert_eq!(diag.len(), n);
+    assert!(diag.iter().all(|&d| d != 0.0), "Jacobi needs a nonzero diagonal");
+
+    let mut r = vec![0.0; n];
+    let mut z = vec![0.0; n];
+    let mut p = vec![0.0; n];
+    let mut ap = vec![0.0; n];
+
+    op.apply(x, &mut r);
+    for i in 0..n {
+        r[i] = b[i] - r[i];
+        z[i] = r[i] / diag[i];
+    }
+    p.copy_from_slice(&z);
+
+    let b_norm = ops.norm2(b).max(f64::MIN_POSITIVE);
+    let mut rz = ops.dot(&r, &z);
+    let mut history = Vec::new();
+    let mut converged = ops.norm2(&r) / b_norm <= tol;
+    let mut iterations = 0;
+
+    while !converged && iterations < max_iter {
+        op.apply(&p, &mut ap);
+        let pap = ops.dot(&p, &ap);
+        if pap <= 0.0 {
+            break;
+        }
+        let alpha = rz / pap;
+        vecops::axpy(alpha, &p, x);
+        vecops::axpy(-alpha, &ap, &mut r);
+        for i in 0..n {
+            z[i] = r[i] / diag[i];
+        }
+        let rz_new = ops.dot(&r, &z);
+        let beta = rz_new / rz;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+        rz = rz_new;
+        iterations += 1;
+        let rel = ops.norm2(&r) / b_norm;
+        history.push(rel);
+        converged = rel <= tol;
+    }
+
+    CgResult { iterations, rel_residual: ops.norm2(&r) / b_norm, converged, history }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::SerialOp;
+    use crate::ops::SerialOps;
+    use spmv_matrix::{samg, synthetic, vecops};
+
+    #[test]
+    fn solves_identity_in_one_step() {
+        let m = spmv_matrix::CsrMatrix::identity(20);
+        let b = vecops::random_vec(20, 1);
+        let mut x = vec![0.0; 20];
+        let r = cg_solve(&mut SerialOp::new(&m), &SerialOps, &b, &mut x, 1e-12, 10);
+        assert!(r.converged);
+        assert!(r.iterations <= 1);
+        assert!(vecops::max_abs_diff(&x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn solves_laplacian() {
+        let m = synthetic::tridiagonal(100, 2.0, -1.0);
+        let x_true = vecops::random_vec(100, 7);
+        let mut b = vec![0.0; 100];
+        m.spmv(&x_true, &mut b);
+        let mut x = vec![0.0; 100];
+        let r = cg_solve(&mut SerialOp::new(&m), &SerialOps, &b, &mut x, 1e-10, 500);
+        assert!(r.converged, "rel res {}", r.rel_residual);
+        assert!(vecops::max_abs_diff(&x, &x_true) < 1e-6);
+        // CG on an n×n SPD matrix converges in at most n iterations
+        assert!(r.iterations <= 100);
+    }
+
+    #[test]
+    fn solves_samg_poisson() {
+        let m = samg::poisson(&samg::SamgParams::test_scale());
+        let n = m.nrows();
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let r = cg_solve(&mut SerialOp::new(&m), &SerialOps, &b, &mut x, 1e-8, 2000);
+        assert!(r.converged, "rel res {} after {}", r.rel_residual, r.iterations);
+        // verify the residual independently
+        let mut ax = vec![0.0; n];
+        m.spmv(&x, &mut ax);
+        let res: f64 =
+            b.iter().zip(&ax).map(|(bi, axi)| (bi - axi) * (bi - axi)).sum::<f64>().sqrt();
+        assert!(res / (n as f64).sqrt() < 1e-7);
+    }
+
+    #[test]
+    fn residual_history_is_recorded_and_decreases_overall() {
+        let m = synthetic::tridiagonal(200, 2.0, -1.0);
+        let b = vecops::random_vec(200, 3);
+        let mut x = vec![0.0; 200];
+        let r = cg_solve(&mut SerialOp::new(&m), &SerialOps, &b, &mut x, 1e-10, 300);
+        assert_eq!(r.history.len(), r.iterations);
+        assert!(r.history.last().unwrap() < &r.history[0]);
+    }
+
+    #[test]
+    fn respects_max_iter() {
+        let m = synthetic::tridiagonal(500, 2.0, -1.0);
+        let b = vec![1.0; 500];
+        let mut x = vec![0.0; 500];
+        let r = cg_solve(&mut SerialOp::new(&m), &SerialOps, &b, &mut x, 1e-16, 3);
+        assert!(!r.converged);
+        assert_eq!(r.iterations, 3);
+    }
+
+    #[test]
+    fn warm_start_converges_instantly() {
+        let m = synthetic::tridiagonal(50, 2.0, -1.0);
+        let x_true = vecops::random_vec(50, 9);
+        let mut b = vec![0.0; 50];
+        m.spmv(&x_true, &mut b);
+        let mut x = x_true.clone();
+        let r = cg_solve(&mut SerialOp::new(&m), &SerialOps, &b, &mut x, 1e-10, 100);
+        assert!(r.converged);
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn distributed_cg_matches_serial() {
+        use crate::operator::DistOp;
+        use crate::ops::DistOps;
+        use spmv_core::runner::run_spmd;
+        use spmv_core::KernelMode;
+
+        let m = samg::poisson(&samg::SamgParams {
+            nx: 16,
+            ny: 8,
+            nz: 8,
+            perforation: 0.0,
+            seed: 1,
+            car_mask: false,
+        });
+        let n = m.nrows();
+        let b = vecops::random_vec(n, 13);
+        let mut x_serial = vec![0.0; n];
+        let serial =
+            cg_solve(&mut SerialOp::new(&m), &SerialOps, &b, &mut x_serial, 1e-10, 1000);
+        assert!(serial.converged);
+
+        let pieces = run_spmd(&m, 4, spmv_core::engine::EngineConfig::task_mode(2), |eng| {
+            let lo = eng.row_start();
+            let len = eng.local_len();
+            let b_local = b[lo..lo + len].to_vec();
+            let mut x_local = vec![0.0; len];
+            let comm = eng.comm().clone();
+            let ops = DistOps { comm: &comm };
+            let mut op = DistOp::new(eng, KernelMode::TaskMode);
+            let r = cg_solve(&mut op, &ops, &b_local, &mut x_local, 1e-10, 1000);
+            assert!(r.converged);
+            (lo, x_local)
+        });
+        for (lo, x) in pieces {
+            assert!(
+                vecops::max_abs_diff(&x, &x_serial[lo..lo + x.len()]) < 1e-6,
+                "distributed CG diverged from serial"
+            );
+        }
+    }
+
+    #[test]
+    fn jacobi_pcg_solves_and_never_degrades() {
+        // diagonally-scaled Laplacian: plain CG struggles, Jacobi fixes the
+        // scaling exactly
+        let n = 150;
+        let mut coo = spmv_matrix::CooMatrix::new(n, n);
+        for i in 0..n {
+            let scale = 1.0 + (i % 7) as f64 * 20.0; // wildly varying diagonal
+            coo.push(i, i, 2.0 * scale);
+            if i > 0 {
+                coo.push(i, i - 1, -1.0);
+                coo.push(i - 1, i, -1.0);
+            }
+        }
+        let m = coo.to_csr().unwrap();
+        let diag: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
+        let x_true = vecops::random_vec(n, 3);
+        let mut b = vec![0.0; n];
+        m.spmv(&x_true, &mut b);
+
+        let mut x_plain = vec![0.0; n];
+        let plain =
+            cg_solve(&mut SerialOp::new(&m), &SerialOps, &b, &mut x_plain, 1e-10, 2000);
+        let mut x_pcg = vec![0.0; n];
+        let pcg = pcg_solve_jacobi(
+            &mut SerialOp::new(&m),
+            &SerialOps,
+            &diag,
+            &b,
+            &mut x_pcg,
+            1e-10,
+            2000,
+        );
+        assert!(pcg.converged, "PCG rel res {}", pcg.rel_residual);
+        assert!(vecops::max_abs_diff(&x_pcg, &x_true) < 1e-6);
+        assert!(
+            pcg.iterations <= plain.iterations,
+            "Jacobi must not be slower on a badly scaled system: {} vs {}",
+            pcg.iterations,
+            plain.iterations
+        );
+    }
+
+    #[test]
+    fn jacobi_pcg_on_identity_is_instant() {
+        let m = spmv_matrix::CsrMatrix::identity(30);
+        let diag = vec![1.0; 30];
+        let b = vecops::random_vec(30, 5);
+        let mut x = vec![0.0; 30];
+        let r = pcg_solve_jacobi(&mut SerialOp::new(&m), &SerialOps, &diag, &b, &mut x, 1e-12, 5);
+        assert!(r.converged);
+        assert!(r.iterations <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero diagonal")]
+    fn jacobi_rejects_zero_diagonal() {
+        let m = spmv_matrix::CsrMatrix::identity(3);
+        let mut x = vec![0.0; 3];
+        let _ = pcg_solve_jacobi(
+            &mut SerialOp::new(&m),
+            &SerialOps,
+            &[1.0, 0.0, 1.0],
+            &[1.0; 3],
+            &mut x,
+            1e-10,
+            10,
+        );
+    }
+}

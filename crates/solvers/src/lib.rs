@@ -1,0 +1,41 @@
+//! # spmv-solvers
+//!
+//! The applications that motivate the paper: "Iterative algorithms such as
+//! Lanczos or Jacobi-Davidson are used to compute low-lying eigenstates of
+//! the Hamilton matrices, and more recent methods based on polynomial
+//! expansion allow for computation of spectral properties or time evolution
+//! of quantum states. In all those algorithms, sparse MVM is the most
+//! time-consuming step." (§1.2)
+//!
+//! Every solver is written SPMD-style against two small traits:
+//!
+//! * [`operator::LinOp`] — applies the (locally owned part of the) matrix;
+//!   implemented by a serial CSR wrapper and by the distributed
+//!   [`spmv_core::RankEngine`] in any kernel mode;
+//! * [`ops::GlobalOps`] — global reductions (dot products, norms);
+//!   implemented serially and via `spmv-comm` allreduce.
+//!
+//! The same solver source therefore runs single-node or distributed —
+//! exactly how production iterative codes are structured.
+//!
+//! Provided solvers: conjugate gradients ([`cg`]), symmetric Lanczos with
+//! a Sturm-bisection tridiagonal eigensolver ([`lanczos`], [`tridiag`]),
+//! the kernel polynomial method with Jackson damping ([`kpm`]), and power
+//! iteration ([`power`]).
+
+pub mod cg;
+pub mod chebyshev;
+pub mod kpm;
+pub mod lanczos;
+pub mod operator;
+pub mod ops;
+pub mod power;
+pub mod tridiag;
+
+pub use cg::{cg_solve, pcg_solve_jacobi, CgResult};
+pub use chebyshev::{bessel_jn, evolve, ChebyshevOptions, ComplexVec};
+pub use kpm::{kpm_dos, KpmResult};
+pub use lanczos::{lanczos, lanczos_ground_state, LanczosResult};
+pub use operator::{DistOp, LinOp, SerialOp};
+pub use ops::{DistOps, GlobalOps, SerialOps};
+pub use power::{power_iteration, PowerResult};

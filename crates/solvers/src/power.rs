@@ -1,0 +1,103 @@
+//! Power iteration — the simplest SpMV-dominated algorithm; used by
+//! examples and as a cross-check for Lanczos extremes.
+
+use crate::operator::LinOp;
+use crate::ops::GlobalOps;
+use spmv_matrix::vecops;
+
+/// Result of a power iteration.
+#[derive(Debug, Clone)]
+pub struct PowerResult {
+    /// Dominant eigenvalue estimate (Rayleigh quotient).
+    pub eigenvalue: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the eigenvalue estimate converged to `tol`.
+    pub converged: bool,
+}
+
+/// Runs power iteration from local start vector `v0` (nonzero globally).
+/// Converges to the eigenvalue of largest magnitude (for symmetric
+/// matrices). All ranks call collectively when `ops` is distributed.
+pub fn power_iteration<O: LinOp, G: GlobalOps>(
+    op: &mut O,
+    ops: &G,
+    v0: &[f64],
+    tol: f64,
+    max_iter: usize,
+) -> PowerResult {
+    let n = op.len();
+    assert_eq!(v0.len(), n);
+    let mut v = v0.to_vec();
+    let norm = ops.norm2(&v);
+    assert!(norm > 0.0, "start vector must be nonzero");
+    vecops::scale(1.0 / norm, &mut v);
+    let mut av = vec![0.0; n];
+    let mut lambda_prev = f64::INFINITY;
+
+    for it in 1..=max_iter {
+        op.apply(&v, &mut av);
+        let lambda = ops.dot(&v, &av); // Rayleigh quotient
+        let av_norm = ops.norm2(&av);
+        if av_norm == 0.0 {
+            return PowerResult { eigenvalue: 0.0, iterations: it, converged: true };
+        }
+        for i in 0..n {
+            v[i] = av[i] / av_norm;
+        }
+        if (lambda - lambda_prev).abs() <= tol * lambda.abs().max(1.0) {
+            return PowerResult { eigenvalue: lambda, iterations: it, converged: true };
+        }
+        lambda_prev = lambda;
+    }
+    PowerResult { eigenvalue: lambda_prev, iterations: max_iter, converged: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::SerialOp;
+    use crate::ops::SerialOps;
+    use spmv_matrix::{synthetic, vecops, CsrMatrix};
+
+    #[test]
+    fn finds_dominant_eigenvalue_of_diagonal() {
+        let m = CsrMatrix::from_diagonal(&[1.0, 5.0, 2.0, -3.0]);
+        let r = power_iteration(
+            &mut SerialOp::new(&m),
+            &SerialOps,
+            &[1.0, 1.0, 1.0, 1.0],
+            1e-12,
+            500,
+        );
+        assert!(r.converged);
+        assert!((r.eigenvalue - 5.0).abs() < 1e-8, "{}", r.eigenvalue);
+    }
+
+    #[test]
+    fn laplacian_dominant_eigenvalue() {
+        let n = 100;
+        let m = synthetic::tridiagonal(n, 2.0, -1.0);
+        let v0 = vecops::random_vec(n, 17);
+        let r = power_iteration(&mut SerialOp::new(&m), &SerialOps, &v0, 1e-12, 20_000);
+        let expect = 2.0 - 2.0 * (n as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
+        assert!((r.eigenvalue - expect).abs() < 1e-5, "{} vs {expect}", r.eigenvalue);
+    }
+
+    #[test]
+    fn zero_matrix_converges_to_zero() {
+        let m = CsrMatrix::from_diagonal(&[0.0; 8]);
+        let r = power_iteration(&mut SerialOp::new(&m), &SerialOps, &[1.0; 8], 1e-10, 10);
+        assert!(r.converged);
+        assert_eq!(r.eigenvalue, 0.0);
+    }
+
+    #[test]
+    fn respects_max_iter_budget() {
+        let m = synthetic::tridiagonal(400, 2.0, -1.0);
+        let v0 = vecops::random_vec(400, 2);
+        let r = power_iteration(&mut SerialOp::new(&m), &SerialOps, &v0, 1e-15, 2);
+        assert!(!r.converged);
+        assert_eq!(r.iterations, 2);
+    }
+}

@@ -1,0 +1,68 @@
+//! Spectral density of a Holstein–Hubbard Hamiltonian via the kernel
+//! polynomial method — the "polynomial expansion" application the paper's
+//! introduction cites (its reference [10]). Every Chebyshev moment is one
+//! SpMV, so KPM inherits whatever the SpMV parallelization delivers.
+//!
+//! Run with: `cargo run --release --example kpm_spectral`
+
+use hybrid_spmv::prelude::*;
+use spmv_solvers::kpm::KpmOptions;
+use spmv_solvers::lanczos::LanczosOptions;
+use spmv_solvers::operator::gershgorin_bounds;
+
+fn main() {
+    let params = HolsteinParams {
+        sites: 4,
+        n_up: 2,
+        n_dn: 2,
+        truncation: PhononTruncation::AtMost(3),
+        t: 1.0,
+        u: 3.0,
+        omega0: 1.0,
+        g: 0.75,
+        ordering: HolsteinOrdering::ElectronContiguous,
+    };
+    let h = holstein::hamiltonian(&params);
+    println!(
+        "KPM density of states, Holstein-Hubbard: N = {}, nnz = {}\n",
+        h.nrows(),
+        h.nnz()
+    );
+
+    // spectral bounds: Gershgorin is cheap but loose; tighten with Lanczos
+    let (glo, ghi) = gershgorin_bounds(&h);
+    let v0 = vecops::random_vec(h.nrows(), 3);
+    let lr = lanczos(
+        &mut SerialOp::new(&h),
+        &SerialOps,
+        &v0,
+        LanczosOptions { max_steps: 60, ..Default::default() },
+    );
+    let margin = 0.05 * (lr.eigenvalue_max - lr.eigenvalue_min);
+    let (lo, hi) = (lr.eigenvalue_min - margin, lr.eigenvalue_max + margin);
+    println!("spectrum bounds: Gershgorin [{glo:.2}, {ghi:.2}], Lanczos-refined [{lo:.2}, {hi:.2}]\n");
+
+    let opts = KpmOptions { order: 128, random_vectors: 12, grid: 64, ..Default::default() };
+    let r = kpm_dos(&mut SerialOp::new(&h), &SerialOps, lo, hi, 0, opts);
+
+    // check normalization
+    let mut integral = 0.0;
+    for k in 1..r.energies.len() {
+        integral += 0.5 * (r.dos[k] + r.dos[k - 1]) * (r.energies[k] - r.energies[k - 1]);
+    }
+    println!("DOS integral (should be ~1): {integral:.4}\n");
+
+    // ASCII plot
+    let max_dos = r.dos.iter().cloned().fold(0.0, f64::max);
+    println!("{:>9} | density of states", "E");
+    for (e, d) in r.energies.iter().zip(&r.dos) {
+        let bars = ((d / max_dos) * 60.0).round().max(0.0) as usize;
+        println!("{e:>9.3} | {}", "#".repeat(bars));
+    }
+    println!(
+        "\nmoments used: {} (Jackson damped), stochastic vectors: {}, SpMVs: {}",
+        opts.order,
+        opts.random_vectors,
+        opts.order * opts.random_vectors
+    );
+}

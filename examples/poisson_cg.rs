@@ -1,0 +1,89 @@
+//! Solving the sAMG-style Poisson problem on the car geometry with
+//! conjugate gradients — the paper's second application area, with the
+//! SpMV distributed across ranks.
+//!
+//! Compares all three kernel modes: identical numerics (same iteration
+//! count, same solution), different execution structure.
+//!
+//! Run with: `cargo run --release --example poisson_cg`
+
+use hybrid_spmv::prelude::*;
+
+fn main() {
+    let params = SamgParams { nx: 48, ny: 20, nz: 20, perforation: 0.05, seed: 42, car_mask: true };
+    let geometry = spmv_matrix::samg::Geometry::build(&params);
+    let m = spmv_matrix::samg::poisson_on(&geometry);
+    println!(
+        "Poisson on a voxelized car geometry: {} active cells of a {}x{}x{} box ({:.0}% fill)\n\
+         matrix: N = {}, nnz = {}, N_nzr = {:.2}\n",
+        geometry.nrows(),
+        params.nx,
+        params.ny,
+        params.nz,
+        geometry.fill_fraction() * 100.0,
+        m.nrows(),
+        m.nnz(),
+        m.avg_nnz_per_row()
+    );
+
+    let n = m.nrows();
+    let b = vec![1.0; n]; // uniform source
+    let ranks = 4;
+    let tol = 1e-8;
+
+    println!("{:<22} {:>10} {:>14} {:>12}", "mode", "iters", "rel residual", "SpMV calls");
+    let mut reference: Option<Vec<f64>> = None;
+    for mode in KernelMode::ALL {
+        let cfg = if mode.needs_comm_thread() {
+            EngineConfig::task_mode(2)
+        } else {
+            EngineConfig::hybrid(2)
+        };
+        let pieces = run_spmd(&m, ranks, cfg, |eng| {
+            let lo = eng.row_start();
+            let len = eng.local_len();
+            let b_local = b[lo..lo + len].to_vec();
+            let mut x_local = vec![0.0; len];
+            let comm = eng.comm().clone();
+            let ops = DistOps { comm: &comm };
+            let mut op = DistOp::new(eng, mode);
+            let r = cg_solve(&mut op, &ops, &b_local, &mut x_local, tol, 5000);
+            (lo, x_local, r, op.applications())
+        });
+
+        // assemble the global solution
+        let mut x = vec![0.0; n];
+        let mut iters = 0;
+        let mut rel = 0.0;
+        let mut spmvs = 0;
+        for (lo, part, r, calls) in pieces {
+            x[lo..lo + part.len()].copy_from_slice(&part);
+            assert!(r.converged, "CG must converge");
+            iters = r.iterations;
+            rel = r.rel_residual;
+            spmvs = calls;
+        }
+        println!("{:<22} {:>10} {:>14.2e} {:>12}", mode.label(), iters, rel, spmvs);
+
+        // independent residual check against the assembled solution
+        let mut ax = vec![0.0; n];
+        m.spmv(&x, &mut ax);
+        let res_norm = b
+            .iter()
+            .zip(&ax)
+            .map(|(bi, axi)| (bi - axi) * (bi - axi))
+            .sum::<f64>()
+            .sqrt();
+        let b_norm = (n as f64).sqrt();
+        assert!(res_norm / b_norm < tol * 10.0, "assembled residual check failed");
+
+        match &reference {
+            None => reference = Some(x),
+            Some(r) => {
+                let diff = vecops::max_abs_diff(&x, r);
+                assert!(diff < 1e-6, "modes must agree on the solution ({diff})");
+            }
+        }
+    }
+    println!("\nAll modes converge identically — the parallelization changes *when*\ncommunication happens, never the numerics.");
+}

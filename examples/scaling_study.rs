@@ -1,0 +1,66 @@
+//! A miniature of the paper's Figs. 5/6: simulate strong scaling of all
+//! three kernel modes on the modeled Westmere cluster for a
+//! Holstein-Hubbard matrix (strong communication) and an sAMG Poisson
+//! matrix (weak communication), at a reduced problem size so it runs in
+//! seconds. The full-size regenerators live in the bench crate
+//! (`fig5_hmep_scaling`, `fig6_samg_scaling`).
+//!
+//! Run with: `cargo run --release --example scaling_study`
+
+use hybrid_spmv::prelude::*;
+
+fn main() {
+    let nodes = [1usize, 2, 4, 8, 16];
+    let cluster = presets::westmere_cluster(*nodes.last().unwrap());
+
+    let hmep = holstein::hamiltonian(&HolsteinParams::medium_scale(
+        HolsteinOrdering::ElectronContiguous,
+    ));
+    let samg = samg::poisson(&SamgParams::medium_scale());
+
+    for (name, m, kappa) in [("HMeP", &hmep, 2.5), ("sAMG", &samg, 0.0)] {
+        println!(
+            "\n=== {name}: N = {}, nnz = {}, on {} (per-LD layout) ===",
+            m.nrows(),
+            m.nnz(),
+            cluster.name
+        );
+        println!(
+            "{:>6} {:>24} {:>24} {:>24}",
+            "nodes", "vector w/o overlap", "vector naive overlap", "task mode"
+        );
+        let mut series = Vec::new();
+        for mode in KernelMode::ALL {
+            let cfg = SimConfig::new(mode).with_kappa(kappa);
+            series.push(strong_scaling(m, &cluster, &nodes, HybridLayout::ProcessPerLd, &cfg));
+        }
+        for (i, &n) in nodes.iter().enumerate() {
+            println!(
+                "{:>6} {:>20.2} GF/s {:>20.2} GF/s {:>20.2} GF/s",
+                n,
+                series[0].points[i].1,
+                series[1].points[i].1,
+                series[2].points[i].1
+            );
+        }
+
+        // the paper's qualitative conclusions, checked on the spot
+        let last = nodes.len() - 1;
+        let (novl, naive, task) =
+            (series[0].points[last].1, series[1].points[last].1, series[2].points[last].1);
+        if name == "HMeP" {
+            println!(
+                "--> communication-bound: task mode wins at scale ({:.1}x over no-overlap), \
+                 naive overlap does not help ({:.2}x)",
+                task / novl,
+                naive / novl
+            );
+        } else {
+            println!(
+                "--> weakly coupled: all modes within {:.0}% — \"it makes no sense to consider \
+                 MPI+OpenMP hybrid programming if the pure MPI code already scales well\"",
+                ((task - novl).abs() / novl * 100.0).max((naive - novl).abs() / novl * 100.0)
+            );
+        }
+    }
+}

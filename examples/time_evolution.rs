@@ -1,0 +1,128 @@
+//! Chebyshev time evolution of a quantum state under a Holstein–Hubbard
+//! Hamiltonian — the paper's second polynomial-expansion application
+//! ("time evolution of quantum states", reference [11]), running its SpMVs
+//! through the distributed task-mode engine.
+//!
+//! Starts from a product state and tracks norm (unitarity), energy
+//! (conservation) and the electronic double occupancy ⟨n↑n↓⟩, which
+//! oscillates as charge and lattice exchange energy.
+//!
+//! Run with: `cargo run --release --example time_evolution`
+
+use hybrid_spmv::prelude::*;
+use spmv_solvers::chebyshev::{evolve, ChebyshevOptions, ComplexVec};
+use spmv_solvers::lanczos::LanczosOptions;
+
+fn main() {
+    let params = HolsteinParams {
+        sites: 3,
+        n_up: 1,
+        n_dn: 1,
+        truncation: PhononTruncation::AtMost(4),
+        t: 1.0,
+        u: 4.0,
+        omega0: 1.0,
+        g: 0.8,
+        ordering: HolsteinOrdering::ElectronContiguous,
+    };
+    let h = holstein::hamiltonian(&params);
+    let n = h.nrows();
+    println!(
+        "Chebyshev propagation under the Holstein-Hubbard Hamiltonian\n\
+         N = {n}, nnz = {}, U = {}, g = {}\n",
+        h.nnz(),
+        params.u,
+        params.g
+    );
+
+    // double-occupancy operator is diagonal: extract it from H at g=0,
+    // omega0=0... simpler: recompute occupancy per basis state via a probe
+    // Hamiltonian with only the U term.
+    let probe = holstein::hamiltonian(&HolsteinParams { t: 0.0, g: 0.0, omega0: 0.0, ..params });
+    let docc: Vec<f64> = (0..n).map(|i| probe.get(i, i) / params.u).collect();
+
+    // spectrum bounds via Lanczos
+    let v0 = vecops::random_vec(n, 7);
+    let lz = lanczos(
+        &mut SerialOp::new(&h),
+        &SerialOps,
+        &v0,
+        LanczosOptions { max_steps: 80, ..Default::default() },
+    );
+    let margin = 0.05 * (lz.eigenvalue_max - lz.eigenvalue_min);
+    let (lo, hi) = (lz.eigenvalue_min - margin, lz.eigenvalue_max + margin);
+    println!("spectrum in [{lo:.2}, {hi:.2}] (Lanczos bounds)\n");
+
+    // initial state: equal superposition of all doubly-occupied basis states
+    let mut psi_re = vec![0.0; n];
+    for (i, &d) in docc.iter().enumerate() {
+        if d > 0.5 {
+            psi_re[i] = 1.0;
+        }
+    }
+    vecops::normalize(&mut psi_re);
+    let mut psi = ComplexVec::from_real(&psi_re);
+
+    let energy = |psi: &ComplexVec| -> f64 {
+        let mut hr = vec![0.0; n];
+        let mut hi_ = vec![0.0; n];
+        h.spmv(&psi.re, &mut hr);
+        h.spmv(&psi.im, &mut hi_);
+        vecops::dot(&psi.re, &hr) + vecops::dot(&psi.im, &hi_)
+    };
+    let double_occ = |psi: &ComplexVec| -> f64 {
+        (0..n).map(|i| docc[i] * (psi.re[i] * psi.re[i] + psi.im[i] * psi.im[i])).sum()
+    };
+
+    let e0 = energy(&psi);
+    println!(
+        "{:>6} {:>12} {:>14} {:>14} {:>8}",
+        "time", "<n_up n_dn>", "energy", "norm defect", "order"
+    );
+    println!("{:>6.2} {:>12.4} {:>14.6} {:>14} {:>8}", 0.0, double_occ(&psi), e0, "-", "-");
+
+    let dt = 0.5;
+    let mut total_spmvs = 0u64;
+    for step in 1..=12 {
+        // distributed propagation: each rank evolves its slice (the SpMV is
+        // the distributed task-mode kernel; reductions via the communicator)
+        let pieces = run_spmd(&h, 3, EngineConfig::task_mode(2), |eng| {
+            let lo_r = eng.row_start();
+            let len = eng.local_len();
+            let local = ComplexVec {
+                re: psi.re[lo_r..lo_r + len].to_vec(),
+                im: psi.im[lo_r..lo_r + len].to_vec(),
+            };
+            let comm = eng.comm().clone();
+            let ops = DistOps { comm: &comm };
+            let mut op = DistOp::new(eng, KernelMode::TaskMode);
+            let r = evolve(&mut op, &ops, lo, hi, &local, dt, ChebyshevOptions::default());
+            (lo_r, r, op.applications())
+        });
+        let mut order = 0;
+        let mut defect = 0.0;
+        for (start, r, spmvs) in pieces {
+            psi.re[start..start + r.state.len()].copy_from_slice(&r.state.re);
+            psi.im[start..start + r.state.len()].copy_from_slice(&r.state.im);
+            order = r.order;
+            defect = r.norm_defect;
+            total_spmvs = spmvs;
+        }
+        let e = energy(&psi);
+        println!(
+            "{:>6.2} {:>12.4} {:>14.6} {:>14.2e} {:>8}",
+            step as f64 * dt,
+            double_occ(&psi),
+            e,
+            defect,
+            order
+        );
+        assert!((e - e0).abs() < 1e-8 * e0.abs().max(1.0), "energy must be conserved");
+        assert!(defect < 1e-9, "propagation must be unitary");
+    }
+    println!(
+        "\nenergy conserved to 1e-8 over 12 steps; {} SpMVs per rank; double\n\
+         occupancy relaxes from 1.0 as the electron pair dresses with phonons.",
+        total_spmvs
+    );
+}

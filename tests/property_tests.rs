@@ -1,0 +1,186 @@
+//! Property-based tests (proptest) on the core invariants: CRS round
+//! trips, partitioning, communication plans, distributed-vs-serial SpMV,
+//! and reorderings — over randomized matrices and configurations.
+
+use hybrid_spmv::prelude::*;
+use proptest::prelude::*;
+use spmv_core::plan::build_plans_serial;
+use spmv_matrix::CooMatrix;
+
+/// Strategy: a random sparse square matrix as (n, triplets).
+fn sparse_matrix(max_n: usize) -> impl Strategy<Value = CsrMatrix> {
+    (2usize..max_n).prop_flat_map(|n| {
+        proptest::collection::vec(((0..n), (0..n), -100i32..100), 1..(6 * n).max(2)).prop_map(
+            move |trips| {
+                let mut coo = CooMatrix::new(n, n);
+                // always include the diagonal so no row is empty
+                for i in 0..n {
+                    coo.push(i, i, 1.0);
+                }
+                for (i, j, v) in trips {
+                    coo.push(i, j, v as f64 / 10.0);
+                }
+                coo.to_csr().expect("valid by construction")
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn coo_to_csr_preserves_entry_sums(m in sparse_matrix(60)) {
+        // converting back and forth preserves the matrix exactly
+        let coo = CooMatrix::from_csr(&m);
+        let m2 = coo.to_csr().unwrap();
+        prop_assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn transpose_is_involutive(m in sparse_matrix(60)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn spmv_is_linear(m in sparse_matrix(40), a in -5.0f64..5.0, b in -5.0f64..5.0) {
+        let n = m.nrows();
+        let x1 = vecops::random_vec(n, 1);
+        let x2 = vecops::random_vec(n, 2);
+        let combo: Vec<f64> = x1.iter().zip(&x2).map(|(u, v)| a * u + b * v).collect();
+        let mut y1 = vec![0.0; n];
+        let mut y2 = vec![0.0; n];
+        let mut yc = vec![0.0; n];
+        m.spmv(&x1, &mut y1);
+        m.spmv(&x2, &mut y2);
+        m.spmv(&combo, &mut yc);
+        for i in 0..n {
+            prop_assert!((yc[i] - (a * y1[i] + b * y2[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn partition_tiles_rows(m in sparse_matrix(80), parts in 1usize..9) {
+        let p = RowPartition::by_nnz(&m, parts);
+        prop_assert_eq!(p.parts(), parts);
+        prop_assert_eq!(p.nrows(), m.nrows());
+        let mut covered = 0usize;
+        for k in 0..parts {
+            let r = p.range(k);
+            prop_assert_eq!(r.start, covered);
+            covered = r.end;
+            for i in r {
+                prop_assert_eq!(p.owner_of(i), k);
+            }
+        }
+        prop_assert_eq!(covered, m.nrows());
+    }
+
+    #[test]
+    fn plans_cover_remote_columns_exactly(m in sparse_matrix(60), parts in 1usize..7) {
+        let p = RowPartition::by_nnz(&m, parts);
+        let plans = build_plans_serial(&m, &p);
+        // every remote reference appears exactly once in the halo, and
+        // send/recv relations transpose
+        let mut total_sent = 0usize;
+        let mut total_recv = 0usize;
+        for plan in &plans {
+            total_sent += plan.send_len();
+            total_recv += plan.halo_len();
+            let range = p.range(plan.rank);
+            for n in &plan.recv {
+                for &g in &n.indices {
+                    prop_assert!(!range.contains(&(g as usize)));
+                    prop_assert_eq!(p.owner_of(g as usize), n.peer);
+                }
+            }
+        }
+        prop_assert_eq!(total_sent, total_recv);
+    }
+
+    #[test]
+    fn distributed_spmv_matches_serial(
+        m in sparse_matrix(50),
+        ranks in 1usize..6,
+        mode_idx in 0usize..3,
+        threads in 1usize..4,
+    ) {
+        let mode = KernelMode::ALL[mode_idx];
+        let cfg = if mode.needs_comm_thread() {
+            EngineConfig::task_mode(threads)
+        } else {
+            EngineConfig::hybrid(threads)
+        };
+        let x = vecops::random_vec(m.nrows(), 77);
+        let mut y_ref = vec![0.0; m.nrows()];
+        m.spmv(&x, &mut y_ref);
+        let y = distributed_spmv(&m, &x, ranks, cfg, mode);
+        prop_assert!(vecops::rel_error(&y, &y_ref) < 1e-9);
+    }
+
+    #[test]
+    fn rcm_preserves_matrix_invariants(m in sparse_matrix(50)) {
+        // symmetrize so RCM's premise holds
+        let t = m.transpose();
+        let mut coo = CooMatrix::new(m.nrows(), m.ncols());
+        for (i, j, v) in m.triplets() {
+            coo.push(i, j, v / 2.0);
+        }
+        for (i, j, v) in t.triplets() {
+            coo.push(i, j, v / 2.0);
+        }
+        let sym = coo.to_csr().unwrap();
+        let (rm, perm) = spmv_matrix::rcm::rcm_reorder(&sym);
+        prop_assert_eq!(rm.nnz(), sym.nnz());
+        prop_assert!((rm.frobenius_norm() - sym.frobenius_norm()).abs() < 1e-9);
+        // permutation is a bijection; applying its inverse restores the matrix
+        let inv = perm.inverse();
+        let back = rm.permute_symmetric(&inv).unwrap();
+        prop_assert_eq!(back, sym);
+    }
+
+    #[test]
+    fn balanced_chunks_cover_and_balance(weights in proptest::collection::vec(0usize..50, 1..200), parts in 1usize..9) {
+        let mut prefix = vec![0usize];
+        for w in &weights {
+            prefix.push(prefix.last().unwrap() + w);
+        }
+        let chunks = spmv_smp::workshare::balanced_chunks(&prefix, parts);
+        prop_assert_eq!(chunks.len(), parts);
+        prop_assert_eq!(chunks[0].start, 0);
+        prop_assert_eq!(chunks.last().unwrap().end, weights.len());
+        for w in chunks.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn saturation_curves_are_monotone(b1 in 1.0f64..20.0, factor in 1.05f64..3.5, n in 2usize..16) {
+        let bn = (b1 * factor).min(b1 * n as f64 * 0.98);
+        prop_assume!(bn > b1);
+        let c = spmv_machine::SaturationCurve::from_endpoints(b1, bn, n);
+        let mut prev = 0.0;
+        for k in 1..=2 * n {
+            let b = c.bandwidth(k);
+            prop_assert!(b > prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn sturm_counts_monotone_in_x(
+        alpha in proptest::collection::vec(-5.0f64..5.0, 2..12),
+    ) {
+        let n = alpha.len();
+        let beta: Vec<f64> = (0..n - 1).map(|i| ((i * 7 + 3) % 5) as f64 / 2.0 - 1.0).collect();
+        let mut prev = 0usize;
+        for k in -20..=20 {
+            let x = k as f64 / 2.0;
+            let c = spmv_solvers::tridiag::sturm_count(&alpha, &beta, x);
+            prop_assert!(c >= prev, "count dropped at x = {x}");
+            prop_assert!(c <= n);
+            prev = c;
+        }
+        prop_assert_eq!(prev, n, "all eigenvalues below +10");
+    }
+}

@@ -1,0 +1,194 @@
+//! Property-based tests on the timing simulator: invariants that must hold
+//! for *any* matrix/layout/mode combination, fuzzed with proptest.
+
+use hybrid_spmv::prelude::*;
+use proptest::prelude::*;
+use spmv_core::workload;
+use spmv_machine::{plan_layout, CommThreadPlacement};
+use spmv_sim::simulate_spmv;
+
+fn machine_setup(
+    nodes: usize,
+    layout: HybridLayout,
+    comm: CommThreadPlacement,
+) -> (spmv_machine::ClusterSpec, spmv_machine::LayoutPlan) {
+    let cluster = presets::westmere_cluster(nodes);
+    let plan = plan_layout(&cluster.node, nodes, layout, comm).unwrap();
+    (cluster, plan)
+}
+
+fn layout_of(idx: usize) -> HybridLayout {
+    HybridLayout::ALL[idx % 3]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn simulation_is_deterministic(
+        n in 500usize..4000,
+        bw_frac in 2usize..10,
+        nodes in 1usize..5,
+        layout_idx in 0usize..3,
+        mode_idx in 0usize..3,
+    ) {
+        let mode = KernelMode::ALL[mode_idx];
+        let layout = layout_of(layout_idx);
+        let comm = if mode.needs_comm_thread() {
+            CommThreadPlacement::SmtSibling
+        } else {
+            CommThreadPlacement::None
+        };
+        let m = synthetic::random_banded_symmetric(n, n / bw_frac, 6.0, 7);
+        let (cluster, plan) = machine_setup(nodes, layout, comm);
+        let p = RowPartition::by_nnz(&m, plan.num_ranks());
+        let w = workload::analyze(&m, &p);
+        let cfg = SimConfig::new(mode).with_kappa(1.0);
+        let a = simulate_spmv(&cluster, &plan, &w, &cfg);
+        let b = simulate_spmv(&cluster, &plan, &w, &cfg);
+        prop_assert_eq!(a.time_s, b.time_s, "simulator must be deterministic");
+        prop_assert!(a.time_s.is_finite() && a.time_s > 0.0);
+        prop_assert!(a.gflops > 0.0);
+    }
+
+    #[test]
+    fn makespan_at_least_bandwidth_lower_bound(
+        n in 2000usize..8000,
+        nodes in 1usize..5,
+    ) {
+        // the whole job moves at least the matrix bytes through the LDs;
+        // no schedule can beat aggregate bandwidth
+        let m = synthetic::random_banded_symmetric(n, n / 8, 7.0, 3);
+        let (cluster, plan) =
+            machine_setup(nodes, HybridLayout::ProcessPerLd, CommThreadPlacement::None);
+        let p = RowPartition::by_nnz(&m, plan.num_ranks());
+        let w = workload::analyze(&m, &p);
+        let r = simulate_spmv(&cluster, &plan, &w, &SimConfig::new(KernelMode::VectorNoOverlap));
+        let min_bytes = m.nnz() as f64 * 12.0; // val + col_idx alone
+        let agg_bw = cluster.node.node_spmv_bw_gbs() * 1e9 * nodes as f64;
+        prop_assert!(
+            r.time_s >= min_bytes / agg_bw * 0.999,
+            "makespan {} below physical bound {}",
+            r.time_s,
+            min_bytes / agg_bw
+        );
+    }
+
+    #[test]
+    fn kappa_monotonically_slows(
+        n in 1000usize..5000,
+        k1 in 0.0f64..2.0,
+        dk in 0.5f64..3.0,
+    ) {
+        let m = synthetic::random_banded_symmetric(n, n / 6, 6.0, 5);
+        let (cluster, plan) =
+            machine_setup(2, HybridLayout::ProcessPerLd, CommThreadPlacement::None);
+        let p = RowPartition::by_nnz(&m, plan.num_ranks());
+        let w = workload::analyze(&m, &p);
+        let slow = simulate_spmv(
+            &cluster, &plan, &w,
+            &SimConfig::new(KernelMode::VectorNoOverlap).with_kappa(k1 + dk),
+        );
+        let fast = simulate_spmv(
+            &cluster, &plan, &w,
+            &SimConfig::new(KernelMode::VectorNoOverlap).with_kappa(k1),
+        );
+        prop_assert!(slow.time_s >= fast.time_s, "κ must never speed things up");
+    }
+
+    #[test]
+    fn async_progress_never_slower(
+        n in 1000usize..5000,
+        nodes in 2usize..5,
+        mode_idx in 0usize..2,
+    ) {
+        // async progress strictly widens the set of moments a message may
+        // flow, so it can only help (vector modes; task mode's comm thread
+        // already provides progress)
+        let mode = [KernelMode::VectorNoOverlap, KernelMode::VectorNaiveOverlap][mode_idx];
+        let m = synthetic::scattered(n, 8, 2);
+        let (cluster, plan) =
+            machine_setup(nodes, HybridLayout::ProcessPerLd, CommThreadPlacement::None);
+        let p = RowPartition::by_nnz(&m, plan.num_ranks());
+        let w = workload::analyze(&m, &p);
+        let std_ = simulate_spmv(&cluster, &plan, &w, &SimConfig::new(mode));
+        let asy = simulate_spmv(
+            &cluster,
+            &plan,
+            &w,
+            &SimConfig::new(mode).with_progress(ProgressModel::Async),
+        );
+        prop_assert!(
+            asy.time_s <= std_.time_s * 1.0001,
+            "async {} vs standard {}",
+            asy.time_s,
+            std_.time_s
+        );
+    }
+
+    #[test]
+    fn trace_events_are_well_formed(
+        n in 500usize..3000,
+        mode_idx in 0usize..3,
+    ) {
+        let mode = KernelMode::ALL[mode_idx];
+        let comm = if mode.needs_comm_thread() {
+            CommThreadPlacement::SmtSibling
+        } else {
+            CommThreadPlacement::None
+        };
+        let m = synthetic::random_banded_symmetric(n, n / 5, 6.0, 9);
+        let (cluster, plan) = machine_setup(2, HybridLayout::ProcessPerLd, comm);
+        let p = RowPartition::by_nnz(&m, plan.num_ranks());
+        let w = workload::analyze(&m, &p);
+        let r = simulate_spmv(&cluster, &plan, &w, &SimConfig::new(mode).with_trace());
+        let t = r.trace.unwrap();
+        prop_assert!(!t.events.is_empty());
+        for e in &t.events {
+            prop_assert!(e.t0 >= 0.0);
+            prop_assert!(e.t1 >= e.t0);
+            prop_assert!(e.t1 <= r.time_s * (1.0 + 1e-9), "event past makespan");
+            prop_assert!(e.rank < plan.num_ranks());
+        }
+        // within one lane, events must not overlap
+        for rank in 0..plan.num_ranks() {
+            let mut by_lane: std::collections::HashMap<usize, Vec<(f64, f64)>> =
+                std::collections::HashMap::new();
+            for e in t.events.iter().filter(|e| e.rank == rank) {
+                by_lane.entry(e.lane).or_default().push((e.t0, e.t1));
+            }
+            for (_, mut segs) in by_lane {
+                segs.sort_by(|a, b| a.0.total_cmp(&b.0));
+                for w2 in segs.windows(2) {
+                    prop_assert!(
+                        w2[0].1 <= w2[1].0 + 1e-12,
+                        "lane events overlap: {:?}",
+                        w2
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn message_accounting_matches_plan(
+        n in 500usize..3000,
+        parts in 2usize..8,
+    ) {
+        let m = synthetic::random_general(n, n, 6, 4);
+        let p = RowPartition::by_nnz(&m, parts);
+        let w = workload::analyze(&m, &p);
+        let total_msgs: usize = w.iter().map(|r| r.sends.len()).sum();
+        let total_bytes: usize = w.iter().map(|r| r.bytes_out()).sum();
+        let (cluster, plan) = machine_setup(
+            parts.div_ceil(2),
+            HybridLayout::ProcessPerLd,
+            CommThreadPlacement::None,
+        );
+        // only run when the layout matches the partition
+        prop_assume!(plan.num_ranks() == parts);
+        let r = simulate_spmv(&cluster, &plan, &w, &SimConfig::new(KernelMode::VectorNoOverlap));
+        prop_assert_eq!(r.messages, total_msgs);
+        prop_assert!((r.bytes_on_wire - total_bytes as f64).abs() < 0.5);
+    }
+}
