@@ -1,8 +1,8 @@
-//! Criterion benches of the message-passing substrate: ping-pong latency
-//! and bandwidth over message sizes, allreduce, and the all-to-all plan
+//! Benches of the message-passing substrate: ping-pong latency and
+//! bandwidth over message sizes, allreduce, and the all-to-all plan
 //! exchange primitive.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spmv_bench::microbench::{Bench, Unit};
 use spmv_comm::collectives::ReduceOp;
 use spmv_comm::CommWorld;
 
@@ -28,73 +28,68 @@ fn ping_pong(bytes: usize, iters: usize) {
     h.join().unwrap();
 }
 
-fn bench_ping_pong(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pingpong");
+fn bench_ping_pong(b: &Bench) {
     for bytes in [64usize, 4096, 65536, 1 << 20] {
-        g.throughput(Throughput::Bytes(2 * bytes as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(bytes), &bytes, |b, &bytes| {
-            b.iter(|| ping_pong(bytes, 4));
-        });
+        b.run(
+            "pingpong",
+            &bytes.to_string(),
+            Some((2.0 * bytes as f64, Unit::Bytes)),
+            || {
+                ping_pong(bytes, 4);
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_allreduce(c: &mut Criterion) {
-    let mut g = c.benchmark_group("allreduce");
+fn bench_allreduce(b: &Bench) {
     for ranks in [2usize, 4, 8] {
-        g.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
-            b.iter(|| {
-                let comms = CommWorld::create(ranks);
-                let handles: Vec<_> = comms
-                    .into_iter()
-                    .map(|c| {
-                        std::thread::spawn(move || {
-                            let mut s = 0.0;
-                            for i in 0..16 {
-                                s += c.allreduce_scalar(i as f64, ReduceOp::Sum);
-                            }
-                            s
-                        })
+        b.run("allreduce", &ranks.to_string(), None, || {
+            let comms = CommWorld::create(ranks);
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|c| {
+                    std::thread::spawn(move || {
+                        let mut s = 0.0;
+                        for i in 0..16 {
+                            s += c.allreduce_scalar(i as f64, ReduceOp::Sum);
+                        }
+                        s
                     })
-                    .collect();
-                for h in handles {
-                    std::hint::black_box(h.join().unwrap());
-                }
-            });
+                })
+                .collect();
+            for h in handles {
+                std::hint::black_box(h.join().unwrap());
+            }
         });
     }
-    g.finish();
 }
 
-fn bench_alltoallv(c: &mut Criterion) {
-    let mut g = c.benchmark_group("alltoallv");
+fn bench_alltoallv(b: &Bench) {
     for ranks in [4usize, 8] {
-        g.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
-            b.iter(|| {
-                let comms = CommWorld::create(ranks);
-                let handles: Vec<_> = comms
-                    .into_iter()
-                    .map(|c| {
-                        std::thread::spawn(move || {
-                            let outgoing: Vec<Vec<u32>> =
-                                (0..c.size()).map(|d| vec![d as u32; 128]).collect();
-                            let incoming = c.alltoallv(&outgoing);
-                            std::hint::black_box(incoming.len())
-                        })
+        b.run("alltoallv", &ranks.to_string(), None, || {
+            let comms = CommWorld::create(ranks);
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|c| {
+                    std::thread::spawn(move || {
+                        let outgoing: Vec<Vec<u32>> =
+                            (0..c.size()).map(|d| vec![d as u32; 128]).collect();
+                        let incoming = c.alltoallv(&outgoing);
+                        std::hint::black_box(incoming.len())
                     })
-                    .collect();
-                for h in handles {
-                    h.join().unwrap();
-                }
-            });
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_ping_pong, bench_allreduce, bench_alltoallv
-);
-criterion_main!(benches);
+fn main() {
+    // thread-spawn-heavy benches: keep samples short
+    let b = Bench::quick();
+    bench_ping_pong(&b);
+    bench_allreduce(&b);
+    bench_alltoallv(&b);
+}

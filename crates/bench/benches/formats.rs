@@ -1,42 +1,62 @@
-//! Criterion bench backing the paper's format claim (§1.2): CRS "is
-//! broadly recognized as the most efficient format for general sparse
-//! matrices on cache-based microprocessors". Measures CRS against
-//! ELLPACK-R (both sweep orders) on both application matrices.
+//! Bench backing the paper's format claim (§1.2): CRS "is broadly
+//! recognized as the most efficient format for general sparse matrices on
+//! cache-based microprocessors". Measures CRS against ELLPACK-R (both
+//! sweep orders) and SELL-C-σ at several chunk/sorting shapes on both
+//! application matrices plus a power-law matrix where row-length variance
+//! makes the padding trade-off visible.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spmv_bench::microbench::{Bench, Unit};
 use spmv_bench::{hmep, samg, Scale};
-use spmv_matrix::{vecops, EllMatrix};
+use spmv_matrix::{synthetic, vecops, CsrMatrix, EllMatrix, SellMatrix};
 
-fn bench_formats(c: &mut Criterion) {
-    for (name, m) in [("hmep", hmep(Scale::Test)), ("samg", samg(Scale::Test))] {
-        let ell = EllMatrix::from_csr(&m);
-        let x = vecops::random_vec(m.ncols(), 3);
-        let mut y = vec![0.0; m.nrows()];
-        let mut g = c.benchmark_group(format!("format_{name}"));
-        g.throughput(Throughput::Elements(2 * m.nnz() as u64));
-        g.bench_with_input(BenchmarkId::new("crs", name), &m, |b, m| {
-            b.iter(|| m.spmv(std::hint::black_box(&x), std::hint::black_box(&mut y)));
-        });
-        g.bench_with_input(BenchmarkId::new("ellpack_r", name), &ell, |b, e| {
-            b.iter(|| e.spmv(std::hint::black_box(&x), std::hint::black_box(&mut y)));
-        });
-        g.bench_with_input(BenchmarkId::new("ellpack_padded", name), &ell, |b, e| {
-            b.iter(|| e.spmv_padded(std::hint::black_box(&x), std::hint::black_box(&mut y)));
-        });
-        g.finish();
-        println!(
-            "{name}: ELL width {} (avg row {:.1}), fill efficiency {:.0}%, storage {:.2}x CRS",
-            ell.width(),
-            m.avg_nnz_per_row(),
-            ell.fill_efficiency() * 100.0,
-            ell.storage_bytes() as f64 / m.storage_bytes() as f64
+fn bench_formats(b: &Bench, name: &str, m: &CsrMatrix) {
+    let ell = EllMatrix::from_csr(m);
+    let x = vecops::random_vec(m.ncols(), 3);
+    let mut y = vec![0.0; m.nrows()];
+    let flops = 2.0 * m.nnz() as f64;
+    let group = format!("format_{name}");
+
+    b.run(&group, "crs", Some((flops, Unit::Flops)), || {
+        m.spmv(std::hint::black_box(&x), std::hint::black_box(&mut y));
+    });
+    b.run(&group, "ellpack_r", Some((flops, Unit::Flops)), || {
+        ell.spmv(std::hint::black_box(&x), std::hint::black_box(&mut y));
+    });
+    b.run(&group, "ellpack_padded", Some((flops, Unit::Flops)), || {
+        ell.spmv_padded(std::hint::black_box(&x), std::hint::black_box(&mut y));
+    });
+    for (c, sigma) in [(4usize, 1usize), (32, 256), (32, m.nrows())] {
+        let sell = SellMatrix::from_csr(m, c, sigma);
+        b.run(
+            &group,
+            &format!("sell-{c}-{sigma}"),
+            Some((flops, Unit::Flops)),
+            || {
+                sell.spmv(std::hint::black_box(&x), std::hint::black_box(&mut y));
+            },
         );
     }
+
+    let sell = SellMatrix::from_csr(m, 32, 256);
+    println!(
+        "{name}: ELL width {} (avg row {:.1}), ELL fill {:.0}%, ELL storage {:.2}x CRS; \
+         SELL-32-256 padding factor {:.3}, fill {:.0}%",
+        ell.width(),
+        m.avg_nnz_per_row(),
+        ell.fill_efficiency() * 100.0,
+        ell.storage_bytes() as f64 / m.storage_bytes() as f64,
+        sell.padding_factor(),
+        sell.fill_efficiency() * 100.0
+    );
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_formats
-);
-criterion_main!(benches);
+fn main() {
+    let b = Bench::new();
+    for (name, m) in [
+        ("hmep", hmep(Scale::Test)),
+        ("samg", samg(Scale::Test)),
+        ("powerlaw", synthetic::power_law_rows(20_000, 15.0, 1.1, 7)),
+    ] {
+        bench_formats(&b, name, &m);
+    }
+}

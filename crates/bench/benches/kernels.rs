@@ -1,30 +1,58 @@
-//! Criterion benches of the node-level kernels: the CRS SpMV on both
-//! application matrices, the split (local + non-local) kernel against the
-//! unsplit one (Eq. 2 measured on real hardware), and the send-buffer
-//! gather.
+//! Node-level kernel benches: every dispatchable SpMV kernel (scalar CSR,
+//! unrolled CSR, sliced CSR, unchecked CSR under `fast-kernels`, SELL-C-σ)
+//! on both application matrices and a power-law stress matrix, the split
+//! (local + non-local) kernel against the unsplit one (Eq. 2 measured on
+//! real hardware), and the send-buffer gather.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spmv_bench::microbench::{Bench, Unit};
 use spmv_bench::{hmep, samg, Scale};
 use spmv_core::plan::build_plans_serial;
 use spmv_core::symmetric::{parallel_symmetric_spmv, SymmetricWorkspace};
-use spmv_core::{RowPartition, SplitMatrix};
-use spmv_matrix::{vecops, SymmetricCsr};
+use spmv_core::{prepare_kernel, KernelKind, RowPartition, SplitMatrix};
+use spmv_matrix::{synthetic, vecops, CsrMatrix, SymmetricCsr};
 use spmv_smp::ThreadTeam;
 
-fn bench_spmv(c: &mut Criterion) {
-    let mut g = c.benchmark_group("crs_spmv");
-    for (name, m) in [("hmep", hmep(Scale::Test)), ("samg", samg(Scale::Test))] {
-        let x = vecops::random_vec(m.ncols(), 3);
-        let mut y = vec![0.0; m.nrows()];
-        g.throughput(Throughput::Elements(2 * m.nnz() as u64)); // flops
-        g.bench_with_input(BenchmarkId::new("serial", name), &m, |b, m| {
-            b.iter(|| m.spmv(std::hint::black_box(&x), std::hint::black_box(&mut y)));
-        });
-    }
-    g.finish();
+fn matrices() -> Vec<(&'static str, CsrMatrix)> {
+    vec![
+        ("hmep", hmep(Scale::Test)),
+        ("samg", samg(Scale::Test)),
+        ("powerlaw", synthetic::power_law_rows(20_000, 15.0, 1.1, 7)),
+    ]
 }
 
-fn bench_split_vs_full(c: &mut Criterion) {
+/// The dispatcher menu plus an extra SELL shape worth comparing.
+fn kernel_kinds() -> Vec<KernelKind> {
+    let mut kinds = KernelKind::candidates();
+    kinds.push(KernelKind::Sell { c: 8, sigma: 64 });
+    kinds
+}
+
+fn bench_kernels(b: &Bench) {
+    for (name, m) in matrices() {
+        let x = vecops::random_vec(m.ncols(), 3);
+        let mut y = vec![0.0; m.nrows()];
+        let flops = 2.0 * m.nnz() as f64;
+        for kind in kernel_kinds() {
+            let k = prepare_kernel(kind, &m);
+            b.run(
+                &format!("spmv_{name}"),
+                &kind.label(),
+                Some((flops, Unit::Flops)),
+                || {
+                    k.spmv_rows(
+                        &m,
+                        0..m.nrows(),
+                        std::hint::black_box(&x),
+                        std::hint::black_box(&mut y),
+                        false,
+                    );
+                },
+            );
+        }
+    }
+}
+
+fn bench_split_vs_full(b: &Bench) {
     // one rank's share of a 4-rank HMeP partition: the kernel the modes run
     let m = hmep(Scale::Test);
     let p = RowPartition::by_nnz(&m, 4);
@@ -39,86 +67,109 @@ fn bench_split_vs_full(c: &mut Criterion) {
     x_ext.extend_from_slice(&halo);
     let mut y = vec![0.0; block.nrows()];
 
-    let mut g = c.benchmark_group("split_vs_full");
-    g.throughput(Throughput::Elements(2 * block.nnz() as u64));
-    g.bench_function("full_unsplit", |b| {
-        b.iter(|| split.full.spmv(std::hint::black_box(&x_ext), std::hint::black_box(&mut y)));
-    });
-    g.bench_function("split_local_plus_nonlocal", |b| {
-        b.iter(|| {
-            split.local.spmv(std::hint::black_box(&x_local), std::hint::black_box(&mut y));
-            split.nonlocal.spmv_add(std::hint::black_box(&halo), std::hint::black_box(&mut y));
-        });
-    });
-    g.finish();
+    let flops = 2.0 * block.nnz() as f64;
+    b.run(
+        "split_vs_full",
+        "full_unsplit",
+        Some((flops, Unit::Flops)),
+        || {
+            split
+                .full
+                .spmv(std::hint::black_box(&x_ext), std::hint::black_box(&mut y));
+        },
+    );
+    b.run(
+        "split_vs_full",
+        "split_local_plus_nonlocal",
+        Some((flops, Unit::Flops)),
+        || {
+            split
+                .local
+                .spmv(std::hint::black_box(&x_local), std::hint::black_box(&mut y));
+            split
+                .nonlocal
+                .spmv_add(std::hint::black_box(&halo), std::hint::black_box(&mut y));
+        },
+    );
 }
 
-fn bench_gather(c: &mut Criterion) {
+fn bench_gather(b: &Bench) {
     let m = hmep(Scale::Test);
     let p = RowPartition::by_nnz(&m, 4);
     let plans = build_plans_serial(&m, &p);
     let plan = &plans[1];
     let x_local = vecops::random_vec(plan.local_len, 7);
-    let indices: Vec<u32> =
-        plan.send.iter().flat_map(|n| n.indices.iter().copied()).collect();
+    let indices: Vec<u32> = plan
+        .send
+        .iter()
+        .flat_map(|n| n.indices.iter().copied())
+        .collect();
     let mut buf = vec![0.0f64; indices.len()];
 
-    let mut g = c.benchmark_group("gather");
-    g.throughput(Throughput::Bytes(24 * indices.len() as u64));
-    g.bench_function("send_buffer_gather", |b| {
-        b.iter(|| {
+    b.run(
+        "gather",
+        "send_buffer_gather",
+        Some((24.0 * indices.len() as f64, Unit::Bytes)),
+        || {
             for (dst, &src) in buf.iter_mut().zip(&indices) {
                 *dst = x_local[src as usize];
             }
             std::hint::black_box(&buf);
-        });
-    });
-    g.finish();
+        },
+    );
 }
 
 /// The symmetric-kernel study the paper declined (§1.3.1): upper-triangle
 /// storage halves the matrix traffic, but the shared-memory version pays a
 /// per-thread reduction. Compare the full kernel against serial symmetric
 /// and parallel symmetric at several thread counts.
-fn bench_symmetric(c: &mut Criterion) {
+fn bench_symmetric(b: &Bench) {
     let m = hmep(Scale::Test);
     let sym = SymmetricCsr::from_full(&m, 1e-12).expect("Hamiltonian is symmetric");
     let x = vecops::random_vec(m.nrows(), 9);
     let mut y = vec![0.0; m.nrows()];
 
-    let mut g = c.benchmark_group("symmetric_kernel");
-    g.throughput(Throughput::Elements(2 * m.nnz() as u64));
-    g.bench_function("full_csr", |b| {
-        b.iter(|| m.spmv(std::hint::black_box(&x), std::hint::black_box(&mut y)));
-    });
-    g.bench_function("symmetric_serial", |b| {
-        b.iter(|| sym.spmv(std::hint::black_box(&x), std::hint::black_box(&mut y)));
-    });
+    let flops = 2.0 * m.nnz() as f64;
+    b.run(
+        "symmetric_kernel",
+        "full_csr",
+        Some((flops, Unit::Flops)),
+        || {
+            m.spmv(std::hint::black_box(&x), std::hint::black_box(&mut y));
+        },
+    );
+    b.run(
+        "symmetric_kernel",
+        "symmetric_serial",
+        Some((flops, Unit::Flops)),
+        || {
+            sym.spmv(std::hint::black_box(&x), std::hint::black_box(&mut y));
+        },
+    );
     for threads in [2usize, 4] {
         let team = ThreadTeam::new(threads);
         let mut ws = SymmetricWorkspace::new(&sym, threads);
-        g.bench_with_input(
-            BenchmarkId::new("symmetric_parallel", threads),
-            &threads,
-            |b, _| {
-                b.iter(|| {
-                    parallel_symmetric_spmv(
-                        &team,
-                        &sym,
-                        std::hint::black_box(&x),
-                        std::hint::black_box(&mut y),
-                        &mut ws,
-                    )
-                });
+        b.run(
+            "symmetric_kernel",
+            &format!("symmetric_parallel/{threads}"),
+            Some((flops, Unit::Flops)),
+            || {
+                parallel_symmetric_spmv(
+                    &team,
+                    &sym,
+                    std::hint::black_box(&x),
+                    std::hint::black_box(&mut y),
+                    &mut ws,
+                );
             },
         );
     }
-    g.finish();
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_spmv, bench_split_vs_full, bench_gather, bench_symmetric
-);
-criterion_main!(benches);
+fn main() {
+    let b = Bench::new();
+    bench_kernels(&b);
+    bench_split_vs_full(&b);
+    bench_gather(&b);
+    bench_symmetric(&b);
+}

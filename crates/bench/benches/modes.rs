@@ -1,32 +1,34 @@
-//! Criterion benches of the *functional* distributed engine: real threads,
-//! real message passing, all three kernel modes. (Wall-clock on the host —
-//! the paper-figure timing comes from the simulator; this bench verifies
-//! the engine itself has sane overheads and lets one compare modes on the
+//! Benches of the *functional* distributed engine: real threads, real
+//! message passing, all three kernel modes. (Wall-clock on the host — the
+//! paper-figure timing comes from the simulator; this bench verifies the
+//! engine itself has sane overheads and lets one compare modes on the
 //! machine at hand.)
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spmv_bench::microbench::{Bench, Unit};
 use spmv_bench::{hmep, Scale};
 use spmv_core::engine::EngineConfig;
 use spmv_core::runner::run_spmd;
 use spmv_core::{KernelMode, RowPartition};
 use spmv_matrix::vecops;
 
-fn bench_modes(c: &mut Criterion) {
+fn bench_modes(b: &Bench) {
     let m = hmep(Scale::Test);
     let x = vecops::random_vec(m.nrows(), 2);
     let ranks = 4;
 
-    let mut g = c.benchmark_group("distributed_spmv_modes");
-    g.throughput(Throughput::Elements(2 * m.nnz() as u64));
+    // 10 SpMVs per engine launch: this is a job-level benchmark with setup
+    let flops = 10.0 * 2.0 * m.nnz() as f64;
     for mode in KernelMode::ALL {
         let cfg = if mode.needs_comm_thread() {
             EngineConfig::task_mode(2)
         } else {
             EngineConfig::hybrid(2)
         };
-        g.bench_with_input(BenchmarkId::from_parameter(mode.label()), &mode, |b, &mode| {
-            b.iter(|| {
-                // engine setup included: this is a job-level benchmark
+        b.run(
+            "distributed_spmv_modes",
+            mode.label(),
+            Some((flops, Unit::Flops)),
+            || {
                 let out = run_spmd(&m, ranks, cfg, |eng| {
                     let lo = eng.row_start();
                     let n = eng.local_len();
@@ -37,29 +39,23 @@ fn bench_modes(c: &mut Criterion) {
                     eng.y_local()[0]
                 });
                 std::hint::black_box(out);
-            });
-        });
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_plan_construction(c: &mut Criterion) {
+fn bench_plan_construction(b: &Bench) {
     let m = hmep(Scale::Test);
-    let mut g = c.benchmark_group("plan_construction");
     for ranks in [2usize, 8] {
-        g.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
-            b.iter(|| {
-                let p = RowPartition::by_nnz(&m, ranks);
-                std::hint::black_box(spmv_core::plan::build_plans_serial(&m, &p));
-            });
+        b.run("plan_construction", &ranks.to_string(), None, || {
+            let p = RowPartition::by_nnz(&m, ranks);
+            std::hint::black_box(spmv_core::plan::build_plans_serial(&m, &p));
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_modes, bench_plan_construction
-);
-criterion_main!(benches);
+fn main() {
+    let b = Bench::quick();
+    bench_modes(&b);
+    bench_plan_construction(&b);
+}

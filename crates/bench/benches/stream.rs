@@ -1,26 +1,28 @@
-//! Criterion benches of the STREAM kernels over thread-team sizes — the
+//! Benches of the STREAM kernels over thread-team sizes — the
 //! host-machine analogue of the bandwidth-saturation curves in Fig. 3.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spmv_bench::microbench::{Bench, Unit};
 use spmv_smp::stream::run_stream;
 use spmv_smp::ThreadTeam;
 
-fn bench_stream(c: &mut Criterion) {
+fn main() {
+    let b = Bench::quick();
     let len = 1 << 21; // 16 MiB per array: beyond L3 on most hosts
-    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
-    let mut g = c.benchmark_group("stream_triad");
-    g.sample_size(10);
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8);
     let mut threads = 1;
     while threads <= max_threads {
-        g.throughput(Throughput::Bytes(32 * len as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
-            let team = ThreadTeam::new(t);
-            b.iter(|| std::hint::black_box(run_stream(&team, len, 1).triad_gbs));
-        });
+        let team = ThreadTeam::new(threads);
+        b.run(
+            "stream_triad",
+            &threads.to_string(),
+            Some((32.0 * len as f64, Unit::Bytes)),
+            || {
+                std::hint::black_box(run_stream(&team, len, 1).triad_gbs);
+            },
+        );
         threads *= 2;
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_stream);
-criterion_main!(benches);

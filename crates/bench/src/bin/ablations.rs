@@ -5,30 +5,54 @@
 //! * `partition`  — nonzero-balanced vs row-balanced distribution;
 //! * `commthread` — SMT-sibling vs donated-physical-core comm thread;
 //! * `aggregation`— message counts/volumes across the three layouts;
-//! * `eager`      — eager-threshold sensitivity.
+//! * `eager`      — eager-threshold sensitivity;
+//! * `kernel`     — node-level kernel dispatch (wall clock on this host).
 //!
-//! `cargo run --release -p spmv-bench --bin ablations [-- <which>] [--scale ...]`
-//! (runs all when no selector is given)
+//! `cargo run --release -p spmv-bench --bin ablations [-- <which>] [--scale ...]
+//!  [--kernel <kind>]` (runs all ablations when no selector is given; the
+//! `--kernel` choice feeds the functional-engine rows of the `kernel`
+//! ablation)
 
+use spmv_bench::microbench::Bench;
 use spmv_bench::{header, hmep, Scale};
-use spmv_core::{workload, KernelMode, RowPartition};
+use spmv_core::{
+    distributed_spmv, prepare_kernel, workload, EngineConfig, KernelKind, KernelMode, RowPartition,
+};
 use spmv_machine::{plan_layout, presets, CommThreadPlacement, HybridLayout};
 use spmv_matrix::rcm::rcm_reorder;
 use spmv_sim::{simulate_job, simulate_spmv, ProgressModel, SimConfig};
 
 fn main() {
     let scale = Scale::from_args();
-    let which: Vec<String> = std::env::args()
-        .skip(1)
-        .filter(|a| !a.starts_with("--") && a != &Scale::from_args().label().to_string())
-        .collect();
+    let mut kernel = KernelKind::Auto;
+    let mut which: Vec<String> = Vec::new();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = raw.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                it.next(); // value already consumed by Scale::from_args
+            }
+            "--kernel" => {
+                let v = it.next().expect("--kernel needs a value");
+                kernel = KernelKind::parse(v)
+                    .unwrap_or_else(|| panic!("unknown kernel '{v}' (try csr-scalar, sell, auto)"));
+            }
+            other if !other.starts_with("--") => which.push(other.to_string()),
+            other => panic!("unknown flag '{other}'"),
+        }
+    }
     let run = |name: &str| which.is_empty() || which.iter().any(|w| w == name);
 
     header(&format!("Ablations (scale: {})", scale.label()));
     let m = hmep(scale);
     let nodes = 8;
     let cluster = presets::westmere_cluster(nodes);
-    println!("\nHMeP: N = {}, N_nz = {}; Westmere, {nodes} nodes\n", m.nrows(), m.nnz());
+    println!(
+        "\nHMeP: N = {}, N_nz = {}; Westmere, {nodes} nodes\n",
+        m.nrows(),
+        m.nnz()
+    );
 
     if run("progress") {
         println!("--- ablation: MPI progress model (naive overlap, per-LD) ---");
@@ -129,19 +153,16 @@ fn main() {
             );
             println!("  {name:<16} {:.2} GFlop/s", r.gflops);
         }
-        println!("  (paper: 'it does not make a difference' — the bus is saturated at 4-5 threads)\n");
+        println!(
+            "  (paper: 'it does not make a difference' — the bus is saturated at 4-5 threads)\n"
+        );
     }
 
     if run("aggregation") {
         println!("--- ablation: message aggregation across layouts ---");
         for layout in HybridLayout::ALL {
-            let plan = plan_layout(
-                &cluster.node,
-                nodes,
-                layout,
-                CommThreadPlacement::None,
-            )
-            .unwrap();
+            let plan =
+                plan_layout(&cluster.node, nodes, layout, CommThreadPlacement::None).unwrap();
             let p = RowPartition::by_nnz(&m, plan.num_ranks());
             let s = workload::summarize(&workload::analyze(&m, &p));
             println!(
@@ -153,7 +174,9 @@ fn main() {
                 s.total_bytes as f64 / s.total_messages.max(1) as f64
             );
         }
-        println!("  (paper: 'we attribute this to the smaller number of messages in the hybrid case')\n");
+        println!(
+            "  (paper: 'we attribute this to the smaller number of messages in the hybrid case')\n"
+        );
     }
 
     if run("eager") {
@@ -168,6 +191,61 @@ fn main() {
                 format!("{} B", threshold)
             };
             println!("  threshold {label:<12} {:.2} GFlop/s", r.gflops);
+        }
+        println!();
+    }
+
+    if run("kernel") {
+        println!("--- ablation: node-level kernel dispatch (wall clock on this host) ---");
+        let b = Bench::quick();
+        let flops = 2.0 * m.nnz() as f64;
+        let x = spmv_matrix::vecops::random_vec(m.ncols(), 11);
+        let mut y = vec![0.0; m.nrows()];
+        let mut kinds = KernelKind::candidates();
+        if kernel != KernelKind::Auto && !kinds.contains(&kernel) {
+            kinds.push(kernel);
+        }
+        for kind in kinds {
+            let k = prepare_kernel(kind, &m);
+            let meas = b.measure(|| {
+                k.spmv_rows(
+                    &m,
+                    0..m.nrows(),
+                    std::hint::black_box(&x),
+                    std::hint::black_box(&mut y),
+                    false,
+                );
+            });
+            println!(
+                "  {:<16} {:.2} GFlop/s (serial, full matrix)",
+                kind.label(),
+                meas.gflops(flops)
+            );
+        }
+        let auto = prepare_kernel(KernelKind::Auto, &m);
+        println!("  autotune picks {}", auto.kind());
+
+        // the chosen kernel through the full engine, all three modes
+        println!("  functional engine (4 ranks x 2 threads, kernel {kernel}):");
+        let mut y_ref = vec![0.0; m.nrows()];
+        m.spmv(&x, &mut y_ref);
+        for mode in KernelMode::ALL {
+            let cfg = if mode.needs_comm_thread() {
+                EngineConfig::task_mode(2)
+            } else {
+                EngineConfig::hybrid(2)
+            }
+            .with_kernel(kernel);
+            let t0 = std::time::Instant::now();
+            let y_eng = distributed_spmv(&m, &x, 4, cfg, mode);
+            let dt = t0.elapsed().as_secs_f64();
+            let err = spmv_matrix::vecops::rel_error(&y_eng, &y_ref);
+            println!(
+                "    {:<22} rel err {err:.2e}, wall {:.2} ms (incl. setup)",
+                mode.label(),
+                dt * 1e3
+            );
+            assert!(err < 1e-9, "engine must match the serial kernel");
         }
     }
 }

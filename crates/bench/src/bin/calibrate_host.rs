@@ -22,8 +22,10 @@ fn main() {
     let scale = Scale::from_args();
     header("Host calibration — the paper's §2 analysis on this machine");
 
-    let max_threads =
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16);
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16);
     let stream_len = 1 << 22; // 32 MiB per array: safely out of cache
     let m = hmep(scale);
     let nnzr = m.avg_nnz_per_row();
@@ -73,15 +75,19 @@ fn main() {
     // fit the saturation law through the endpoints, as the machine models do
     let n = thread_counts.len();
     if n >= 2 && thread_counts[n - 1] as f64 * triads[0] > triads[n - 1] {
-        let curve =
-            SaturationCurve::from_endpoints(triads[0], triads[n - 1], thread_counts[n - 1]);
+        let curve = SaturationCurve::from_endpoints(triads[0], triads[n - 1], thread_counts[n - 1]);
         println!(
             "\nfitted STREAM saturation: b_inf = {:.1} GB/s, k_half = {:.2} threads",
             curve.b_inf, curve.k_half
         );
         print!("fit vs measured at each count:");
         for (k, &threads) in thread_counts.iter().enumerate() {
-            print!(" {}:{:.0}/{:.0}", threads, curve.bandwidth(threads), triads[k]);
+            print!(
+                " {}:{:.0}/{:.0}",
+                threads,
+                curve.bandwidth(threads),
+                triads[k]
+            );
         }
         println!(" (GB/s fit/meas)");
         let sat = curve.saturation_point(thread_counts[n - 1], 0.9);

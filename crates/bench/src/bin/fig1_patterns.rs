@@ -8,13 +8,22 @@ use spmv_matrix::stats::{block_occupancy, render_occupancy_ascii, SparsityStats}
 
 fn main() {
     let scale = Scale::from_args();
-    header(&format!("Fig. 1 — sparsity patterns (scale: {})", scale.label()));
+    header(&format!(
+        "Fig. 1 — sparsity patterns (scale: {})",
+        scale.label()
+    ));
     println!();
 
     let blocks = 48;
     let matrices = [
-        ("HMEp (phononic basis elements contiguous, Fig. 1a)", hmep_phonon(scale)),
-        ("HMeP (electronic basis elements contiguous, Fig. 1b)", hmep(scale)),
+        (
+            "HMEp (phononic basis elements contiguous, Fig. 1a)",
+            hmep_phonon(scale),
+        ),
+        (
+            "HMeP (electronic basis elements contiguous, Fig. 1b)",
+            hmep(scale),
+        ),
         ("sAMG (Poisson, car geometry, Fig. 1c)", samg(scale)),
     ];
 

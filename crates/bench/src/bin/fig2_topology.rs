@@ -9,8 +9,11 @@ fn main() {
     header("Fig. 2 — node topology of the benchmark systems");
     println!();
 
-    let nodes =
-        [presets::nehalem_ep_node(), presets::westmere_ep_node(), presets::magny_cours_node()];
+    let nodes = [
+        presets::nehalem_ep_node(),
+        presets::westmere_ep_node(),
+        presets::magny_cours_node(),
+    ];
     for node in &nodes {
         println!("{}", node.ascii_art());
         println!(
@@ -23,7 +26,10 @@ fn main() {
     }
 
     println!("Interconnects:");
-    for cluster in [presets::westmere_cluster(32), presets::cray_xe6_cluster(32, 0.15)] {
+    for cluster in [
+        presets::westmere_cluster(32),
+        presets::cray_xe6_cluster(32, 0.15),
+    ] {
         match &cluster.network {
             spmv_machine::NetworkModel::FatTree(p) => println!(
                 "  {}: fully nonblocking fat tree, {:.1} µs latency, {:.1} GB/s injection/node",

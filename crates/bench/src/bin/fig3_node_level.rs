@@ -12,7 +12,10 @@ use spmv_model::{code_balance_crs, estimate_kappa};
 
 fn main() {
     let scale = Scale::from_args();
-    header(&format!("Fig. 3 — node-level performance (HMeP, scale: {})", scale.label()));
+    header(&format!(
+        "Fig. 3 — node-level performance (HMeP, scale: {})",
+        scale.label()
+    ));
 
     // κ from the cache model on the actual matrix (the paper measures 2.5
     // at full scale on Westmere's 2 MiB/core cache; we scale the cache with
@@ -54,8 +57,11 @@ fn main() {
             );
         }
         // full node: all LDs saturated
-        let node_gflops: f64 =
-            node.lds().iter().map(|l| l.spmv_bw.bandwidth(l.cores) / balance).sum();
+        let node_gflops: f64 = node
+            .lds()
+            .iter()
+            .map(|l| l.spmv_bw.bandwidth(l.cores) / balance)
+            .sum();
         println!(
             "{:>7} {:>18.1} {:>18.1} {:>16.2}   <- 1 node ({} LDs)\n",
             node.num_cores(),

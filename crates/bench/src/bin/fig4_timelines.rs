@@ -11,7 +11,10 @@ use spmv_sim::{simulate_spmv, SimConfig};
 
 fn main() {
     let scale = Scale::from_args();
-    header(&format!("Fig. 4 — kernel timelines (HMeP, scale: {})", scale.label()));
+    header(&format!(
+        "Fig. 4 — kernel timelines (HMeP, scale: {})",
+        scale.label()
+    ));
 
     let m = hmep(scale);
     let nodes = 2;
@@ -31,7 +34,12 @@ fn main() {
         let r = simulate_spmv(&cluster, &layout, &workloads, &cfg);
         let trace = r.trace.expect("trace enabled");
 
-        println!("\n--- {} ({:.1} GFlop/s, {:.1} µs makespan) ---", mode, r.gflops, r.time_s * 1e6);
+        println!(
+            "\n--- {} ({:.1} GFlop/s, {:.1} µs makespan) ---",
+            mode,
+            r.gflops,
+            r.time_s * 1e6
+        );
         print!("{}", trace.render_rank_ascii(0, width));
         println!(
             "rank 0 time in waitall: {:.1} µs, in compute: {:.1} µs",

@@ -14,7 +14,10 @@ use spmv_sim::SimConfig;
 
 fn main() {
     let scale = Scale::from_args();
-    header(&format!("Fig. 5 — HMeP strong scaling (scale: {})", scale.label()));
+    header(&format!(
+        "Fig. 5 — HMeP strong scaling (scale: {})",
+        scale.label()
+    ));
 
     let m = hmep(scale);
     let kappa = 2.5; // the paper's measured value for HMeP
@@ -22,10 +25,16 @@ fn main() {
     let max_nodes = *nodes.last().unwrap();
     let westmere = presets::westmere_cluster(max_nodes);
     let cray = presets::cray_xe6_cluster(max_nodes, 0.35);
-    println!("\nmatrix: N = {}, N_nz = {}; kappa = {kappa}\n", m.nrows(), m.nnz());
+    println!(
+        "\nmatrix: N = {}, N_nz = {}; kappa = {kappa}\n",
+        m.nrows(),
+        m.nnz()
+    );
 
-    let cfgs: Vec<SimConfig> =
-        KernelMode::ALL.iter().map(|&mode| SimConfig::new(mode).with_kappa(kappa)).collect();
+    let cfgs: Vec<SimConfig> = KernelMode::ALL
+        .iter()
+        .map(|&mode| SimConfig::new(mode).with_kappa(kappa))
+        .collect();
     let mut best_cray: Vec<(usize, f64)> = nodes.iter().map(|&n| (n, 0.0f64)).collect();
 
     for layout in HybridLayout::ALL {
@@ -38,8 +47,10 @@ fn main() {
         let mut series: Vec<Vec<(usize, f64)>> = vec![Vec::new(); 3];
         for (slot, &n) in best_cray.iter_mut().zip(&nodes) {
             let west = simulate_modes(&m, &westmere, n, layout, &cfgs);
-            let gfs: Vec<f64> =
-                west.iter().map(|r| r.as_ref().map(|r| r.gflops).unwrap_or(f64::NAN)).collect();
+            let gfs: Vec<f64> = west
+                .iter()
+                .map(|r| r.as_ref().map(|r| r.gflops).unwrap_or(f64::NAN))
+                .collect();
             println!(
                 "{:>6} {:>16.2} GF/s {:>16.2} GF/s {:>6.2} GF/s",
                 n, gfs[0], gfs[1], gfs[2]
@@ -51,7 +62,10 @@ fn main() {
             }
             // best Cray variant across all layouts/modes (unrealizable
             // combinations are skipped, as on the real machine)
-            for r in simulate_modes(&m, &cray, n, layout, &cfgs).into_iter().flatten() {
+            for r in simulate_modes(&m, &cray, n, layout, &cfgs)
+                .into_iter()
+                .flatten()
+            {
                 slot.1 = slot.1.max(r.gflops);
             }
         }

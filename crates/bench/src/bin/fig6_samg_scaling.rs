@@ -15,7 +15,10 @@ use spmv_sim::SimConfig;
 
 fn main() {
     let scale = Scale::from_args();
-    header(&format!("Fig. 6 — sAMG strong scaling (scale: {})", scale.label()));
+    header(&format!(
+        "Fig. 6 — sAMG strong scaling (scale: {})",
+        scale.label()
+    ));
 
     let m = samg(scale);
     let kappa = 0.0; // near-perfect RHS locality for the banded Poisson matrix
@@ -23,10 +26,16 @@ fn main() {
     let max_nodes = *nodes.last().unwrap();
     let westmere = presets::westmere_cluster(max_nodes);
     let cray = presets::cray_xe6_cluster(max_nodes, 0.35);
-    println!("\nmatrix: N = {}, N_nz = {}; kappa = {kappa}\n", m.nrows(), m.nnz());
+    println!(
+        "\nmatrix: N = {}, N_nz = {}; kappa = {kappa}\n",
+        m.nrows(),
+        m.nnz()
+    );
 
-    let cfgs: Vec<SimConfig> =
-        KernelMode::ALL.iter().map(|&mode| SimConfig::new(mode).with_kappa(kappa)).collect();
+    let cfgs: Vec<SimConfig> = KernelMode::ALL
+        .iter()
+        .map(|&mode| SimConfig::new(mode).with_kappa(kappa))
+        .collect();
     let mut best_cray: Vec<(usize, f64)> = nodes.iter().map(|&n| (n, 0.0f64)).collect();
 
     for layout in HybridLayout::ALL {
@@ -38,8 +47,10 @@ fn main() {
         let mut series: Vec<Vec<(usize, f64)>> = vec![Vec::new(); 3];
         for (slot, &n) in best_cray.iter_mut().zip(&nodes) {
             let west = simulate_modes(&m, &westmere, n, layout, &cfgs);
-            let gfs: Vec<f64> =
-                west.iter().map(|r| r.as_ref().map(|r| r.gflops).unwrap_or(f64::NAN)).collect();
+            let gfs: Vec<f64> = west
+                .iter()
+                .map(|r| r.as_ref().map(|r| r.gflops).unwrap_or(f64::NAN))
+                .collect();
             println!(
                 "{:>6} {:>16.2} GF/s {:>16.2} GF/s {:>6.2} GF/s",
                 n, gfs[0], gfs[1], gfs[2]
@@ -49,7 +60,10 @@ fn main() {
                     series[k].push((n, *g));
                 }
             }
-            for r in simulate_modes(&m, &cray, n, layout, &cfgs).into_iter().flatten() {
+            for r in simulate_modes(&m, &cray, n, layout, &cfgs)
+                .into_iter()
+                .flatten()
+            {
                 slot.1 = slot.1.max(r.gflops);
             }
         }
@@ -67,7 +81,10 @@ fn main() {
         if finals.len() == 3 {
             let lo = finals.iter().cloned().fold(f64::INFINITY, f64::min);
             let hi = finals.iter().cloned().fold(0.0, f64::max);
-            println!("  variant spread at {max_nodes} nodes: {:.1}%\n", (hi / lo - 1.0) * 100.0);
+            println!(
+                "  variant spread at {max_nodes} nodes: {:.1}%\n",
+                (hi / lo - 1.0) * 100.0
+            );
         } else {
             println!();
         }

@@ -21,7 +21,10 @@ use spmv_sim::{simulate_job, simulate_spmv, ProgressModel, SimConfig};
 
 fn main() {
     let scale = Scale::from_args();
-    header(&format!("Paper §5 future work, implemented (scale: {})", scale.label()));
+    header(&format!(
+        "Paper §5 future work, implemented (scale: {})",
+        scale.label()
+    ));
 
     // ------------------------------------------------------------------
     println!("\n=== 1. load balancing: nonzero- vs row-balanced partitioning ===");
@@ -32,9 +35,13 @@ fn main() {
     };
     let nodes = 8;
     let cluster = presets::westmere_cluster(nodes);
-    let layout =
-        plan_layout(&cluster.node, nodes, HybridLayout::ProcessPerLd, CommThreadPlacement::None)
-            .unwrap();
+    let layout = plan_layout(
+        &cluster.node,
+        nodes,
+        HybridLayout::ProcessPerLd,
+        CommThreadPlacement::None,
+    )
+    .unwrap();
     println!(
         "power-law row lengths on {} rows, {} nodes per-LD ({} ranks):\n",
         n,

@@ -53,14 +53,23 @@ fn epyc_cluster(num_nodes: usize) -> ClusterSpec {
         node: epyc_node(),
         num_nodes,
         // HDR-200 InfiniBand: ~24 GB/s effective per direction, ~1 µs latency
-        network: NetworkModel::FatTree(FatTreeParams { latency_us: 1.0, injection_gbs: 24.0 }),
-        intranode: IntranodeComm { latency_us: 0.3, bandwidth_gbs: 60.0 },
+        network: NetworkModel::FatTree(FatTreeParams {
+            latency_us: 1.0,
+            injection_gbs: 24.0,
+        }),
+        intranode: IntranodeComm {
+            latency_us: 0.3,
+            bandwidth_gbs: 60.0,
+        },
     }
 }
 
 fn main() {
     let scale = Scale::from_args();
-    header(&format!("2020s forward-port: HMeP on an EPYC/HDR cluster (scale: {})", scale.label()));
+    header(&format!(
+        "2020s forward-port: HMeP on an EPYC/HDR cluster (scale: {})",
+        scale.label()
+    ));
 
     let m = hmep(scale);
     let nodes = node_counts(scale);
@@ -76,10 +85,15 @@ fn main() {
         epyc.node.node_spmv_bw_gbs()
     );
 
-    let cfgs: Vec<SimConfig> =
-        KernelMode::ALL.iter().map(|&mode| SimConfig::new(mode).with_kappa(2.5)).collect();
+    let cfgs: Vec<SimConfig> = KernelMode::ALL
+        .iter()
+        .map(|&mode| SimConfig::new(mode).with_kappa(2.5))
+        .collect();
 
-    for (name, cluster) in [("Westmere/QDR (2011)", &westmere), ("EPYC/HDR (2020s)", &epyc)] {
+    for (name, cluster) in [
+        ("Westmere/QDR (2011)", &westmere),
+        ("EPYC/HDR (2020s)", &epyc),
+    ] {
         println!("--- {name}, per-LD layout ---");
         println!(
             "{:>6} {:>20} {:>22} {:>12} {:>12}",
@@ -87,8 +101,10 @@ fn main() {
         );
         for &n in &nodes {
             let r = simulate_modes(&m, cluster, n, HybridLayout::ProcessPerLd, &cfgs);
-            let g: Vec<f64> =
-                r.iter().map(|x| x.as_ref().map(|x| x.gflops).unwrap_or(f64::NAN)).collect();
+            let g: Vec<f64> = r
+                .iter()
+                .map(|x| x.as_ref().map(|x| x.gflops).unwrap_or(f64::NAN))
+                .collect();
             println!(
                 "{:>6} {:>15.2} GF/s {:>17.2} GF/s {:>7.2} GF/s {:>11.2}x",
                 n,

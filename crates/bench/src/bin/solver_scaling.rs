@@ -14,15 +14,30 @@ use spmv_sim::SimConfig;
 
 fn main() {
     let scale = Scale::from_args();
-    header(&format!("Solver-level strong scaling (scale: {})", scale.label()));
+    header(&format!(
+        "Solver-level strong scaling (scale: {})",
+        scale.label()
+    ));
 
     let nodes = node_counts(scale);
     let max_nodes = *nodes.last().unwrap();
     let cluster = presets::westmere_cluster(max_nodes);
 
     for (name, m, kappa, shape, shape_name) in [
-        ("sAMG + CG", samg(scale), 0.0, SolverShape::cg(), "1 SpMV + 2 dots + 3 sweeps"),
-        ("HMeP + Lanczos", hmep(scale), 2.5, SolverShape::lanczos(), "1 SpMV + 2 dots + 2 sweeps"),
+        (
+            "sAMG + CG",
+            samg(scale),
+            0.0,
+            SolverShape::cg(),
+            "1 SpMV + 2 dots + 3 sweeps",
+        ),
+        (
+            "HMeP + Lanczos",
+            hmep(scale),
+            2.5,
+            SolverShape::lanczos(),
+            "1 SpMV + 2 dots + 2 sweeps",
+        ),
     ] {
         println!(
             "\n=== {name}: N = {}, nnz = {} ({shape_name}/iter) ===",

@@ -3,18 +3,20 @@
 //! methodology to *your* matrix.
 //!
 //! ```text
-//! cargo run --release -p spmv-bench --bin spmv_file -- <matrix.mtx> [ranks] [threads]
+//! cargo run --release -p spmv-bench --bin spmv_file -- <matrix.mtx> [ranks] [threads] \
+//!     [--kernel csr-scalar|csr-unrolled4|csr-sliced|sell[-C-σ]|auto]
 //! ```
 //!
 //! Reports: sparsity statistics, the cache-model κ, the code-balance
 //! prediction for a Westmere socket, per-layout communication summaries,
-//! functional validation of all three kernel modes (real threads), and the
-//! simulated strong-scaling ranking at 8 nodes.
+//! functional validation of all three kernel modes (real threads) through
+//! the selected node-level kernel, and the simulated strong-scaling
+//! ranking at 8 nodes.
 
 use spmv_bench::header;
 use spmv_core::engine::EngineConfig;
 use spmv_core::runner::distributed_spmv;
-use spmv_core::{workload, KernelMode, RowPartition};
+use spmv_core::{workload, KernelKind, KernelMode, RowPartition};
 use spmv_machine::{presets, HybridLayout};
 use spmv_model::{code_balance_crs, estimate_kappa, predicted_gflops};
 use spmv_sim::scaling::simulate_modes;
@@ -22,13 +24,31 @@ use spmv_sim::SimConfig;
 use std::io::BufReader;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let Some(path) = args.get(1) else {
-        eprintln!("usage: spmv_file <matrix.mtx> [ranks] [threads]");
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut kernel = KernelKind::CsrScalar;
+    let mut positional = Vec::new();
+    let mut it = raw.iter();
+    while let Some(a) = it.next() {
+        if a == "--kernel" {
+            let v = it.next().expect("--kernel needs a value");
+            kernel = KernelKind::parse(v)
+                .unwrap_or_else(|| panic!("unknown kernel '{v}' (try csr-scalar, sell, auto)"));
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    let Some(path) = positional.first() else {
+        eprintln!("usage: spmv_file <matrix.mtx> [ranks] [threads] [--kernel <kind>]");
         std::process::exit(2);
     };
-    let ranks: usize = args.get(2).map(|s| s.parse().expect("ranks")).unwrap_or(4);
-    let threads: usize = args.get(3).map(|s| s.parse().expect("threads")).unwrap_or(2);
+    let ranks: usize = positional
+        .get(1)
+        .map(|s| s.parse().expect("ranks"))
+        .unwrap_or(4);
+    let threads: usize = positional
+        .get(2)
+        .map(|s| s.parse().expect("threads"))
+        .unwrap_or(2);
 
     let file = std::fs::File::open(path).unwrap_or_else(|e| {
         eprintln!("cannot open {path}: {e}");
@@ -93,7 +113,9 @@ fn main() {
     }
 
     // functional validation with real threads
-    println!("\nfunctional check ({ranks} ranks x {threads} threads, real threads):");
+    println!(
+        "\nfunctional check ({ranks} ranks x {threads} threads, real threads, kernel {kernel}):"
+    );
     let x = spmv_matrix::vecops::random_vec(m.nrows(), 42);
     let mut y_ref = vec![0.0; m.nrows()];
     m.spmv(&x, &mut y_ref);
@@ -102,7 +124,8 @@ fn main() {
             EngineConfig::task_mode(threads)
         } else {
             EngineConfig::hybrid(threads)
-        };
+        }
+        .with_kernel(kernel);
         let t0 = std::time::Instant::now();
         let y = distributed_spmv(&m, &x, ranks, cfg, mode);
         let dt = t0.elapsed().as_secs_f64();
@@ -118,8 +141,10 @@ fn main() {
     // simulated mode ranking at 8 nodes
     if m.nrows() >= 8 * westmere.node.num_lds() {
         println!("\nsimulated on 8 Westmere nodes (per-LD layout, kappa = {kappa:.2}):");
-        let cfgs: Vec<SimConfig> =
-            KernelMode::ALL.iter().map(|&mode| SimConfig::new(mode).with_kappa(kappa)).collect();
+        let cfgs: Vec<SimConfig> = KernelMode::ALL
+            .iter()
+            .map(|&mode| SimConfig::new(mode).with_kappa(kappa))
+            .collect();
         let results = simulate_modes(&m, &westmere, 8, HybridLayout::ProcessPerLd, &cfgs);
         for (mode, r) in KernelMode::ALL.iter().zip(results) {
             match r {

@@ -18,7 +18,10 @@ use spmv_model::{code_balance_crs, estimate_kappa, kappa_from_measurement, predi
 
 fn main() {
     let scale = Scale::from_args();
-    header(&format!("Table A — κ and bandwidth analysis (§2), scale: {}", scale.label()));
+    header(&format!(
+        "Table A — κ and bandwidth analysis (§2), scale: {}",
+        scale.label()
+    ));
 
     let node = presets::nehalem_ep_node();
     let ld = node.lds()[0];
@@ -28,7 +31,10 @@ fn main() {
     println!("\nsocket bandwidths (Nehalem EP model):");
     println!("  STREAM triad: {stream:.1} GB/s   (paper: 21.2 GB/s)");
     println!("  SpMV drawn:   {spmv_bw:.1} GB/s   (paper: 18.1 GB/s)");
-    println!("  SpMV/STREAM:  {:.0}%        (paper: >85%)", spmv_bw / stream * 100.0);
+    println!(
+        "  SpMV/STREAM:  {:.0}%        (paper: >85%)",
+        spmv_bw / stream * 100.0
+    );
 
     let b0 = code_balance_crs(15.0, 0.0);
     println!("\nupper limits at kappa = 0 (B_CRS = {b0:.2} bytes/flop):");
@@ -50,12 +56,15 @@ fn main() {
     let mp = hmep_phonon(scale);
     let full_scale_vector_bytes = 6_201_600.0 * 8.0;
     let cache_scale = (me.ncols() as f64 * 8.0) / full_scale_vector_bytes;
-    let cache = (presets::westmere_ep_node().lds()[0].cache_bytes_per_core() * cache_scale)
-        .max(4096.0);
+    let cache =
+        (presets::westmere_ep_node().lds()[0].cache_bytes_per_core() * cache_scale).max(4096.0);
     let ke = estimate_kappa(&me, cache, 64);
     let kp = estimate_kappa(&mp, cache, 64);
 
-    println!("\ncache-model kappa (LRU over {:.0} KiB, scaled with the problem):", cache / 1024.0);
+    println!(
+        "\ncache-model kappa (LRU over {:.0} KiB, scaled with the problem):",
+        cache / 1024.0
+    );
     println!(
         "  HMeP: kappa = {:.2}, B loaded {:.1}x (paper: kappa = 2.5, 'loaded six times')",
         ke.kappa, ke.b_load_factor

@@ -14,17 +14,21 @@
 use spmv_bench::{header, hmep, samg, Scale};
 use spmv_core::KernelMode;
 use spmv_machine::{presets, HybridLayout};
-use spmv_model::balance::{
-    code_balance_crs, code_balance_split, split_penalty_paper_convention,
-};
+use spmv_model::balance::{code_balance_crs, code_balance_split, split_penalty_paper_convention};
 use spmv_sim::{simulate_job, SimConfig};
 
 fn main() {
     let scale = Scale::from_args();
-    header(&format!("Table B — split-kernel penalty (Eq. 2 vs Eq. 1), scale: {}", scale.label()));
+    header(&format!(
+        "Table B — split-kernel penalty (Eq. 2 vs Eq. 1), scale: {}",
+        scale.label()
+    ));
 
     println!("\nanalytic (kappa = 0):");
-    println!("{:>8} {:>12} {:>12} {:>10}", "N_nzr", "B_CRS", "B_split", "penalty");
+    println!(
+        "{:>8} {:>12} {:>12} {:>10}",
+        "N_nzr", "B_CRS", "B_split", "penalty"
+    );
     for nnzr in [7.0, 9.0, 11.0, 13.0, 15.0] {
         println!(
             "{:>8.0} {:>12.3} {:>12.3} {:>9.1}%",
@@ -48,9 +52,7 @@ fn main() {
     // difference between the kernels is the split traffic
     println!("\nsimulated single-node penalty (Westmere, per-node layout):");
     let cluster = presets::westmere_cluster(1);
-    for (name, m, kappa) in
-        [("HMeP", hmep(scale), 2.5), ("sAMG", samg(scale), 0.0)]
-    {
+    for (name, m, kappa) in [("HMeP", hmep(scale), 2.5), ("sAMG", samg(scale), 0.0)] {
         let novl = simulate_job(
             &m,
             &cluster,
@@ -66,8 +68,8 @@ fn main() {
             &SimConfig::new(KernelMode::VectorNaiveOverlap).with_kappa(kappa),
         );
         let nnzr = m.avg_nnz_per_row();
-        let analytic = (code_balance_split(nnzr, kappa) / code_balance_crs(nnzr, kappa) - 1.0)
-            * 100.0;
+        let analytic =
+            (code_balance_split(nnzr, kappa) / code_balance_crs(nnzr, kappa) - 1.0) * 100.0;
         println!(
             "  {name}: {:.2} -> {:.2} GFlop/s = {:.1}% penalty (analytic: {:.1}%)",
             novl.gflops,

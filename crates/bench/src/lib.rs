@@ -9,6 +9,8 @@ use spmv_matrix::holstein::{hamiltonian, HolsteinOrdering, HolsteinParams};
 use spmv_matrix::samg::{poisson, SamgParams};
 use spmv_matrix::CsrMatrix;
 
+pub mod microbench;
+
 /// Problem-size scaling of a regeneration run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
@@ -49,7 +51,10 @@ impl Scale {
 
 /// The HMeP matrix (electron-contiguous Holstein–Hubbard) at this scale.
 pub fn hmep(scale: Scale) -> CsrMatrix {
-    hamiltonian(&holstein_params(scale, HolsteinOrdering::ElectronContiguous))
+    hamiltonian(&holstein_params(
+        scale,
+        HolsteinOrdering::ElectronContiguous,
+    ))
 }
 
 /// The HMEp matrix (phonon-contiguous) at this scale.
@@ -89,7 +94,12 @@ pub fn samg(scale: Scale) -> CsrMatrix {
 pub fn samg_params(scale: Scale) -> SamgParams {
     match scale {
         Scale::Test => SamgParams::test_scale(),
-        Scale::Medium => SamgParams { nx: 320, ny: 132, nz: 132, ..SamgParams::medium_scale() },
+        Scale::Medium => SamgParams {
+            nx: 320,
+            ny: 132,
+            nz: 132,
+            ..SamgParams::medium_scale()
+        },
         Scale::Paper => SamgParams::paper_scale(),
     }
 }
@@ -144,7 +154,11 @@ mod tests {
         let pts = vec![(1, 4.0), (2, 7.0), (4, 10.0), (8, 14.0)];
         // eff: 1.0, 0.875, 0.625, 0.4375
         assert_eq!(efficiency_50_marker(&pts), Some(4));
-        assert_eq!(efficiency_50_marker(&[(2, 8.0)]), None, "needs a 1-node baseline");
+        assert_eq!(
+            efficiency_50_marker(&[(2, 8.0)]),
+            None,
+            "needs a 1-node baseline"
+        );
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! Minimal dependency-free microbenchmark harness.
+//!
+//! The `[[bench]]` targets in this crate use `harness = false` and this
+//! module instead of an external benchmarking crate, so the workspace
+//! builds fully offline. The methodology is the usual one: calibrate an
+//! inner iteration count until one sample lasts long enough for the clock
+//! to resolve, warm up, take several samples, and report the median and
+//! minimum per-iteration time. The *minimum* is the least-noise estimate
+//! and is what throughput numbers are derived from.
+
+use std::time::Instant;
+
+/// One benchmark measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Median seconds per iteration across samples.
+    pub median_s: f64,
+    /// Minimum seconds per iteration across samples (least noise).
+    pub min_s: f64,
+    /// Inner iterations per sample after calibration.
+    pub iters: u64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+impl Measurement {
+    /// Throughput in GFlop/s for a kernel doing `flops` flops per iteration.
+    pub fn gflops(&self, flops: f64) -> f64 {
+        flops / self.min_s / 1e9
+    }
+
+    /// Throughput in GB/s for a kernel moving `bytes` bytes per iteration.
+    pub fn gbs(&self, bytes: f64) -> f64 {
+        bytes / self.min_s / 1e9
+    }
+}
+
+/// Harness configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Bench {
+    /// Samples per measurement.
+    pub samples: usize,
+    /// Target wall time per sample; the inner iteration count is grown
+    /// until one sample reaches this.
+    pub target_sample_s: f64,
+    /// Cap on the calibrated inner iteration count.
+    pub max_iters: u64,
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Bench {
+            samples: 9,
+            target_sample_s: 0.02,
+            max_iters: 1 << 20,
+        }
+    }
+}
+
+impl Bench {
+    /// The default configuration (9 samples of >= 20 ms each).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A faster configuration for expensive setups (5 samples of >= 5 ms).
+    pub fn quick() -> Self {
+        Bench {
+            samples: 5,
+            target_sample_s: 0.005,
+            max_iters: 1 << 16,
+        }
+    }
+
+    /// Measures `f`, returning per-iteration statistics.
+    pub fn measure<F: FnMut()>(&self, mut f: F) -> Measurement {
+        // calibrate: double the iteration count until a sample is long
+        // enough for the clock
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            if dt >= self.target_sample_s || iters >= self.max_iters {
+                break;
+            }
+            // aim straight at the target instead of pure doubling
+            let scale = (self.target_sample_s / dt.max(1e-9)).ceil() as u64;
+            iters = (iters * scale.clamp(2, 16)).min(self.max_iters);
+        }
+        // warm-up sample already ran during calibration; now measure
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            per_iter.push(t0.elapsed().as_secs_f64() / iters as f64);
+        }
+        per_iter.sort_by(f64::total_cmp);
+        Measurement {
+            median_s: per_iter[per_iter.len() / 2],
+            min_s: per_iter[0],
+            iters,
+            samples: self.samples,
+        }
+    }
+
+    /// Measures `f` and prints a `group/name` report line. `throughput`
+    /// optionally adds a rate column: `(units_per_iter, "flops"|"bytes")`.
+    pub fn run<F: FnMut()>(
+        &self,
+        group: &str,
+        name: &str,
+        throughput: Option<(f64, Unit)>,
+        f: F,
+    ) -> Measurement {
+        let m = self.measure(f);
+        report(group, name, &m, throughput);
+        m
+    }
+}
+
+/// What one iteration's `throughput` units count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// Floating-point operations: reported as GFlop/s.
+    Flops,
+    /// Bytes moved: reported as GB/s.
+    Bytes,
+}
+
+/// Formats seconds with an adaptive unit (ns / µs / ms / s).
+pub fn fmt_time(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:8.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:8.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:8.2} ms", s * 1e3)
+    } else {
+        format!("{s:8.3} s ")
+    }
+}
+
+/// Prints one benchmark report line.
+pub fn report(group: &str, name: &str, m: &Measurement, throughput: Option<(f64, Unit)>) {
+    let label = format!("{group}/{name}");
+    let rate = match throughput {
+        Some((units, Unit::Flops)) => format!("  {:7.2} GFlop/s", m.gflops(units)),
+        Some((units, Unit::Bytes)) => format!("  {:7.2} GB/s", m.gbs(units)),
+        None => String::new(),
+    };
+    println!(
+        "{label:<44} {} /iter (median {}, {} x {} iters){rate}",
+        fmt_time(m.min_s),
+        fmt_time(m.median_s),
+        m.samples,
+        m.iters
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_sane_statistics() {
+        let cfg = Bench {
+            samples: 3,
+            target_sample_s: 1e-4,
+            max_iters: 1 << 12,
+        };
+        let mut acc = 0u64;
+        let m = cfg.measure(|| {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            std::hint::black_box(acc);
+        });
+        assert!(m.min_s > 0.0);
+        assert!(m.median_s >= m.min_s);
+        assert_eq!(m.samples, 3);
+        assert!(m.iters >= 1);
+    }
+
+    #[test]
+    fn throughput_conversions() {
+        let m = Measurement {
+            median_s: 2e-3,
+            min_s: 1e-3,
+            iters: 10,
+            samples: 5,
+        };
+        assert!((m.gflops(2e6) - 2.0).abs() < 1e-12);
+        assert!((m.gbs(3e6) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_formatting_picks_units() {
+        assert!(fmt_time(5e-9).contains("ns"));
+        assert!(fmt_time(5e-6).contains("µs"));
+        assert!(fmt_time(5e-3).contains("ms"));
+        assert!(fmt_time(5.0).trim_end().ends_with('s'));
+    }
+}

@@ -171,7 +171,11 @@ impl Comm {
     /// the bookkeeping primitive the communication-plan construction uses
     /// ("the necessary bookkeeping needs to be done only once", §3.1).
     pub fn alltoallv<T: Pod>(&self, outgoing: &[Vec<T>]) -> Vec<Vec<T>> {
-        assert_eq!(outgoing.len(), self.size(), "need one outgoing buffer per rank");
+        assert_eq!(
+            outgoing.len(),
+            self.size(),
+            "need one outgoing buffer per rank"
+        );
         let me = self.rank();
         for (dst, data) in outgoing.iter().enumerate() {
             if dst != me {
@@ -200,8 +204,10 @@ mod tests {
         F: Fn(Comm) + Send + Sync + Copy + 'static,
     {
         let comms = CommWorld::create(size);
-        let handles: Vec<_> =
-            comms.into_iter().map(|c| std::thread::spawn(move || f(c))).collect();
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|c| std::thread::spawn(move || f(c)))
+            .collect();
         for h in handles {
             h.join().expect("rank thread panicked");
         }
@@ -210,7 +216,11 @@ mod tests {
     #[test]
     fn bcast_distributes_root_data() {
         spawn_world(4, |c| {
-            let mut buf = if c.rank() == 2 { vec![1.5f64, 2.5] } else { vec![] };
+            let mut buf = if c.rank() == 2 {
+                vec![1.5f64, 2.5]
+            } else {
+                vec![]
+            };
             c.bcast(2, &mut buf);
             assert_eq!(buf, vec![1.5, 2.5]);
         });
@@ -272,8 +282,9 @@ mod tests {
     fn alltoallv_transposes_the_exchange() {
         spawn_world(4, |c| {
             // rank r sends [r*10 + d] to rank d
-            let outgoing: Vec<Vec<i64>> =
-                (0..c.size()).map(|d| vec![(c.rank() * 10 + d) as i64]).collect();
+            let outgoing: Vec<Vec<i64>> = (0..c.size())
+                .map(|d| vec![(c.rank() * 10 + d) as i64])
+                .collect();
             let incoming = c.alltoallv(&outgoing);
             for (s, data) in incoming.iter().enumerate() {
                 assert_eq!(data, &vec![(s * 10 + c.rank()) as i64]);

@@ -30,9 +30,7 @@ unsafe impl Pod for f64 {}
 pub(crate) fn as_bytes<T: Pod>(data: &[T]) -> &[u8] {
     // Safety: Pod types are valid as raw bytes; lifetime and length are
     // carried over from the input slice.
-    unsafe {
-        std::slice::from_raw_parts(data.as_ptr() as *const u8, std::mem::size_of_val(data))
-    }
+    unsafe { std::slice::from_raw_parts(data.as_ptr() as *const u8, std::mem::size_of_val(data)) }
 }
 
 /// Copies `bytes` into the `T`-typed destination slice.
@@ -60,7 +58,13 @@ pub(crate) fn copy_to_typed<T: Pod>(bytes: &[u8], dst: &mut [T]) {
 /// If the byte length is not a multiple of `size_of::<T>()`.
 pub(crate) fn from_bytes_vec<T: Pod>(bytes: &[u8]) -> Vec<T> {
     let sz = std::mem::size_of::<T>();
-    assert_eq!(bytes.len() % sz, 0, "byte length {} not a multiple of {}", bytes.len(), sz);
+    assert_eq!(
+        bytes.len() % sz,
+        0,
+        "byte length {} not a multiple of {}",
+        bytes.len(),
+        sz
+    );
     let n = bytes.len() / sz;
     let mut out = Vec::<T>::with_capacity(n);
     // Safety: capacity reserved; T is Pod; lengths match.

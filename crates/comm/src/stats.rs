@@ -20,7 +20,8 @@ impl WorldStats {
     pub(crate) fn record_message(&self, bytes: usize) {
         self.messages.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
-        self.max_message_bytes.fetch_max(bytes as u64, Ordering::Relaxed);
+        self.max_message_bytes
+            .fetch_max(bytes as u64, Ordering::Relaxed);
     }
 
     /// Total point-to-point messages sent since creation (collectives and
@@ -42,7 +43,11 @@ impl WorldStats {
     /// Average message size in bytes (0 if no messages).
     pub fn avg_message_bytes(&self) -> f64 {
         let m = self.messages();
-        if m == 0 { 0.0 } else { self.bytes() as f64 / m as f64 }
+        if m == 0 {
+            0.0
+        } else {
+            self.bytes() as f64 / m as f64
+        }
     }
 
     /// Resets all counters (e.g. after warm-up iterations).

@@ -3,10 +3,10 @@
 
 use crate::pod::{as_bytes, from_bytes_vec, Pod};
 use crate::stats::WorldStats;
-use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::marker::PhantomData;
 use std::sync::Arc;
+use std::sync::{Condvar, Mutex};
 
 /// Message tag. User tags must be below [`Tag::MAX`]` / 2`; the upper half
 /// is reserved for internal collectives.
@@ -27,38 +27,43 @@ struct RankMailbox {
 
 impl RankMailbox {
     fn new() -> Self {
-        Self { queues: Mutex::new(HashMap::new()), cv: Condvar::new() }
+        Self {
+            queues: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+        }
     }
 
     fn deposit(&self, src: usize, tag: Tag, payload: Vec<u8>) {
-        let mut q = self.queues.lock();
+        let mut q = self.queues.lock().unwrap();
         q.entry((src, tag)).or_default().push_back(payload);
         self.cv.notify_all();
     }
 
     /// Blocks until a message from `(src, tag)` is available and pops it.
     fn pop_blocking(&self, src: usize, tag: Tag) -> Vec<u8> {
-        let mut q = self.queues.lock();
+        let mut q = self.queues.lock().unwrap();
         loop {
             if let Some(dq) = q.get_mut(&(src, tag)) {
                 if let Some(msg) = dq.pop_front() {
                     return msg;
                 }
             }
-            self.cv.wait(&mut q);
+            q = self.cv.wait(q).unwrap();
         }
     }
 
     /// Non-blocking probe-and-pop.
     fn try_pop(&self, src: usize, tag: Tag) -> Option<Vec<u8>> {
-        let mut q = self.queues.lock();
+        let mut q = self.queues.lock().unwrap();
         q.get_mut(&(src, tag)).and_then(|dq| dq.pop_front())
     }
 
     /// Non-destructive probe: byte length of the next queued message.
     fn peek_len(&self, src: usize, tag: Tag) -> Option<usize> {
-        let q = self.queues.lock();
-        q.get(&(src, tag)).and_then(|dq| dq.front()).map(|m| m.len())
+        let q = self.queues.lock().unwrap();
+        q.get(&(src, tag))
+            .and_then(|dq| dq.front())
+            .map(|m| m.len())
     }
 }
 
@@ -104,10 +109,18 @@ impl CommWorld {
             size,
             mailboxes: (0..size).map(|_| RankMailbox::new()).collect(),
             stats: WorldStats::default(),
-            barrier_lock: Mutex::new(BarrierState { count: 0, generation: 0 }),
+            barrier_lock: Mutex::new(BarrierState {
+                count: 0,
+                generation: 0,
+            }),
             barrier_cv: Condvar::new(),
         });
-        (0..size).map(|rank| Comm { rank, shared: Arc::clone(&shared) }).collect()
+        (0..size)
+            .map(|rank| Comm {
+                rank,
+                shared: Arc::clone(&shared),
+            })
+            .collect()
     }
 }
 
@@ -125,7 +138,12 @@ pub type RecvRequest<'buf> = Request<'buf>;
 enum ReqKind {
     /// Buffered sends complete at post time (eager protocol).
     SendDone,
-    Recv { src: usize, tag: Tag, dst: *mut u8, bytes: usize },
+    Recv {
+        src: usize,
+        tag: Tag,
+        dst: *mut u8,
+        bytes: usize,
+    },
 }
 
 // Safety: the raw pointer targets a buffer whose exclusive borrow is held by
@@ -159,11 +177,18 @@ impl Comm {
     }
 
     fn assert_user_tag(tag: Tag) {
-        assert!(tag < RESERVED_TAG_BASE, "tags >= {RESERVED_TAG_BASE:#x} are reserved");
+        assert!(
+            tag < RESERVED_TAG_BASE,
+            "tags >= {RESERVED_TAG_BASE:#x} are reserved"
+        );
     }
 
     fn assert_peer(&self, peer: usize) {
-        assert!(peer < self.shared.size, "rank {peer} out of range ({})", self.shared.size);
+        assert!(
+            peer < self.shared.size,
+            "rank {peer} out of range ({})",
+            self.shared.size
+        );
     }
 
     // -- point-to-point -----------------------------------------------------
@@ -187,7 +212,10 @@ impl Comm {
     pub fn isend<T: Pod>(&self, dst: usize, tag: Tag, data: &[T]) -> Request<'static> {
         Self::assert_user_tag(tag);
         self.isend_internal(dst, tag, data);
-        Request { kind: ReqKind::SendDone, _buf: PhantomData }
+        Request {
+            kind: ReqKind::SendDone,
+            _buf: PhantomData,
+        }
     }
 
     /// Blocking send (same delivery semantics as [`Comm::isend`]).
@@ -200,12 +228,7 @@ impl Comm {
     /// when this rank *waits* on the request — data transfer happens inside
     /// communication calls only, mirroring standard MPI progress (§3 of the
     /// paper).
-    pub fn irecv<'buf, T: Pod>(
-        &self,
-        src: usize,
-        tag: Tag,
-        buf: &'buf mut [T],
-    ) -> Request<'buf> {
+    pub fn irecv<'buf, T: Pod>(&self, src: usize, tag: Tag, buf: &'buf mut [T]) -> Request<'buf> {
         Self::assert_user_tag(tag);
         self.assert_peer(src);
         Request {
@@ -236,7 +259,12 @@ impl Comm {
     pub fn wait(&self, req: Request<'_>) {
         match req.kind {
             ReqKind::SendDone => {}
-            ReqKind::Recv { src, tag, dst, bytes } => {
+            ReqKind::Recv {
+                src,
+                tag,
+                dst,
+                bytes,
+            } => {
                 let payload = self.shared.mailboxes[self.rank].pop_blocking(src, tag);
                 assert_eq!(
                     payload.len(),
@@ -266,18 +294,21 @@ impl Comm {
     pub fn test<'a>(&self, req: Request<'a>) -> Result<(), Request<'a>> {
         match req.kind {
             ReqKind::SendDone => Ok(()),
-            ReqKind::Recv { src, tag, dst, bytes } => {
-                match self.shared.mailboxes[self.rank].try_pop(src, tag) {
-                    Some(payload) => {
-                        assert_eq!(payload.len(), bytes, "message size mismatch in test");
-                        unsafe {
-                            std::ptr::copy_nonoverlapping(payload.as_ptr(), dst, payload.len());
-                        }
-                        Ok(())
+            ReqKind::Recv {
+                src,
+                tag,
+                dst,
+                bytes,
+            } => match self.shared.mailboxes[self.rank].try_pop(src, tag) {
+                Some(payload) => {
+                    assert_eq!(payload.len(), bytes, "message size mismatch in test");
+                    unsafe {
+                        std::ptr::copy_nonoverlapping(payload.as_ptr(), dst, payload.len());
                     }
-                    None => Err(req),
+                    Ok(())
                 }
-            }
+                None => Err(req),
+            },
         }
     }
 
@@ -311,7 +342,7 @@ impl Comm {
     /// World barrier: returns when all ranks have entered.
     pub fn barrier(&self) {
         let shared = &self.shared;
-        let mut st = shared.barrier_lock.lock();
+        let mut st = shared.barrier_lock.lock().unwrap();
         let gen = st.generation;
         st.count += 1;
         if st.count == shared.size {
@@ -320,7 +351,7 @@ impl Comm {
             shared.barrier_cv.notify_all();
         } else {
             while st.generation == gen {
-                shared.barrier_cv.wait(&mut st);
+                st = shared.barrier_cv.wait(st).unwrap();
             }
         }
     }
@@ -335,8 +366,10 @@ mod tests {
         F: Fn(Comm) + Send + Sync + Copy + 'static,
     {
         let comms = CommWorld::create(size);
-        let handles: Vec<_> =
-            comms.into_iter().map(|c| std::thread::spawn(move || f(c))).collect();
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|c| std::thread::spawn(move || f(c)))
+            .collect();
         for h in handles {
             h.join().expect("rank thread panicked");
         }

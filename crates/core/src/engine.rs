@@ -26,6 +26,7 @@
 //! directive cannot be used, since there is no concept of 'subteams' in the
 //! current OpenMP standard" (§3.2).
 
+use crate::kernels::{prepare_kernel, KernelKind, SpmvKernel};
 use crate::modes::KernelMode;
 use crate::partition::RowPartition;
 use crate::plan::{build_plan_distributed, RankPlan};
@@ -47,11 +48,20 @@ pub struct EngineConfig {
     /// Whether to provision a dedicated communication thread (required for
     /// [`KernelMode::TaskMode`]).
     pub comm_thread: bool,
+    /// Node-level kernel run by all modes (see [`crate::kernels`]). The
+    /// engine prepares one kernel per split matrix (full / local /
+    /// non-local) at construction; `Auto` autotunes on the full matrix and
+    /// reuses the winning kind for the split parts.
+    pub kernel: KernelKind,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        Self { compute_threads: 1, comm_thread: false }
+        Self {
+            compute_threads: 1,
+            comm_thread: false,
+            kernel: KernelKind::CsrScalar,
+        }
     }
 }
 
@@ -63,14 +73,26 @@ impl EngineConfig {
 
     /// Hybrid rank with `c` compute threads (vector modes).
     pub fn hybrid(c: usize) -> Self {
-        Self { compute_threads: c, comm_thread: false }
+        Self {
+            compute_threads: c,
+            ..Self::default()
+        }
     }
 
     /// Hybrid rank with `c` compute threads plus a communication thread
     /// (task mode capable; also runs vector modes, leaving the comm thread
     /// idle there).
     pub fn task_mode(c: usize) -> Self {
-        Self { compute_threads: c, comm_thread: true }
+        Self {
+            compute_threads: c,
+            comm_thread: true,
+            ..Self::default()
+        }
+    }
+
+    /// Returns the config with a different node-level kernel.
+    pub fn with_kernel(self, kernel: KernelKind) -> Self {
+        Self { kernel, ..self }
     }
 }
 
@@ -113,6 +135,10 @@ pub struct RankEngine {
     full_chunks: Vec<Range<usize>>,
     local_chunks: Vec<Range<usize>>,
     nonlocal_chunks: Vec<Range<usize>>,
+    // prepared node-level kernels, one per split matrix
+    kern_full: Box<dyn SpmvKernel>,
+    kern_local: Box<dyn SpmvKernel>,
+    kern_nonlocal: Box<dyn SpmvKernel>,
     // counters
     spmv_calls: u64,
 }
@@ -122,12 +148,7 @@ impl RankEngine {
     /// with their own row block (global column indices) and the shared
     /// partition. Exchanges the communication plan, splits the matrix, and
     /// spawns the thread team.
-    pub fn new(
-        comm: Comm,
-        block: &CsrMatrix,
-        partition: &RowPartition,
-        cfg: EngineConfig,
-    ) -> Self {
+    pub fn new(comm: Comm, block: &CsrMatrix, partition: &RowPartition, cfg: EngineConfig) -> Self {
         assert!(cfg.compute_threads >= 1, "need at least one compute thread");
         let plan = build_plan_distributed(&comm, block, partition);
         let mats = SplitMatrix::build(block, &plan);
@@ -143,10 +164,25 @@ impl RankEngine {
         }
 
         let team_size = cfg.compute_threads + usize::from(cfg.comm_thread);
-        let team = if team_size > 1 { Some(ThreadTeam::new(team_size)) } else { None };
+        let team = if team_size > 1 {
+            Some(ThreadTeam::new(team_size))
+        } else {
+            None
+        };
+
+        // Prepare one kernel per split matrix. Autotune resolves on the
+        // full matrix (the representative workload); the winning kind is
+        // reused for the split parts so all phases run the same code shape.
+        let kern_full = prepare_kernel(cfg.kernel, &mats.full);
+        let resolved = kern_full.kind();
+        let kern_local = prepare_kernel(resolved, &mats.local);
+        let kern_nonlocal = prepare_kernel(resolved, &mats.nonlocal);
 
         let c = cfg.compute_threads;
         Self {
+            kern_full,
+            kern_local,
+            kern_nonlocal,
             halo_offsets: plan.halo_offsets(),
             full_chunks: balanced_chunks(mats.full.row_ptr(), c),
             local_chunks: balanced_chunks(mats.local.row_ptr(), c),
@@ -281,27 +317,10 @@ impl RankEngine {
         }
     }
 
-    /// Row-chunked SpMV compute: `y[rows] (=|+=) mat[rows] · x`.
-    ///
-    /// # Safety
-    /// `y` must be valid for `mat.nrows()` elements, and concurrent callers
-    /// must use disjoint `rows` ranges.
-    unsafe fn compute_rows(mat: &CsrMatrix, rows: Range<usize>, x: &[f64], y: MutPtr, add: bool) {
-        let row_ptr = mat.row_ptr();
-        let col_idx = mat.col_idx();
-        let values = mat.values();
-        for i in rows {
-            let mut sum = 0.0;
-            for j in row_ptr[i]..row_ptr[i + 1] {
-                sum += values[j] * x[col_idx[j] as usize];
-            }
-            let dst = y.at(i);
-            if add {
-                *dst += sum;
-            } else {
-                *dst = sum;
-            }
-        }
+    /// The node-level kernel kind actually in use (`Auto` resolved to the
+    /// autotune winner).
+    pub fn kernel_kind(&self) -> KernelKind {
+        self.kern_full.kind()
     }
 
     // -- kernels ---------------------------------------------------------------
@@ -346,6 +365,7 @@ impl RankEngine {
         // 5. full SpMV over the extended vector
         let x_ext = &self.x_ext;
         let yp = MutPtr(self.y.as_mut_ptr());
+        let kern = &self.kern_full;
         match &self.team {
             Some(team) => {
                 let c = self.cfg.compute_threads;
@@ -356,11 +376,13 @@ impl RankEngine {
                         return;
                     }
                     // Safety: chunks are disjoint row ranges.
-                    unsafe { Self::compute_rows(mat, chunks[ctx.tid].clone(), x_ext, yp, false) };
+                    unsafe {
+                        kern.spmv_rows_raw(mat, chunks[ctx.tid].clone(), x_ext, yp.raw(), false)
+                    };
                 });
             }
             None => unsafe {
-                Self::compute_rows(&self.mats.full, 0..nloc, x_ext, yp, false);
+                kern.spmv_rows_raw(&self.mats.full, 0..nloc, x_ext, yp.raw(), false);
             },
         }
     }
@@ -401,6 +423,7 @@ impl RankEngine {
 
         // local SpMV (communication does NOT progress meanwhile)
         let yp = MutPtr(self.y.as_mut_ptr());
+        let kern = &self.kern_local;
         match &self.team {
             Some(team) => {
                 let c = self.cfg.compute_threads;
@@ -410,11 +433,13 @@ impl RankEngine {
                     if ctx.tid >= c {
                         return;
                     }
-                    unsafe { Self::compute_rows(mat, chunks[ctx.tid].clone(), x_loc, yp, false) };
+                    unsafe {
+                        kern.spmv_rows_raw(mat, chunks[ctx.tid].clone(), x_loc, yp.raw(), false)
+                    };
                 });
             }
             None => unsafe {
-                Self::compute_rows(&self.mats.local, 0..nloc, x_loc, yp, false);
+                kern.spmv_rows_raw(&self.mats.local, 0..nloc, x_loc, yp.raw(), false);
             },
         }
 
@@ -423,6 +448,7 @@ impl RankEngine {
 
         // non-local part accumulates into y (second write — Eq. 2 traffic)
         let halo = &self.x_ext[nloc..];
+        let kern = &self.kern_nonlocal;
         match &self.team {
             Some(team) => {
                 let c = self.cfg.compute_threads;
@@ -432,11 +458,13 @@ impl RankEngine {
                     if ctx.tid >= c {
                         return;
                     }
-                    unsafe { Self::compute_rows(mat, chunks[ctx.tid].clone(), halo, yp, true) };
+                    unsafe {
+                        kern.spmv_rows_raw(mat, chunks[ctx.tid].clone(), halo, yp.raw(), true)
+                    };
                 });
             }
             None => unsafe {
-                Self::compute_rows(&self.mats.nonlocal, 0..nloc, halo, yp, true);
+                kern.spmv_rows_raw(&self.mats.nonlocal, 0..nloc, halo, yp.raw(), true);
             },
         }
     }
@@ -450,7 +478,10 @@ impl RankEngine {
     /// * **B2** — communication complete and local SpMV done; afterwards
     ///   compute threads run the non-local SpMV.
     fn task_mode(&mut self) {
-        let team = self.team.as_ref().expect("task mode requires a thread team");
+        let team = self
+            .team
+            .as_ref()
+            .expect("task mode requires a thread team");
         let c = self.cfg.compute_threads;
         debug_assert_eq!(team.size(), c + 1);
 
@@ -470,6 +501,8 @@ impl RankEngine {
         let local_chunks = &self.local_chunks;
         let nonlocal_chunks = &self.nonlocal_chunks;
         let mats = &self.mats;
+        let kern_local = &self.kern_local;
+        let kern_nonlocal = &self.kern_nonlocal;
 
         team.run(|ctx| {
             if ctx.tid == 0 {
@@ -485,7 +518,7 @@ impl RankEngine {
                 Self::post_sends(comm, plan, send_offsets, send_buf);
                 comm.waitall(reqs); // progress happens here, overlapping compute
                 ctx.barrier(); // B2: comm done & local SpMV done
-                // non-local phase: nothing to do for the comm thread
+                               // non-local phase: nothing to do for the comm thread
             } else {
                 // ---- compute threads ----
                 let ctid = ctx.tid - 1;
@@ -494,19 +527,25 @@ impl RankEngine {
                     unsafe { *sp.at(i) = x_loc[gi[i] as usize] };
                 }
                 ctx.barrier(); // B1
-                // local SpMV, one contiguous nonzero-balanced chunk each
+                               // local SpMV, one contiguous nonzero-balanced chunk each
                 unsafe {
-                    Self::compute_rows(&mats.local, local_chunks[ctid].clone(), x_loc, yp, false)
+                    kern_local.spmv_rows_raw(
+                        &mats.local,
+                        local_chunks[ctid].clone(),
+                        x_loc,
+                        yp.raw(),
+                        false,
+                    )
                 };
                 ctx.barrier(); // B2: halo data is now in place
-                // non-local SpMV reads the halo (now immutable)
+                               // non-local SpMV reads the halo (now immutable)
                 let halo: &[f64] = unsafe { std::slice::from_raw_parts(halo_ptr.raw(), halo_len) };
                 unsafe {
-                    Self::compute_rows(
+                    kern_nonlocal.spmv_rows_raw(
                         &mats.nonlocal,
                         nonlocal_chunks[ctid].clone(),
                         halo,
-                        yp,
+                        yp.raw(),
                         true,
                     )
                 };
@@ -650,8 +689,7 @@ mod tests {
                 std::thread::spawn(move || {
                     let range = p.range(c.rank());
                     let block = m.row_block(range.clone());
-                    let mut eng =
-                        RankEngine::new(c, &block, &p, EngineConfig::task_mode(2));
+                    let mut eng = RankEngine::new(c, &block, &p, EngineConfig::task_mode(2));
                     eng.x_local_mut().copy_from_slice(&x0[range.clone()]);
                     for _ in 0..10 {
                         eng.spmv(KernelMode::TaskMode);
@@ -675,6 +713,35 @@ mod tests {
             let err = vecops::max_abs_diff(&x, &x_ref[range.clone()]);
             assert!(err < 1e-10, "iterated power step diverged: {err}");
         }
+    }
+
+    #[test]
+    fn all_modes_with_every_kernel_kind() {
+        let m = synthetic::random_banded_symmetric(300, 25, 6.0, 19);
+        for kind in crate::kernels::KernelKind::candidates() {
+            check_all_modes(m.clone(), 3, EngineConfig::task_mode(2).with_kernel(kind));
+        }
+    }
+
+    #[test]
+    fn auto_kernel_resolves_to_concrete_kind() {
+        use crate::kernels::KernelKind;
+        let m = synthetic::random_general(200, 200, 7, 2);
+        let p = RowPartition::by_nnz(&m, 1);
+        let comms = CommWorld::create(1);
+        let mut eng = RankEngine::new(
+            comms.into_iter().next().unwrap(),
+            &m,
+            &p,
+            EngineConfig::hybrid(2).with_kernel(KernelKind::Auto),
+        );
+        assert_ne!(eng.kernel_kind(), KernelKind::Auto);
+        let x = vecops::random_vec(200, 8);
+        let mut y_ref = vec![0.0; 200];
+        m.spmv(&x, &mut y_ref);
+        let mut y = vec![0.0; 200];
+        eng.apply(&x, &mut y, KernelMode::VectorNaiveOverlap);
+        assert!(vecops::max_abs_diff(&y, &y_ref) < 1e-11);
     }
 
     #[test]

@@ -1,0 +1,434 @@
+//! Pluggable node-level SpMV kernels and their runtime dispatcher.
+//!
+//! The paper's performance model assumes the node-level CRS kernel
+//! saturates memory bandwidth (Eq. 1); whether it actually does depends on
+//! the inner-loop code shape and the storage format. This module turns the
+//! kernel from a fixed function into a selectable strategy:
+//!
+//! * [`KernelKind`] — the menu: scalar CSR (the reference), 4-way unrolled
+//!   CSR, iterator/slice-window CSR, the bounds-check-free CSR variant
+//!   (behind the `fast-kernels` feature), SELL-C-σ, and `Auto`.
+//! * [`SpmvKernel`] — the strategy trait: a row-range kernel writing
+//!   through a raw pointer so the engine's disjoint per-thread chunks work
+//!   without aliasing `&mut` slices.
+//! * [`prepare_kernel`] — builds a kernel for a concrete matrix (SELL-C-σ
+//!   converts the matrix once at build time; `Auto` times every candidate
+//!   on sample rows and keeps the winner).
+//!
+//! All three engine modes and both halves of the split local/non-local
+//! path dispatch through this layer — see `engine.rs`.
+
+use spmv_matrix::csr::{row_dot_sliced, row_dot_unrolled4};
+use spmv_matrix::{CsrMatrix, SellMatrix};
+use std::ops::Range;
+use std::time::Instant;
+
+/// Selects the node-level kernel the engine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Scalar CSR loop — the paper's reference kernel (§1.2).
+    CsrScalar,
+    /// 4-way unrolled CSR inner loop (independent partial sums).
+    CsrUnrolled4,
+    /// Iterator/slice-window CSR form (LLVM removes row bounds checks).
+    CsrSliced,
+    /// Unchecked CSR gathers (`fast-kernels` feature only).
+    #[cfg(feature = "fast-kernels")]
+    CsrUnchecked,
+    /// SELL-C-σ with chunk height `c` and sorting scope `sigma`; the
+    /// matrix is converted once when the kernel is prepared.
+    Sell { c: usize, sigma: usize },
+    /// Time all candidates on this matrix and keep the fastest.
+    Auto,
+}
+
+impl KernelKind {
+    /// Every statically known kind (excluding `Auto`), with a default
+    /// SELL-32-256 entry. This is also the `Auto` candidate list.
+    pub fn candidates() -> Vec<KernelKind> {
+        vec![
+            KernelKind::CsrScalar,
+            KernelKind::CsrUnrolled4,
+            KernelKind::CsrSliced,
+            #[cfg(feature = "fast-kernels")]
+            KernelKind::CsrUnchecked,
+            KernelKind::Sell { c: 32, sigma: 256 },
+        ]
+    }
+
+    /// Short label for experiment tables and CLI flags.
+    pub fn label(&self) -> String {
+        match self {
+            KernelKind::CsrScalar => "csr-scalar".into(),
+            KernelKind::CsrUnrolled4 => "csr-unrolled4".into(),
+            KernelKind::CsrSliced => "csr-sliced".into(),
+            #[cfg(feature = "fast-kernels")]
+            KernelKind::CsrUnchecked => "csr-unchecked".into(),
+            KernelKind::Sell { c, sigma } => format!("sell-{c}-{sigma}"),
+            KernelKind::Auto => "auto".into(),
+        }
+    }
+
+    /// Parses a CLI spelling: `csr-scalar`, `csr-unrolled4`, `csr-sliced`,
+    /// `csr-unchecked`, `sell` (defaults C=32 σ=256), `sell-C-σ`, `auto`.
+    pub fn parse(s: &str) -> Option<KernelKind> {
+        match s {
+            "csr-scalar" | "scalar" | "csr" => Some(KernelKind::CsrScalar),
+            "csr-unrolled4" | "unrolled" | "unrolled4" => Some(KernelKind::CsrUnrolled4),
+            "csr-sliced" | "sliced" => Some(KernelKind::CsrSliced),
+            #[cfg(feature = "fast-kernels")]
+            "csr-unchecked" | "unchecked" => Some(KernelKind::CsrUnchecked),
+            "sell" => Some(KernelKind::Sell { c: 32, sigma: 256 }),
+            "auto" => Some(KernelKind::Auto),
+            _ => {
+                let rest = s.strip_prefix("sell-")?;
+                let (c, sigma) = rest.split_once('-')?;
+                Some(KernelKind::Sell {
+                    c: c.parse().ok()?,
+                    sigma: sigma.parse().ok()?,
+                })
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A prepared node-level kernel for one matrix.
+///
+/// Implementations may carry per-matrix state (SELL-C-σ holds the converted
+/// matrix); the CSR variants are stateless and use the `mat` passed to each
+/// call, which must be the matrix the kernel was prepared for.
+pub trait SpmvKernel: Send + Sync {
+    /// The kind this kernel implements (post-autotune, the winner).
+    fn kind(&self) -> KernelKind;
+
+    /// Computes `y[rows] (=|+=) mat[rows] · x` writing through `y`.
+    ///
+    /// # Safety
+    /// `y` must be valid for writes at every index in `rows`,
+    /// `rows.end <= mat.nrows()`, `x.len() == mat.ncols()`, and concurrent
+    /// callers must use disjoint `rows` ranges.
+    unsafe fn spmv_rows_raw(
+        &self,
+        mat: &CsrMatrix,
+        rows: Range<usize>,
+        x: &[f64],
+        y: *mut f64,
+        add: bool,
+    );
+
+    /// Safe convenience wrapper over a full `&mut` result slice.
+    fn spmv_rows(&self, mat: &CsrMatrix, rows: Range<usize>, x: &[f64], y: &mut [f64], add: bool) {
+        assert!(rows.end <= mat.nrows());
+        assert_eq!(x.len(), mat.ncols(), "x length must equal ncols");
+        assert!(
+            y.len() >= rows.end,
+            "y length {} too short for row block ending at {}",
+            y.len(),
+            rows.end
+        );
+        // Safety: bounds checked above; single caller owns all of y.
+        unsafe { self.spmv_rows_raw(mat, rows, x, y.as_mut_ptr(), add) }
+    }
+}
+
+/// Scalar CSR reference kernel.
+struct CsrScalarKernel;
+
+impl SpmvKernel for CsrScalarKernel {
+    fn kind(&self) -> KernelKind {
+        KernelKind::CsrScalar
+    }
+
+    unsafe fn spmv_rows_raw(
+        &self,
+        mat: &CsrMatrix,
+        rows: Range<usize>,
+        x: &[f64],
+        y: *mut f64,
+        add: bool,
+    ) {
+        let row_ptr = mat.row_ptr();
+        let col_idx = mat.col_idx();
+        let values = mat.values();
+        for i in rows {
+            let mut sum = 0.0;
+            for j in row_ptr[i]..row_ptr[i + 1] {
+                sum += values[j] * x[col_idx[j] as usize];
+            }
+            let dst = y.add(i);
+            if add {
+                *dst += sum;
+            } else {
+                *dst = sum;
+            }
+        }
+    }
+}
+
+/// 4-way unrolled CSR kernel.
+struct CsrUnrolled4Kernel;
+
+impl SpmvKernel for CsrUnrolled4Kernel {
+    fn kind(&self) -> KernelKind {
+        KernelKind::CsrUnrolled4
+    }
+
+    unsafe fn spmv_rows_raw(
+        &self,
+        mat: &CsrMatrix,
+        rows: Range<usize>,
+        x: &[f64],
+        y: *mut f64,
+        add: bool,
+    ) {
+        for i in rows {
+            let (cols, vals) = mat.row(i);
+            let sum = row_dot_unrolled4(cols, vals, x);
+            let dst = y.add(i);
+            if add {
+                *dst += sum;
+            } else {
+                *dst = sum;
+            }
+        }
+    }
+}
+
+/// Iterator/slice-window CSR kernel.
+struct CsrSlicedKernel;
+
+impl SpmvKernel for CsrSlicedKernel {
+    fn kind(&self) -> KernelKind {
+        KernelKind::CsrSliced
+    }
+
+    unsafe fn spmv_rows_raw(
+        &self,
+        mat: &CsrMatrix,
+        rows: Range<usize>,
+        x: &[f64],
+        y: *mut f64,
+        add: bool,
+    ) {
+        for i in rows {
+            let (cols, vals) = mat.row(i);
+            let sum = row_dot_sliced(cols, vals, x);
+            let dst = y.add(i);
+            if add {
+                *dst += sum;
+            } else {
+                *dst = sum;
+            }
+        }
+    }
+}
+
+/// Bounds-check-free CSR kernel (`fast-kernels` feature).
+#[cfg(feature = "fast-kernels")]
+struct CsrUncheckedKernel;
+
+#[cfg(feature = "fast-kernels")]
+impl SpmvKernel for CsrUncheckedKernel {
+    fn kind(&self) -> KernelKind {
+        KernelKind::CsrUnchecked
+    }
+
+    unsafe fn spmv_rows_raw(
+        &self,
+        mat: &CsrMatrix,
+        rows: Range<usize>,
+        x: &[f64],
+        y: *mut f64,
+        add: bool,
+    ) {
+        use spmv_matrix::csr::row_dot_unchecked;
+        let row_ptr = mat.row_ptr();
+        let col_idx = mat.col_idx();
+        let values = mat.values();
+        for i in rows {
+            let lo = *row_ptr.get_unchecked(i);
+            let hi = *row_ptr.get_unchecked(i + 1);
+            let sum = row_dot_unchecked(
+                col_idx.get_unchecked(lo..hi),
+                values.get_unchecked(lo..hi),
+                x,
+            );
+            let dst = y.add(i);
+            if add {
+                *dst += sum;
+            } else {
+                *dst = sum;
+            }
+        }
+    }
+}
+
+/// SELL-C-σ kernel: owns the converted matrix; row ranges refer to the
+/// *original* row numbering, so the engine's nonzero-balanced chunks and
+/// per-thread disjointness carry over unchanged.
+struct SellKernel {
+    sell: SellMatrix,
+}
+
+impl SpmvKernel for SellKernel {
+    fn kind(&self) -> KernelKind {
+        KernelKind::Sell {
+            c: self.sell.chunk_height(),
+            sigma: self.sell.sorting_scope(),
+        }
+    }
+
+    unsafe fn spmv_rows_raw(
+        &self,
+        mat: &CsrMatrix,
+        rows: Range<usize>,
+        x: &[f64],
+        y: *mut f64,
+        add: bool,
+    ) {
+        debug_assert_eq!(
+            mat.nrows(),
+            self.sell.nrows(),
+            "kernel prepared for another matrix"
+        );
+        debug_assert_eq!(
+            mat.ncols(),
+            self.sell.ncols(),
+            "kernel prepared for another matrix"
+        );
+        self.sell.spmv_rows_ptr(rows, x, y, add);
+    }
+}
+
+/// Builds a kernel for `mat`. `Auto` runs [`autotune`].
+pub fn prepare_kernel(kind: KernelKind, mat: &CsrMatrix) -> Box<dyn SpmvKernel> {
+    match kind {
+        KernelKind::CsrScalar => Box::new(CsrScalarKernel),
+        KernelKind::CsrUnrolled4 => Box::new(CsrUnrolled4Kernel),
+        KernelKind::CsrSliced => Box::new(CsrSlicedKernel),
+        #[cfg(feature = "fast-kernels")]
+        KernelKind::CsrUnchecked => Box::new(CsrUncheckedKernel),
+        KernelKind::Sell { c, sigma } => Box::new(SellKernel {
+            sell: SellMatrix::from_csr(mat, c, sigma),
+        }),
+        KernelKind::Auto => autotune(mat),
+    }
+}
+
+/// Times every candidate kernel on a sample of rows (up to ~4096, repeated
+/// to a minimum working-set of operations) and returns the fastest.
+///
+/// The sample runs on a synthetic RHS of ones; correctness is established
+/// by the property tests, so the autotuner only measures.
+pub fn autotune(mat: &CsrMatrix) -> Box<dyn SpmvKernel> {
+    let sample_rows = mat.nrows().min(4096);
+    let x = vec![1.0f64; mat.ncols()];
+    let mut y = vec![0.0f64; sample_rows];
+    let reps = (200_000 / mat.nnz().max(1)).clamp(1, 50);
+
+    let mut best: Option<(f64, Box<dyn SpmvKernel>)> = None;
+    for kind in KernelKind::candidates() {
+        let k = prepare_kernel(kind, mat);
+        // one warm-up pass, then the timed passes
+        k.spmv_rows(mat, 0..sample_rows, &x, &mut y, false);
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            k.spmv_rows(mat, 0..sample_rows, &x, &mut y, false);
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        if best.as_ref().is_none_or(|(t, _)| dt < *t) {
+            best = Some((dt, k));
+        }
+    }
+    best.expect("candidate list is never empty").1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_matrix::{synthetic, vecops};
+
+    fn all_kinds() -> Vec<KernelKind> {
+        let mut v = KernelKind::candidates();
+        v.push(KernelKind::Sell { c: 4, sigma: 1 });
+        v.push(KernelKind::Sell { c: 7, sigma: 50 });
+        v
+    }
+
+    #[test]
+    fn every_kernel_matches_reference() {
+        let m = synthetic::power_law_rows(200, 6.0, 1.0, 21);
+        let x = vecops::random_vec(200, 3);
+        let mut y_ref = vec![0.0; 200];
+        m.spmv(&x, &mut y_ref);
+        for kind in all_kinds() {
+            let k = prepare_kernel(kind, &m);
+            let mut y = vec![f64::NAN; 200];
+            k.spmv_rows(&m, 0..200, &x, &mut y, false);
+            let err = vecops::rel_error(&y, &y_ref);
+            assert!(err < 1e-13, "{kind}: err {err}");
+            // accumulate form doubles the result
+            k.spmv_rows(&m, 0..200, &x, &mut y, true);
+            let doubled: Vec<f64> = y_ref.iter().map(|v| 2.0 * v).collect();
+            assert!(vecops::rel_error(&y, &doubled) < 1e-13, "{kind} add");
+        }
+    }
+
+    #[test]
+    fn kernels_respect_row_ranges() {
+        let m = synthetic::random_general(120, 120, 8, 5);
+        let x = vecops::random_vec(120, 9);
+        let mut y_ref = vec![0.0; 120];
+        m.spmv(&x, &mut y_ref);
+        for kind in all_kinds() {
+            let k = prepare_kernel(kind, &m);
+            let mut y = vec![f64::NAN; 120];
+            // three disjoint chunks must tile the result exactly
+            k.spmv_rows(&m, 0..41, &x, &mut y, false);
+            k.spmv_rows(&m, 41..87, &x, &mut y, false);
+            k.spmv_rows(&m, 87..120, &x, &mut y, false);
+            assert!(vecops::rel_error(&y, &y_ref) < 1e-13, "{kind}");
+        }
+    }
+
+    #[test]
+    fn autotune_returns_a_working_kernel() {
+        let m = synthetic::random_banded_symmetric(300, 20, 6.0, 31);
+        let k = prepare_kernel(KernelKind::Auto, &m);
+        assert_ne!(
+            k.kind(),
+            KernelKind::Auto,
+            "autotune must resolve to a concrete kind"
+        );
+        let x = vecops::random_vec(300, 1);
+        let mut y_ref = vec![0.0; 300];
+        m.spmv(&x, &mut y_ref);
+        let mut y = vec![0.0; 300];
+        k.spmv_rows(&m, 0..300, &x, &mut y, false);
+        assert!(vecops::rel_error(&y, &y_ref) < 1e-13);
+    }
+
+    #[test]
+    fn kind_labels_roundtrip_through_parse() {
+        for kind in all_kinds() {
+            assert_eq!(KernelKind::parse(&kind.label()), Some(kind), "{kind}");
+        }
+        assert_eq!(KernelKind::parse("auto"), Some(KernelKind::Auto));
+        assert_eq!(
+            KernelKind::parse("sell"),
+            Some(KernelKind::Sell { c: 32, sigma: 256 })
+        );
+        assert_eq!(
+            KernelKind::parse("sell-8-64"),
+            Some(KernelKind::Sell { c: 8, sigma: 64 })
+        );
+        assert_eq!(KernelKind::parse("bogus"), None);
+        assert_eq!(KernelKind::parse("sell-x-1"), None);
+    }
+}

@@ -29,6 +29,7 @@
 //!    volumes the discrete-event simulator prices.
 
 pub mod engine;
+pub mod kernels;
 pub mod modes;
 pub mod node;
 pub mod partition;
@@ -38,7 +39,8 @@ pub mod split;
 pub mod symmetric;
 pub mod workload;
 
-pub use engine::RankEngine;
+pub use engine::{EngineConfig, RankEngine};
+pub use kernels::{prepare_kernel, KernelKind, SpmvKernel};
 pub use modes::KernelMode;
 pub use partition::RowPartition;
 pub use plan::RankPlan;

@@ -26,8 +26,11 @@ pub enum KernelMode {
 
 impl KernelMode {
     /// All modes in the order of the paper's figure legends.
-    pub const ALL: [KernelMode; 3] =
-        [KernelMode::VectorNoOverlap, KernelMode::VectorNaiveOverlap, KernelMode::TaskMode];
+    pub const ALL: [KernelMode; 3] = [
+        KernelMode::VectorNoOverlap,
+        KernelMode::VectorNaiveOverlap,
+        KernelMode::TaskMode,
+    ];
 
     /// Short label for experiment tables.
     pub fn label(&self) -> &'static str {

@@ -35,7 +35,9 @@ pub struct NodeSpmv {
 impl NodeSpmv {
     /// Plans chunks of `matrix` for a team of `threads`.
     pub fn plan(matrix: &CsrMatrix, threads: usize) -> Self {
-        Self { chunks: balanced_chunks(matrix.row_ptr(), threads) }
+        Self {
+            chunks: balanced_chunks(matrix.row_ptr(), threads),
+        }
     }
 
     /// `y = A x` with one contiguous nonzero-balanced chunk per thread.
@@ -44,7 +46,11 @@ impl NodeSpmv {
     /// If the team size differs from the planned thread count, or vector
     /// lengths mismatch.
     pub fn spmv(&self, team: &ThreadTeam, matrix: &CsrMatrix, x: &[f64], y: &mut [f64]) {
-        assert_eq!(team.size(), self.chunks.len(), "plan does not match the team");
+        assert_eq!(
+            team.size(),
+            self.chunks.len(),
+            "plan does not match the team"
+        );
         assert_eq!(x.len(), matrix.ncols());
         assert_eq!(y.len(), matrix.nrows());
         let row_ptr = matrix.row_ptr();
@@ -73,11 +79,7 @@ pub fn parallel_spmv(team: &ThreadTeam, matrix: &CsrMatrix, x: &[f64], y: &mut [
 
 /// Measures the multithreaded SpMV performance in GFlop/s: best of `reps`
 /// timed applications (after one warm-up that also faults in the data).
-pub fn measure_spmv_gflops(
-    team: &ThreadTeam,
-    matrix: &CsrMatrix,
-    reps: usize,
-) -> f64 {
+pub fn measure_spmv_gflops(team: &ThreadTeam, matrix: &CsrMatrix, reps: usize) -> f64 {
     assert!(reps >= 1);
     let plan = NodeSpmv::plan(matrix, team.size());
     let x = vec![1.0f64; matrix.ncols()];

@@ -47,7 +47,10 @@ impl RowPartition {
     pub fn from_boundaries(boundaries: Vec<usize>) -> Self {
         assert!(boundaries.len() >= 2, "need at least one part");
         assert_eq!(boundaries[0], 0);
-        assert!(boundaries.windows(2).all(|w| w[0] <= w[1]), "boundaries must be sorted");
+        assert!(
+            boundaries.windows(2).all(|w| w[0] <= w[1]),
+            "boundaries must be sorted"
+        );
         Self { boundaries }
     }
 
@@ -81,7 +84,11 @@ impl RowPartition {
     /// With empty parts present, the unique *owning* part is the one whose
     /// half-open range contains `idx`.
     pub fn owner_of(&self, idx: usize) -> usize {
-        assert!(idx < self.nrows(), "index {idx} out of range {}", self.nrows());
+        assert!(
+            idx < self.nrows(),
+            "index {idx} out of range {}",
+            self.nrows()
+        );
         // partition_point gives the first boundary > idx; part = that - 1
         let p = self.boundaries.partition_point(|&b| b <= idx);
         p - 1
@@ -182,7 +189,11 @@ mod tests {
     fn nnz_partition_quality_on_uniform_matrix() {
         let m = synthetic::random_general(1000, 1000, 9, 5);
         let p = RowPartition::by_nnz(&m, 8);
-        assert!(p.nnz_imbalance(&m) < 1.02, "imbalance {}", p.nnz_imbalance(&m));
+        assert!(
+            p.nnz_imbalance(&m) < 1.02,
+            "imbalance {}",
+            p.nnz_imbalance(&m)
+        );
     }
 
     #[test]

@@ -72,7 +72,10 @@ impl RankPlan {
         for n in &self.recv {
             out.extend_from_slice(&n.indices);
         }
-        debug_assert!(out.windows(2).all(|w| w[0] < w[1]), "halo must be globally sorted");
+        debug_assert!(
+            out.windows(2).all(|w| w[0] < w[1]),
+            "halo must be globally sorted"
+        );
         out
     }
 
@@ -126,8 +129,16 @@ fn needed_columns(
 /// workload analyzer, and the simulator — no communication involved).
 #[allow(clippy::needless_range_loop)] // rank-indexed cross-references between plans
 pub fn build_plans_serial(matrix: &CsrMatrix, partition: &RowPartition) -> Vec<RankPlan> {
-    assert_eq!(matrix.nrows(), partition.nrows(), "partition must cover the matrix");
-    assert_eq!(matrix.nrows(), matrix.ncols(), "distributed SpMV needs a square matrix");
+    assert_eq!(
+        matrix.nrows(),
+        partition.nrows(),
+        "partition must cover the matrix"
+    );
+    assert_eq!(
+        matrix.nrows(),
+        matrix.ncols(),
+        "distributed SpMV needs a square matrix"
+    );
     let parts = partition.parts();
     let mut plans: Vec<RankPlan> = (0..parts)
         .map(|r| RankPlan {
@@ -142,8 +153,13 @@ pub fn build_plans_serial(matrix: &CsrMatrix, partition: &RowPartition) -> Vec<R
     for me in 0..parts {
         let block = matrix.row_block(partition.range(me));
         let needed = needed_columns(&block, partition, me);
-        plans[me].recv =
-            needed.iter().map(|(p, v)| Neighbor { peer: *p, indices: v.clone() }).collect();
+        plans[me].recv = needed
+            .iter()
+            .map(|(p, v)| Neighbor {
+                peer: *p,
+                indices: v.clone(),
+            })
+            .collect();
     }
     // send sides: transpose of the recv relation
     for me in 0..parts {
@@ -175,8 +191,16 @@ pub fn build_plan_distributed(
     partition: &RowPartition,
 ) -> RankPlan {
     let me = comm.rank();
-    assert_eq!(partition.parts(), comm.size(), "one partition part per rank");
-    assert_eq!(local.nrows(), partition.len(me), "local block must match partition");
+    assert_eq!(
+        partition.parts(),
+        comm.size(),
+        "one partition part per rank"
+    );
+    assert_eq!(
+        local.nrows(),
+        partition.len(me),
+        "local block must match partition"
+    );
     let needed = needed_columns(local, partition, me);
 
     // request lists: to each peer, the globals we need from it
@@ -209,7 +233,10 @@ pub fn build_plan_distributed(
         rank: me,
         row_start: my_start,
         local_len: my_len,
-        recv: needed.into_iter().map(|(peer, indices)| Neighbor { peer, indices }).collect(),
+        recv: needed
+            .into_iter()
+            .map(|(peer, indices)| Neighbor { peer, indices })
+            .collect(),
         send,
     }
 }
@@ -239,7 +266,7 @@ mod tests {
         assert_eq!(mid.send[0].indices, vec![0]); // local row 0 = global 4
         assert_eq!(mid.send[1].peer, 2);
         assert_eq!(mid.send[1].indices, vec![3]); // local row 3 = global 7
-        // end ranks have one neighbour each
+                                                  // end ranks have one neighbour each
         assert_eq!(plans[0].recv.len(), 1);
         assert_eq!(plans[2].recv.len(), 1);
     }

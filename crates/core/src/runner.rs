@@ -18,12 +18,7 @@ use spmv_matrix::CsrMatrix;
 ///
 /// # Panics
 /// Propagates panics from rank threads.
-pub fn run_spmd<F, R>(
-    matrix: &CsrMatrix,
-    ranks: usize,
-    cfg: EngineConfig,
-    f: F,
-) -> Vec<R>
+pub fn run_spmd<F, R>(matrix: &CsrMatrix, ranks: usize, cfg: EngineConfig, f: F) -> Vec<R>
 where
     F: Fn(&mut RankEngine) -> R + Send + Sync,
     R: Send,
@@ -42,7 +37,11 @@ where
     F: Fn(&mut RankEngine) -> R + Send + Sync,
     R: Send,
 {
-    assert_eq!(matrix.nrows(), partition.nrows(), "partition must cover the matrix");
+    assert_eq!(
+        matrix.nrows(),
+        partition.nrows(),
+        "partition must cover the matrix"
+    );
     let ranks = partition.parts();
     let comms = CommWorld::create(ranks);
     let f = &f;
@@ -57,7 +56,10 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
     })
 }
 
@@ -121,9 +123,7 @@ mod tests {
     fn run_spmd_with_row_partition() {
         let m = synthetic::tridiagonal(60, 2.0, -1.0);
         let p = RowPartition::by_rows(60, 3);
-        let lens = run_spmd_with_partition(&m, &p, EngineConfig::pure_mpi(), |eng| {
-            eng.local_len()
-        });
+        let lens = run_spmd_with_partition(&m, &p, EngineConfig::pure_mpi(), |eng| eng.local_len());
         assert_eq!(lens, vec![20, 20, 20]);
     }
 

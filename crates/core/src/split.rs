@@ -33,7 +33,11 @@ impl SplitMatrix {
     /// Splits a rank-local row block (global column indices) according to
     /// `plan`.
     pub fn build(block: &CsrMatrix, plan: &RankPlan) -> Self {
-        assert_eq!(block.nrows(), plan.local_len, "block must match the plan's row range");
+        assert_eq!(
+            block.nrows(),
+            plan.local_len,
+            "block must match the plan's row range"
+        );
         let lo = plan.row_start as u32;
         let hi = lo + plan.local_len as u32;
         let halo_globals = plan.halo_globals();
@@ -63,7 +67,11 @@ impl SplitMatrix {
             bn.finish_row();
             bf.finish_row();
         }
-        let s = Self { local: bl.build(), nonlocal: bn.build(), full: bf.build() };
+        let s = Self {
+            local: bl.build(),
+            nonlocal: bn.build(),
+            full: bf.build(),
+        };
         debug_assert_eq!(s.local.nnz() + s.nonlocal.nnz(), block.nnz());
         debug_assert_eq!(s.full.nnz(), block.nnz());
         s
@@ -82,7 +90,11 @@ impl SplitMatrix {
     /// Fraction of this rank's nonzeros that depend on communication.
     pub fn nonlocal_fraction(&self) -> f64 {
         let total = self.local_nnz() + self.nonlocal_nnz();
-        if total == 0 { 0.0 } else { self.nonlocal_nnz() as f64 / total as f64 }
+        if total == 0 {
+            0.0
+        } else {
+            self.nonlocal_nnz() as f64 / total as f64
+        }
     }
 }
 
@@ -107,7 +119,10 @@ mod tests {
     fn split_conserves_nonzeros() {
         let m = synthetic::random_banded_symmetric(200, 20, 6.0, 4);
         let (_, splits) = split_all(&m, 4);
-        let total: usize = splits.iter().map(|s| s.local_nnz() + s.nonlocal_nnz()).sum();
+        let total: usize = splits
+            .iter()
+            .map(|s| s.local_nnz() + s.nonlocal_nnz())
+            .sum();
         assert_eq!(total, m.nnz());
     }
 
@@ -123,8 +138,7 @@ mod tests {
             let s = SplitMatrix::build(&block, plan);
             // assemble the extended RHS: local part then halo values
             let x_local = &x[range.clone()];
-            let halo: Vec<f64> =
-                plan.halo_globals().iter().map(|&g| x[g as usize]).collect();
+            let halo: Vec<f64> = plan.halo_globals().iter().map(|&g| x[g as usize]).collect();
             let mut x_ext = x_local.to_vec();
             x_ext.extend_from_slice(&halo);
 

@@ -87,7 +87,11 @@ pub fn parallel_symmetric_spmv(
     let chunks = &ws.chunks;
     let yp = MutPtr(y.as_mut_ptr());
     // stable addresses of the per-thread buffers
-    let buf_ptrs: Vec<MutPtr> = ws.buffers.iter_mut().map(|b| MutPtr(b.as_mut_ptr())).collect();
+    let buf_ptrs: Vec<MutPtr> = ws
+        .buffers
+        .iter_mut()
+        .map(|b| MutPtr(b.as_mut_ptr()))
+        .collect();
 
     team.run(|ctx| {
         let tid = ctx.tid;
@@ -205,7 +209,9 @@ mod tests {
     #[test]
     fn holstein_symmetric_parallel() {
         use spmv_matrix::holstein::{hamiltonian, HolsteinOrdering, HolsteinParams};
-        let h = hamiltonian(&HolsteinParams::test_scale(HolsteinOrdering::ElectronContiguous));
+        let h = hamiltonian(&HolsteinParams::test_scale(
+            HolsteinOrdering::ElectronContiguous,
+        ));
         let sym = SymmetricCsr::from_full(&h, 1e-12).unwrap();
         let x = vecops::random_vec(h.nrows(), 8);
         let mut y_ref = vec![0.0; h.nrows()];
@@ -223,7 +229,10 @@ mod tests {
         // nnzr: the reduction overhead eats the saving — exactly why the
         // paper was skeptical.
         let full_15 = code_balance_crs(15.0, 0.0);
-        assert!(symmetric_balance(15.0, 0.0, 1) < full_15, "1 thread must win at N_nzr=15");
+        assert!(
+            symmetric_balance(15.0, 0.0, 1) < full_15,
+            "1 thread must win at N_nzr=15"
+        );
         assert!(
             symmetric_balance(7.0, 0.0, 12) > code_balance_crs(7.0, 0.0),
             "12 threads at N_nzr=7 must lose"

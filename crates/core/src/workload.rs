@@ -81,8 +81,16 @@ pub fn analyze(matrix: &CsrMatrix, partition: &RowPartition) -> Vec<RankWorkload
                 nonlocal_nnz: split.nonlocal_nnz(),
                 gather_elems: plan.send_len(),
                 halo_elems: plan.halo_len(),
-                sends: plan.send.iter().map(|n| (n.peer, n.indices.len() * 8)).collect(),
-                recvs: plan.recv.iter().map(|n| (n.peer, n.indices.len() * 8)).collect(),
+                sends: plan
+                    .send
+                    .iter()
+                    .map(|n| (n.peer, n.indices.len() * 8))
+                    .collect(),
+                recvs: plan
+                    .recv
+                    .iter()
+                    .map(|n| (n.peer, n.indices.len() * 8))
+                    .collect(),
             }
         })
         .collect()
@@ -112,9 +120,15 @@ pub fn summarize(workloads: &[RankWorkload]) -> JobSummary {
         ranks,
         total_messages: workloads.iter().map(|w| w.sends.len()).sum(),
         total_bytes: workloads.iter().map(|w| w.bytes_out()).sum(),
-        worst_comm_to_comp: workloads.iter().map(|w| w.comm_to_comp()).fold(0.0, f64::max),
+        worst_comm_to_comp: workloads
+            .iter()
+            .map(|w| w.comm_to_comp())
+            .fold(0.0, f64::max),
         nnz_imbalance: if ideal > 0.0 {
-            workloads.iter().map(|w| w.nnz() as f64 / ideal).fold(0.0, f64::max)
+            workloads
+                .iter()
+                .map(|w| w.nnz() as f64 / ideal)
+                .fold(0.0, f64::max)
         } else {
             1.0
         },

@@ -21,8 +21,11 @@ pub enum HybridLayout {
 
 impl HybridLayout {
     /// All three layouts, in the order of the paper's figure panels.
-    pub const ALL: [HybridLayout; 3] =
-        [HybridLayout::ProcessPerCore, HybridLayout::ProcessPerLd, HybridLayout::ProcessPerNode];
+    pub const ALL: [HybridLayout; 3] = [
+        HybridLayout::ProcessPerCore,
+        HybridLayout::ProcessPerLd,
+        HybridLayout::ProcessPerNode,
+    ];
 
     /// Short label used in experiment output.
     pub fn label(&self) -> &'static str {
@@ -63,7 +66,10 @@ impl std::fmt::Display for LayoutError {
         match self {
             LayoutError::NoSmtAvailable => write!(f, "machine has no SMT for the comm thread"),
             LayoutError::NoComputeThreadsLeft => {
-                write!(f, "dedicating a core to communication leaves no compute threads")
+                write!(
+                    f,
+                    "dedicating a core to communication leaves no compute threads"
+                )
             }
             LayoutError::EmptyCluster => write!(f, "cluster must have at least one node"),
         }
@@ -147,25 +153,26 @@ pub fn plan_layout(
     let cores_per_node = node.num_cores();
 
     let mut ranks = Vec::new();
-    let mut push_rank = |node_id: usize, lds: Vec<usize>, cores: usize| -> Result<(), LayoutError> {
-        let compute = match comm {
-            CommThreadPlacement::DedicatedCore => {
-                if cores <= 1 {
-                    return Err(LayoutError::NoComputeThreadsLeft);
+    let mut push_rank =
+        |node_id: usize, lds: Vec<usize>, cores: usize| -> Result<(), LayoutError> {
+            let compute = match comm {
+                CommThreadPlacement::DedicatedCore => {
+                    if cores <= 1 {
+                        return Err(LayoutError::NoComputeThreadsLeft);
+                    }
+                    cores - 1
                 }
-                cores - 1
-            }
-            _ => cores,
+                _ => cores,
+            };
+            ranks.push(RankPlacement {
+                rank: ranks.len(),
+                node: node_id,
+                lds,
+                compute_threads: compute,
+                comm,
+            });
+            Ok(())
         };
-        ranks.push(RankPlacement {
-            rank: ranks.len(),
-            node: node_id,
-            lds,
-            compute_threads: compute,
-            comm,
-        });
-        Ok(())
-    };
 
     for n in 0..num_nodes {
         match layout {
@@ -186,7 +193,11 @@ pub fn plan_layout(
             }
         }
     }
-    Ok(LayoutPlan { layout, num_nodes, ranks })
+    Ok(LayoutPlan {
+        layout,
+        num_nodes,
+        ranks,
+    })
 }
 
 #[cfg(test)]
@@ -197,9 +208,13 @@ mod tests {
     #[test]
     fn per_core_layout_on_westmere() {
         let node = presets::westmere_ep_node();
-        let plan =
-            plan_layout(&node, 2, HybridLayout::ProcessPerCore, CommThreadPlacement::None)
-                .unwrap();
+        let plan = plan_layout(
+            &node,
+            2,
+            HybridLayout::ProcessPerCore,
+            CommThreadPlacement::None,
+        )
+        .unwrap();
         assert_eq!(plan.num_ranks(), 24);
         assert_eq!(plan.ranks_per_node(), 12);
         assert!(plan.ranks.iter().all(|r| r.compute_threads == 1));
@@ -214,8 +229,13 @@ mod tests {
     #[test]
     fn per_ld_layout_on_magny_cours() {
         let node = presets::magny_cours_node();
-        let plan =
-            plan_layout(&node, 3, HybridLayout::ProcessPerLd, CommThreadPlacement::None).unwrap();
+        let plan = plan_layout(
+            &node,
+            3,
+            HybridLayout::ProcessPerLd,
+            CommThreadPlacement::None,
+        )
+        .unwrap();
         assert_eq!(plan.num_ranks(), 12);
         assert!(plan.ranks.iter().all(|r| r.compute_threads == 6));
         assert_eq!(plan.ranks[5].node, 1);
@@ -225,9 +245,13 @@ mod tests {
     #[test]
     fn per_node_layout_spans_all_lds() {
         let node = presets::westmere_ep_node();
-        let plan =
-            plan_layout(&node, 4, HybridLayout::ProcessPerNode, CommThreadPlacement::SmtSibling)
-                .unwrap();
+        let plan = plan_layout(
+            &node,
+            4,
+            HybridLayout::ProcessPerNode,
+            CommThreadPlacement::SmtSibling,
+        )
+        .unwrap();
         assert_eq!(plan.num_ranks(), 4);
         assert_eq!(plan.ranks[2].lds, vec![4, 5]);
         assert_eq!(plan.ranks[2].compute_threads, 12);
@@ -237,39 +261,61 @@ mod tests {
     #[test]
     fn dedicated_core_reduces_compute_threads() {
         let node = presets::magny_cours_node();
-        let plan =
-            plan_layout(&node, 1, HybridLayout::ProcessPerLd, CommThreadPlacement::DedicatedCore)
-                .unwrap();
+        let plan = plan_layout(
+            &node,
+            1,
+            HybridLayout::ProcessPerLd,
+            CommThreadPlacement::DedicatedCore,
+        )
+        .unwrap();
         assert!(plan.ranks.iter().all(|r| r.compute_threads == 5));
     }
 
     #[test]
     fn smt_sibling_requires_smt() {
         let node = presets::magny_cours_node();
-        let err =
-            plan_layout(&node, 1, HybridLayout::ProcessPerCore, CommThreadPlacement::SmtSibling)
-                .unwrap_err();
+        let err = plan_layout(
+            &node,
+            1,
+            HybridLayout::ProcessPerCore,
+            CommThreadPlacement::SmtSibling,
+        )
+        .unwrap_err();
         assert_eq!(err, LayoutError::NoSmtAvailable);
         // Intel has SMT:
         let node = presets::westmere_ep_node();
-        assert!(plan_layout(&node, 1, HybridLayout::ProcessPerCore, CommThreadPlacement::SmtSibling)
-            .is_ok());
+        assert!(plan_layout(
+            &node,
+            1,
+            HybridLayout::ProcessPerCore,
+            CommThreadPlacement::SmtSibling
+        )
+        .is_ok());
     }
 
     #[test]
     fn dedicated_core_per_core_is_impossible() {
         let node = presets::westmere_ep_node();
-        let err =
-            plan_layout(&node, 1, HybridLayout::ProcessPerCore, CommThreadPlacement::DedicatedCore)
-                .unwrap_err();
+        let err = plan_layout(
+            &node,
+            1,
+            HybridLayout::ProcessPerCore,
+            CommThreadPlacement::DedicatedCore,
+        )
+        .unwrap_err();
         assert_eq!(err, LayoutError::NoComputeThreadsLeft);
     }
 
     #[test]
     fn zero_nodes_rejected() {
         let node = presets::westmere_ep_node();
-        let err = plan_layout(&node, 0, HybridLayout::ProcessPerNode, CommThreadPlacement::None)
-            .unwrap_err();
+        let err = plan_layout(
+            &node,
+            0,
+            HybridLayout::ProcessPerNode,
+            CommThreadPlacement::None,
+        )
+        .unwrap_err();
         assert_eq!(err, LayoutError::EmptyCluster);
     }
 

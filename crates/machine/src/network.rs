@@ -149,7 +149,11 @@ impl NetworkModel {
                 if src == dst {
                     return Vec::new();
                 }
-                torus_route(p, p.machine_node(src, num_nodes), p.machine_node(dst, num_nodes))
+                torus_route(
+                    p,
+                    p.machine_node(src, num_nodes),
+                    p.machine_node(dst, num_nodes),
+                )
             }
         }
     }
@@ -194,15 +198,31 @@ fn torus_route(p: &TorusParams, src: usize, dst: usize) -> Vec<TorusLink> {
         let fwd = (tx + dim_x - cx) % dim_x;
         let positive = fwd <= dim_x - fwd && fwd != 0;
         let node = cy * dim_x + cx;
-        links.push(TorusLink { node, dim: 0, positive });
-        cx = if positive { (cx + 1) % dim_x } else { (cx + dim_x - 1) % dim_x };
+        links.push(TorusLink {
+            node,
+            dim: 0,
+            positive,
+        });
+        cx = if positive {
+            (cx + 1) % dim_x
+        } else {
+            (cx + dim_x - 1) % dim_x
+        };
     }
     while cy != ty {
         let fwd = (ty + dim_y - cy) % dim_y;
         let positive = fwd <= dim_y - fwd && fwd != 0;
         let node = cy * dim_x + cx;
-        links.push(TorusLink { node, dim: 1, positive });
-        cy = if positive { (cy + 1) % dim_y } else { (cy + dim_y - 1) % dim_y };
+        links.push(TorusLink {
+            node,
+            dim: 1,
+            positive,
+        });
+        cy = if positive {
+            (cy + 1) % dim_y
+        } else {
+            (cy + dim_y - 1) % dim_y
+        };
     }
     links
 }
@@ -223,7 +243,10 @@ mod tests {
     }
 
     fn fat_tree() -> NetworkModel {
-        NetworkModel::FatTree(FatTreeParams { latency_us: 1.3, injection_gbs: 3.2 })
+        NetworkModel::FatTree(FatTreeParams {
+            latency_us: 1.3,
+            injection_gbs: 3.2,
+        })
     }
 
     #[test]
@@ -240,7 +263,14 @@ mod tests {
         let n = torus();
         let r = n.route(0, 1, 16);
         assert_eq!(r.len(), 1);
-        assert_eq!(r[0], TorusLink { node: 0, dim: 0, positive: true });
+        assert_eq!(
+            r[0],
+            TorusLink {
+                node: 0,
+                dim: 0,
+                positive: true
+            }
+        );
     }
 
     #[test]
@@ -248,7 +278,11 @@ mod tests {
         let n = torus();
         for src in 0..16 {
             for dst in 0..16 {
-                assert_eq!(n.route(src, dst, 16).len(), n.hops(src, dst, 16), "{src}->{dst}");
+                assert_eq!(
+                    n.route(src, dst, 16).len(),
+                    n.hops(src, dst, 16),
+                    "{src}->{dst}"
+                );
             }
         }
     }
@@ -327,8 +361,10 @@ mod tests {
             background_load: 0.0,
             placement: Placement::Compact,
         };
-        let scattered =
-            TorusParams { placement: Placement::Scattered { seed: 3 }, ..compact };
+        let scattered = TorusParams {
+            placement: Placement::Scattered { seed: 3 },
+            ..compact
+        };
         let hops = |p: TorusParams| -> usize {
             let n = NetworkModel::Torus2D(p);
             let mut total = 0;

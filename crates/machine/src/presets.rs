@@ -38,7 +38,10 @@ pub fn nehalem_ep_node() -> NodeTopology {
     NodeTopology {
         name: "dual Nehalem EP (Xeon X5550, 2×4 cores, 2 LDs)".into(),
         sockets: (0..2)
-            .map(|_| SocketSpec { name: "Xeon X5550".into(), lds: vec![nehalem_ld()] })
+            .map(|_| SocketSpec {
+                name: "Xeon X5550".into(),
+                lds: vec![nehalem_ld()],
+            })
             .collect(),
     }
 }
@@ -70,7 +73,10 @@ pub fn westmere_ep_node() -> NodeTopology {
     NodeTopology {
         name: "dual Westmere EP (Xeon X5650, 2×6 cores, 2 LDs)".into(),
         sockets: (0..2)
-            .map(|_| SocketSpec { name: "Xeon X5650".into(), lds: vec![westmere_ld()] })
+            .map(|_| SocketSpec {
+                name: "Xeon X5650".into(),
+                lds: vec![westmere_ld()],
+            })
             .collect(),
     }
 }
@@ -119,7 +125,10 @@ pub fn magny_cours_node() -> NodeTopology {
 /// dual-socket nodes. Still a real cost: "the overhead of intranode
 /// message passing cannot be neglected" (§4).
 fn intranode_default() -> IntranodeComm {
-    IntranodeComm { latency_us: 0.5, bandwidth_gbs: 12.0 }
+    IntranodeComm {
+        latency_us: 0.5,
+        bandwidth_gbs: 12.0,
+    }
 }
 
 /// The Westmere QDR-InfiniBand cluster of the paper: "standard dual-socket
@@ -131,7 +140,10 @@ pub fn westmere_cluster(num_nodes: usize) -> ClusterSpec {
         name: format!("Westmere QDR-IB cluster ({num_nodes} nodes)"),
         node: westmere_ep_node(),
         num_nodes,
-        network: NetworkModel::FatTree(FatTreeParams { latency_us: 1.3, injection_gbs: 3.2 }),
+        network: NetworkModel::FatTree(FatTreeParams {
+            latency_us: 1.3,
+            injection_gbs: 3.2,
+        }),
         intranode: intranode_default(),
     }
 }
@@ -142,7 +154,10 @@ pub fn nehalem_cluster(num_nodes: usize) -> ClusterSpec {
         name: format!("Nehalem QDR-IB cluster ({num_nodes} nodes)"),
         node: nehalem_ep_node(),
         num_nodes,
-        network: NetworkModel::FatTree(FatTreeParams { latency_us: 1.3, injection_gbs: 3.2 }),
+        network: NetworkModel::FatTree(FatTreeParams {
+            latency_us: 1.3,
+            injection_gbs: 3.2,
+        }),
         intranode: intranode_default(),
     }
 }

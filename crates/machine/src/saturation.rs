@@ -38,7 +38,10 @@ impl SaturationCurve {
         assert!(n >= 1);
         if n == 1 {
             // Degenerate: single measurement; assume near-linear small-k.
-            return Self { b_inf: b1 * 16.0, k_half: 15.0 };
+            return Self {
+                b_inf: b1 * 16.0,
+                k_half: 15.0,
+            };
         }
         let n_f = n as f64;
         assert!(
@@ -73,7 +76,9 @@ impl SaturationCurve {
     /// about four threads" observation, made quantitative.
     pub fn saturation_point(&self, n_cores: usize, frac: f64) -> usize {
         let target = frac * self.bandwidth(n_cores);
-        (1..=n_cores).find(|&k| self.bandwidth(k) >= target).unwrap_or(n_cores)
+        (1..=n_cores)
+            .find(|&k| self.bandwidth(k) >= target)
+            .unwrap_or(n_cores)
     }
 }
 
@@ -111,7 +116,10 @@ mod tests {
             let b = c.bandwidth(k);
             assert!(b > prev);
             let gain = b - prev;
-            assert!(gain <= prev_gain + 1e-12, "diminishing returns violated at k={k}");
+            assert!(
+                gain <= prev_gain + 1e-12,
+                "diminishing returns violated at k={k}"
+            );
             prev = b;
             prev_gain = gain;
         }
@@ -139,7 +147,10 @@ mod tests {
         let spmv = nehalem_spmv();
         let s_sat = stream.saturation_point(4, 0.9);
         let m_sat = spmv.saturation_point(4, 0.9);
-        assert!(s_sat < m_sat, "STREAM saturates at {s_sat}, SpMV at {m_sat}");
+        assert!(
+            s_sat < m_sat,
+            "STREAM saturates at {s_sat}, SpMV at {m_sat}"
+        );
         assert!(m_sat >= 4);
     }
 

@@ -85,7 +85,11 @@ impl NodeTopology {
 
     /// Number of physical cores.
     pub fn num_cores(&self) -> usize {
-        self.sockets.iter().flat_map(|s| &s.lds).map(|l| l.cores).sum()
+        self.sockets
+            .iter()
+            .flat_map(|s| &s.lds)
+            .map(|l| l.cores)
+            .sum()
     }
 
     /// Cores per LD; panics if LDs are heterogeneous (none of the modeled

@@ -18,7 +18,11 @@ pub struct CooMatrix {
 impl CooMatrix {
     /// An empty `nrows × ncols` matrix.
     pub fn new(nrows: usize, ncols: usize) -> Self {
-        Self { nrows, ncols, entries: Vec::new() }
+        Self {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
     }
 
     /// Adds `value` at `(row, col)`.
@@ -92,12 +96,18 @@ impl CooMatrix {
             }
             row_ptr.push(col_idx.len());
         }
-        Ok(CsrMatrix::from_parts_unchecked(self.nrows, self.ncols, row_ptr, col_idx, values))
+        Ok(CsrMatrix::from_parts_unchecked(
+            self.nrows, self.ncols, row_ptr, col_idx, values,
+        ))
     }
 
     /// Builds a COO matrix from a CSR matrix (used for round-trip I/O).
     pub fn from_csr(m: &CsrMatrix) -> Self {
-        Self { nrows: m.nrows(), ncols: m.ncols(), entries: m.triplets().collect() }
+        Self {
+            nrows: m.nrows(),
+            ncols: m.ncols(),
+            entries: m.triplets().collect(),
+        }
     }
 }
 

@@ -64,7 +64,10 @@ impl CsrMatrix {
             return Err(MatrixError::DimensionTooLarge { ncols });
         }
         if row_ptr.len() != nrows + 1 {
-            return Err(MatrixError::RowPtrLength { expected: nrows + 1, got: row_ptr.len() });
+            return Err(MatrixError::RowPtrLength {
+                expected: nrows + 1,
+                got: row_ptr.len(),
+            });
         }
         if row_ptr[0] != 0 {
             return Err(MatrixError::RowPtrNotMonotonic { row: 0 });
@@ -90,11 +93,21 @@ impl CsrMatrix {
             }
             if let Some(&last) = row.last() {
                 if last as usize >= ncols {
-                    return Err(MatrixError::ColumnOutOfRange { row: i, col: last, ncols });
+                    return Err(MatrixError::ColumnOutOfRange {
+                        row: i,
+                        col: last,
+                        ncols,
+                    });
                 }
             }
         }
-        Ok(Self { nrows, ncols, row_ptr, col_idx, values })
+        Ok(Self {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        })
     }
 
     /// Builds a matrix without validation.
@@ -109,10 +122,21 @@ impl CsrMatrix {
         col_idx: Vec<u32>,
         values: Vec<f64>,
     ) -> Self {
-        debug_assert!(
-            Self::try_new(nrows, ncols, row_ptr.clone(), col_idx.clone(), values.clone()).is_ok()
-        );
-        Self { nrows, ncols, row_ptr, col_idx, values }
+        debug_assert!(Self::try_new(
+            nrows,
+            ncols,
+            row_ptr.clone(),
+            col_idx.clone(),
+            values.clone()
+        )
+        .is_ok());
+        Self {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// The `n × n` identity matrix.
@@ -120,7 +144,13 @@ impl CsrMatrix {
         let row_ptr = (0..=n).collect();
         let col_idx = (0..n as u32).collect();
         let values = vec![1.0; n];
-        Self { nrows: n, ncols: n, row_ptr, col_idx, values }
+        Self {
+            nrows: n,
+            ncols: n,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// A square matrix with the given diagonal.
@@ -155,12 +185,19 @@ impl CsrMatrix {
 
     /// Average nonzeros per row (the paper's `N_nzr = N_nz / N_r`).
     pub fn avg_nnz_per_row(&self) -> f64 {
-        if self.nrows == 0 { 0.0 } else { self.nnz() as f64 / self.nrows as f64 }
+        if self.nrows == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.nrows as f64
+        }
     }
 
     /// Maximum nonzeros in any row.
     pub fn max_nnz_per_row(&self) -> usize {
-        (0..self.nrows).map(|i| self.row_range(i).len()).max().unwrap_or(0)
+        (0..self.nrows)
+            .map(|i| self.row_range(i).len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// The row pointer array (`nrows + 1` entries, last one equals `nnz`).
@@ -213,7 +250,9 @@ impl CsrMatrix {
     pub fn triplets(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         (0..self.nrows).flat_map(move |i| {
             let (cols, vals) = self.row(i);
-            cols.iter().zip(vals.iter()).map(move |(&c, &v)| (i, c as usize, v))
+            cols.iter()
+                .zip(vals.iter())
+                .map(move |(&c, &v)| (i, c as usize, v))
         })
     }
 
@@ -257,12 +296,111 @@ impl CsrMatrix {
     pub fn spmv_rows(&self, rows: std::ops::Range<usize>, x: &[f64], y: &mut [f64]) {
         assert!(rows.end <= self.nrows);
         assert_eq!(x.len(), self.ncols);
+        assert!(
+            y.len() >= rows.end,
+            "y length {} too short for row block ending at {}",
+            y.len(),
+            rows.end
+        );
         for i in rows {
             let mut sum = 0.0;
             for j in self.row_range(i) {
                 sum += self.values[j] * x[self.col_idx[j] as usize];
             }
             y[i] = sum;
+        }
+    }
+
+    /// Row-block SpMV through the 4-way unrolled row kernel
+    /// ([`row_dot_unrolled4`]). With `add`, accumulates `y[i] += …` instead
+    /// of overwriting (the split-kernel form of the paper's Eq. 2).
+    pub fn spmv_rows_unrolled(
+        &self,
+        rows: std::ops::Range<usize>,
+        x: &[f64],
+        y: &mut [f64],
+        add: bool,
+    ) {
+        assert!(rows.end <= self.nrows);
+        assert_eq!(x.len(), self.ncols);
+        assert!(
+            y.len() >= rows.end,
+            "y length {} too short for row block ending at {}",
+            y.len(),
+            rows.end
+        );
+        for i in rows {
+            let (cols, vals) = self.row(i);
+            let sum = row_dot_unrolled4(cols, vals, x);
+            if add {
+                y[i] += sum;
+            } else {
+                y[i] = sum;
+            }
+        }
+    }
+
+    /// Row-block SpMV through the iterator/slice-window row kernel
+    /// ([`row_dot_sliced`]): bounds checks on the row slices vanish, only
+    /// the `x` gather stays checked.
+    pub fn spmv_rows_sliced(
+        &self,
+        rows: std::ops::Range<usize>,
+        x: &[f64],
+        y: &mut [f64],
+        add: bool,
+    ) {
+        assert!(rows.end <= self.nrows);
+        assert_eq!(x.len(), self.ncols);
+        assert!(
+            y.len() >= rows.end,
+            "y length {} too short for row block ending at {}",
+            y.len(),
+            rows.end
+        );
+        for i in rows {
+            let (cols, vals) = self.row(i);
+            let sum = row_dot_sliced(cols, vals, x);
+            if add {
+                y[i] += sum;
+            } else {
+                y[i] = sum;
+            }
+        }
+    }
+
+    /// Row-block SpMV with all bounds checks removed (`fast-kernels`
+    /// feature only).
+    ///
+    /// # Safety
+    /// The matrix invariants guarantee in-range row slices and column
+    /// indices, so the only obligations on the caller are the same as for
+    /// the safe kernels: `x.len() == ncols`, `y.len() >= rows.end`,
+    /// `rows.end <= nrows` — all checked by `debug_assert!` here and
+    /// enforced by the public wrappers in `spmv-core`.
+    #[cfg(feature = "fast-kernels")]
+    pub unsafe fn spmv_rows_unchecked(
+        &self,
+        rows: std::ops::Range<usize>,
+        x: &[f64],
+        y: &mut [f64],
+        add: bool,
+    ) {
+        debug_assert!(rows.end <= self.nrows);
+        debug_assert_eq!(x.len(), self.ncols);
+        debug_assert!(y.len() >= rows.end);
+        for i in rows {
+            let lo = *self.row_ptr.get_unchecked(i);
+            let hi = *self.row_ptr.get_unchecked(i + 1);
+            let cols = self.col_idx.get_unchecked(lo..hi);
+            let vals = self.values.get_unchecked(lo..hi);
+            let sum = row_dot_unchecked(cols, vals, x);
+            let dst = y.get_unchecked_mut(i);
+            if add {
+                *dst += sum;
+            } else {
+                *dst = sum;
+            }
         }
     }
 
@@ -290,7 +428,13 @@ impl CsrMatrix {
         }
         // Rows of the transpose are filled in increasing source-row order,
         // so each row is already sorted.
-        CsrMatrix { nrows: self.ncols, ncols: self.nrows, row_ptr, col_idx, values }
+        CsrMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Checks structural and numerical symmetry to tolerance `tol`.
@@ -315,8 +459,10 @@ impl CsrMatrix {
         assert!(rows.end <= self.nrows);
         let base = self.row_ptr[rows.start];
         let end = self.row_ptr[rows.end];
-        let row_ptr: Vec<usize> =
-            self.row_ptr[rows.start..=rows.end].iter().map(|&p| p - base).collect();
+        let row_ptr: Vec<usize> = self.row_ptr[rows.start..=rows.end]
+            .iter()
+            .map(|&p| p - base)
+            .collect();
         CsrMatrix {
             nrows: rows.len(),
             ncols: self.ncols,
@@ -346,7 +492,9 @@ impl CsrMatrix {
             let (cols, vals) = self.row(old_i);
             scratch.clear();
             scratch.extend(
-                cols.iter().zip(vals.iter()).map(|(&c, &v)| (perm.apply(c as usize) as u32, v)),
+                cols.iter()
+                    .zip(vals.iter())
+                    .map(|(&c, &v)| (perm.apply(c as usize) as u32, v)),
             );
             scratch.sort_unstable_by_key(|&(c, _)| c);
             for &(c, v) in &scratch {
@@ -355,7 +503,13 @@ impl CsrMatrix {
             }
             row_ptr.push(col_idx.len());
         }
-        Ok(CsrMatrix { nrows: self.nrows, ncols: self.ncols, row_ptr, col_idx, values })
+        Ok(CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            row_ptr,
+            col_idx,
+            values,
+        })
     }
 
     /// Frobenius norm of the stored entries.
@@ -369,7 +523,9 @@ impl CsrMatrix {
         for i in 0..self.nrows {
             let (cols, _) = self.row(i);
             if let (Some(&first), Some(&last)) = (cols.first(), cols.last()) {
-                bw = bw.max(i.abs_diff(first as usize)).max(i.abs_diff(last as usize));
+                bw = bw
+                    .max(i.abs_diff(first as usize))
+                    .max(i.abs_diff(last as usize));
             }
         }
         bw
@@ -383,8 +539,96 @@ impl CsrMatrix {
 
     /// Consumes the matrix, returning `(nrows, ncols, row_ptr, col_idx, values)`.
     pub fn into_parts(self) -> (usize, usize, Vec<usize>, Vec<u32>, Vec<f64>) {
-        (self.nrows, self.ncols, self.row_ptr, self.col_idx, self.values)
+        (
+            self.nrows,
+            self.ncols,
+            self.row_ptr,
+            self.col_idx,
+            self.values,
+        )
     }
+}
+
+// --- per-row dot-product kernels -------------------------------------------
+//
+// The inner loop of the CRS SpMV is a sparse dot product of one row against
+// the RHS. These helpers are the single source of truth for every kernel
+// variant — the safe whole-matrix methods above, the row-range forms, and
+// the dispatching kernels in `spmv-core` all call into them — so validating
+// one helper validates every path that uses it.
+
+/// Scalar reference row kernel: a plain indexed loop, numerically identical
+/// to [`CsrMatrix::spmv`].
+#[inline(always)]
+pub fn row_dot_scalar(cols: &[u32], vals: &[f64], x: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    for k in 0..cols.len() {
+        sum += vals[k] * x[cols[k] as usize];
+    }
+    sum
+}
+
+/// 4-way unrolled row kernel: four independent partial sums break the
+/// floating-point add dependency chain so out-of-order cores keep several
+/// FMAs in flight. Reassociates the sum, so results differ from the scalar
+/// kernel by FP rounding only.
+#[inline(always)]
+pub fn row_dot_unrolled4(cols: &[u32], vals: &[f64], x: &[f64]) -> f64 {
+    debug_assert_eq!(cols.len(), vals.len());
+    let n4 = cols.len() & !3;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for (c, v) in cols[..n4].chunks_exact(4).zip(vals[..n4].chunks_exact(4)) {
+        s0 += v[0] * x[c[0] as usize];
+        s1 += v[1] * x[c[1] as usize];
+        s2 += v[2] * x[c[2] as usize];
+        s3 += v[3] * x[c[3] as usize];
+    }
+    let mut tail = 0.0;
+    for (&c, &v) in cols[n4..].iter().zip(&vals[n4..]) {
+        tail += v * x[c as usize];
+    }
+    (s0 + s1) + (s2 + s3) + tail
+}
+
+/// Iterator/slice-window row kernel: expressed as a `zip`-`map`-`sum` chain
+/// so LLVM proves the row slices in-bounds and drops those checks; only the
+/// indexed gather from `x` remains checked. Same association order as the
+/// scalar kernel, so results are bit-identical to it.
+#[inline(always)]
+pub fn row_dot_sliced(cols: &[u32], vals: &[f64], x: &[f64]) -> f64 {
+    cols.iter()
+        .zip(vals)
+        .map(|(&c, &v)| v * x[c as usize])
+        .sum()
+}
+
+/// Unchecked row kernel (`fast-kernels` feature): the unrolled form with
+/// `get_unchecked` gathers from `x`.
+///
+/// # Safety
+/// Every entry of `cols` must be `< x.len()` — guaranteed by the
+/// [`CsrMatrix`] construction invariant when `x.len() == ncols`.
+#[cfg(feature = "fast-kernels")]
+#[inline(always)]
+pub unsafe fn row_dot_unchecked(cols: &[u32], vals: &[f64], x: &[f64]) -> f64 {
+    debug_assert_eq!(cols.len(), vals.len());
+    debug_assert!(cols.iter().all(|&c| (c as usize) < x.len()));
+    let n4 = cols.len() & !3;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let mut k = 0;
+    while k + 4 <= n4 {
+        s0 += *vals.get_unchecked(k) * *x.get_unchecked(*cols.get_unchecked(k) as usize);
+        s1 += *vals.get_unchecked(k + 1) * *x.get_unchecked(*cols.get_unchecked(k + 1) as usize);
+        s2 += *vals.get_unchecked(k + 2) * *x.get_unchecked(*cols.get_unchecked(k + 2) as usize);
+        s3 += *vals.get_unchecked(k + 3) * *x.get_unchecked(*cols.get_unchecked(k + 3) as usize);
+        k += 4;
+    }
+    let mut tail = 0.0;
+    while k < cols.len() {
+        tail += *vals.get_unchecked(k) * *x.get_unchecked(*cols.get_unchecked(k) as usize);
+        k += 1;
+    }
+    (s0 + s1) + (s2 + s3) + tail
 }
 
 /// Incremental row-by-row CSR builder used by all matrix generators.
@@ -477,13 +721,18 @@ mod tests {
     #[test]
     fn try_new_validates_row_ptr_length() {
         let err = CsrMatrix::try_new(2, 2, vec![0, 1], vec![0], vec![1.0]).unwrap_err();
-        assert_eq!(err, MatrixError::RowPtrLength { expected: 3, got: 2 });
+        assert_eq!(
+            err,
+            MatrixError::RowPtrLength {
+                expected: 3,
+                got: 2
+            }
+        );
     }
 
     #[test]
     fn try_new_validates_monotonicity() {
-        let err =
-            CsrMatrix::try_new(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).unwrap_err();
+        let err = CsrMatrix::try_new(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).unwrap_err();
         assert_eq!(err, MatrixError::RowPtrNotMonotonic { row: 1 });
     }
 
@@ -501,11 +750,9 @@ mod tests {
 
     #[test]
     fn try_new_rejects_unsorted_and_duplicate_rows() {
-        let err =
-            CsrMatrix::try_new(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).unwrap_err();
+        let err = CsrMatrix::try_new(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).unwrap_err();
         assert_eq!(err, MatrixError::UnsortedRow { row: 0 });
-        let err =
-            CsrMatrix::try_new(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 1.0]).unwrap_err();
+        let err = CsrMatrix::try_new(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 1.0]).unwrap_err();
         assert_eq!(err, MatrixError::UnsortedRow { row: 0 });
     }
 
@@ -645,7 +892,86 @@ mod tests {
         let t: Vec<_> = a.triplets().collect();
         assert_eq!(
             t,
-            vec![(0, 0, 2.0), (0, 2, 1.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)]
+            vec![
+                (0, 0, 2.0),
+                (0, 2, 1.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0)
+            ]
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "y length")]
+    fn spmv_rows_rejects_short_y() {
+        let a = small();
+        let x = vec![1.0; a.ncols()];
+        let mut y = vec![0.0; 2]; // too short for rows 0..3
+        a.spmv_rows(0..3, &x, &mut y);
+    }
+
+    /// All fast row-range kernels against the scalar reference, on a matrix
+    /// with row lengths 0..~20 so every unroll tail case is exercised.
+    #[test]
+    fn fast_kernels_match_scalar_reference() {
+        let m = crate::synthetic::power_law_rows(120, 6.0, 1.0, 42);
+        let n = m.nrows();
+        let x = crate::vecops::random_vec(m.ncols(), 7);
+        let mut y_ref = vec![0.0; n];
+        m.spmv(&x, &mut y_ref);
+
+        let mut y = vec![f64::NAN; n];
+        m.spmv_rows_unrolled(0..n, &x, &mut y, false);
+        assert!(crate::vecops::rel_error(&y, &y_ref) < 1e-13, "unrolled4");
+
+        let mut y = vec![f64::NAN; n];
+        m.spmv_rows_sliced(0..n, &x, &mut y, false);
+        assert_eq!(y, y_ref, "sliced kernel keeps scalar association order");
+
+        #[cfg(feature = "fast-kernels")]
+        {
+            let mut y = vec![f64::NAN; n];
+            unsafe { m.spmv_rows_unchecked(0..n, &x, &mut y, false) };
+            assert!(crate::vecops::rel_error(&y, &y_ref) < 1e-13, "unchecked");
+        }
+    }
+
+    #[test]
+    fn fast_kernels_accumulate_with_add() {
+        let m = crate::synthetic::random_general(40, 40, 5, 3);
+        let x = crate::vecops::random_vec(40, 4);
+        let mut y_ref = vec![1.0; 40];
+        m.spmv_add(&x, &mut y_ref);
+
+        let mut y = vec![1.0; 40];
+        m.spmv_rows_unrolled(0..40, &x, &mut y, true);
+        assert!(crate::vecops::rel_error(&y, &y_ref) < 1e-13);
+
+        let mut y = vec![1.0; 40];
+        m.spmv_rows_sliced(0..40, &x, &mut y, true);
+        assert!(crate::vecops::rel_error(&y, &y_ref) < 1e-13);
+    }
+
+    #[test]
+    fn row_dot_helpers_handle_tails() {
+        // lengths 0..=9 hit every chunks_exact(4) remainder case
+        let x: Vec<f64> = (0..32).map(|i| i as f64 * 0.5 - 3.0).collect();
+        for len in 0..=9usize {
+            let cols: Vec<u32> = (0..len).map(|k| ((k * 7) % 32) as u32).collect();
+            let vals: Vec<f64> = (0..len).map(|k| k as f64 - 2.5).collect();
+            let reference = row_dot_scalar(&cols, &vals, &x);
+            let got = row_dot_unrolled4(&cols, &vals, &x);
+            assert!(
+                (got - reference).abs() < 1e-12,
+                "len {len}: {got} vs {reference}"
+            );
+            assert_eq!(row_dot_sliced(&cols, &vals, &x), reference, "len {len}");
+            #[cfg(feature = "fast-kernels")]
+            {
+                let u = unsafe { row_dot_unchecked(&cols, &vals, &x) };
+                assert!((u - reference).abs() < 1e-12, "len {len}");
+            }
+        }
     }
 }

@@ -51,7 +51,15 @@ impl EllMatrix {
                 col_idx[k * nrows + i] = i.min(m.ncols().saturating_sub(1)) as u32;
             }
         }
-        Self { nrows, ncols: m.ncols(), width, col_idx, values, row_len, nnz: m.nnz() }
+        Self {
+            nrows,
+            ncols: m.ncols(),
+            width,
+            col_idx,
+            values,
+            row_len,
+            nnz: m.nnz(),
+        }
     }
 
     /// Converts back to CSR (drops padding).
@@ -59,7 +67,10 @@ impl EllMatrix {
         let mut b = crate::csr::CsrBuilder::new(self.ncols, self.nnz);
         for i in 0..self.nrows {
             for k in 0..self.row_len[i] as usize {
-                b.push(self.col_idx[k * self.nrows + i] as usize, self.values[k * self.nrows + i]);
+                b.push(
+                    self.col_idx[k * self.nrows + i] as usize,
+                    self.values[k * self.nrows + i],
+                );
             }
             b.finish_row();
         }
@@ -127,7 +138,8 @@ impl EllMatrix {
         for i in 0..self.nrows {
             let mut sum = 0.0;
             for k in 0..self.width {
-                sum += self.values[k * self.nrows + i] * x[self.col_idx[k * self.nrows + i] as usize];
+                sum +=
+                    self.values[k * self.nrows + i] * x[self.col_idx[k * self.nrows + i] as usize];
             }
             y[i] = sum;
         }
@@ -209,7 +221,9 @@ mod tests {
     #[test]
     fn holstein_fill_efficiency_is_moderate() {
         use crate::holstein::{hamiltonian, HolsteinOrdering, HolsteinParams};
-        let h = hamiltonian(&HolsteinParams::test_scale(HolsteinOrdering::ElectronContiguous));
+        let h = hamiltonian(&HolsteinParams::test_scale(
+            HolsteinOrdering::ElectronContiguous,
+        ));
         let e = EllMatrix::from_csr(&h);
         // Hamiltonian rows vary between ~8 and ~16 entries
         let f = e.fill_efficiency();

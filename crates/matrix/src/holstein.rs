@@ -214,8 +214,16 @@ impl SpinBasis {
         }
         let new_mask = (mask & !(1 << j)) | (1 << i);
         let (lo, hi) = if i < j { (i, j) } else { (j, i) };
-        let between = if hi - lo <= 1 { 0 } else { (mask >> (lo + 1)) & ((1 << (hi - lo - 1)) - 1) };
-        let sign = if between.count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+        let between = if hi - lo <= 1 {
+            0
+        } else {
+            (mask >> (lo + 1)) & ((1 << (hi - lo - 1)) - 1)
+        };
+        let sign = if between.count_ones() % 2 == 0 {
+            1.0
+        } else {
+            -1.0
+        };
         Some((new_mask, sign))
     }
 }
@@ -277,7 +285,12 @@ impl ElectronSector {
                 }
             }
         }
-        Self { dim, hops, density, double_occ }
+        Self {
+            dim,
+            hops,
+            density,
+            double_occ,
+        }
     }
 }
 
@@ -308,17 +321,32 @@ impl BosonBasis {
         let mut choose = vec![vec![1u64; max_total as usize + 1]; s + 1];
         for r in 1..=s {
             for b in 0..=max_total as usize {
-                choose[r][b] =
-                    if b == 0 { 1 } else { choose[r][b - 1] + choose[r - 1][b] };
+                choose[r][b] = if b == 0 {
+                    1
+                } else {
+                    choose[r][b - 1] + choose[r - 1][b]
+                };
             }
         }
         let mut states = Vec::new();
         let mut cur = vec![0u8; s];
         Self::enumerate(&mut states, &mut cur, 0, max_total, exactly);
-        Self { sites: s, max_total, exactly, states, choose }
+        Self {
+            sites: s,
+            max_total,
+            exactly,
+            states,
+            choose,
+        }
     }
 
-    fn enumerate(out: &mut Vec<Vec<u8>>, cur: &mut Vec<u8>, pos: usize, budget: u32, exactly: bool) {
+    fn enumerate(
+        out: &mut Vec<Vec<u8>>,
+        cur: &mut Vec<u8>,
+        pos: usize,
+        budget: u32,
+        exactly: bool,
+    ) {
         if pos == cur.len() {
             if !exactly || budget == 0 {
                 out.push(cur.clone());
@@ -349,7 +377,11 @@ impl BosonBasis {
                 // Number of tails with total ≤ rem (AtMost) or == rem (Exactly).
                 rank += if self.exactly {
                     if tail == 0 {
-                        if rem == 0 { 1 } else { 0 }
+                        if rem == 0 {
+                            1
+                        } else {
+                            0
+                        }
                     } else {
                         self.choose[tail - 1][rem as usize] // C(rem + tail - 1, tail - 1)
                     }
@@ -417,8 +449,9 @@ pub fn hamiltonian(params: &HolsteinParams) -> CsrMatrix {
     let dim = del * dph;
 
     // Precompute phonon data.
-    let ph_diag: Vec<f64> =
-        (0..dph).map(|p| params.omega0 * ph.total(p) as f64).collect();
+    let ph_diag: Vec<f64> = (0..dph)
+        .map(|p| params.omega0 * ph.total(p) as f64)
+        .collect();
     let ph_trans: Vec<Vec<(usize, usize, f64)>> = (0..dph).map(|p| ph.transitions(p)).collect();
 
     // ~15 nonzeros per row at paper scale.
@@ -488,7 +521,10 @@ mod tests {
         let p = HolsteinParams::paper_scale(HolsteinOrdering::ElectronContiguous);
         assert_eq!(p.electron_dim(), 400);
         // Exactly(15) on 6 sites reproduces the paper's 15 504.
-        let exact = HolsteinParams { truncation: PhononTruncation::Exactly(15), ..p };
+        let exact = HolsteinParams {
+            truncation: PhononTruncation::Exactly(15),
+            ..p
+        };
         assert_eq!(exact.phonon_dim(), 15504);
         assert_eq!(exact.dim(), 6_201_600);
     }
@@ -550,15 +586,20 @@ mod tests {
                 let found = back
                     .iter()
                     .any(|&(r, s2, a2)| r == p && s2 == site && (a2 - amp).abs() < 1e-14);
-                assert!(found, "transition {p}->{q} at site {site} lacks symmetric partner");
+                assert!(
+                    found,
+                    "transition {p}->{q} at site {site} lacks symmetric partner"
+                );
             }
         }
     }
 
     #[test]
     fn hamiltonian_is_symmetric_small() {
-        for ordering in [HolsteinOrdering::PhononContiguous, HolsteinOrdering::ElectronContiguous]
-        {
+        for ordering in [
+            HolsteinOrdering::PhononContiguous,
+            HolsteinOrdering::ElectronContiguous,
+        ] {
             let params = HolsteinParams {
                 sites: 3,
                 n_up: 1,
@@ -650,8 +691,10 @@ mod tests {
         for (i, j, _) in h.triplets() {
             let (ei, pi) = (i / dph, i % dph);
             let (ej, pj) = (j / dph, j % dph);
-            assert!(i == j || (pi == pj && ei != ej),
-                "unexpected coupling entry ({i},{j})");
+            assert!(
+                i == j || (pi == pj && ei != ej),
+                "unexpected coupling entry ({i},{j})"
+            );
         }
     }
 }

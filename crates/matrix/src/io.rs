@@ -33,12 +33,18 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CsrMatrix> {
         Some(Err(e)) => return Err(MatrixError::Parse(e.to_string())),
         None => return Err(MatrixError::Parse("empty input".into())),
     };
-    let h: Vec<String> = header.split_whitespace().map(|t| t.to_ascii_lowercase()).collect();
+    let h: Vec<String> = header
+        .split_whitespace()
+        .map(|t| t.to_ascii_lowercase())
+        .collect();
     if h.len() < 5 || h[0] != "%%matrixmarket" || h[1] != "matrix" {
         return Err(MatrixError::Parse(format!("bad header: {header}")));
     }
     if h[2] != "coordinate" {
-        return Err(MatrixError::Parse(format!("unsupported container: {}", h[2])));
+        return Err(MatrixError::Parse(format!(
+            "unsupported container: {}",
+            h[2]
+        )));
     }
     let field = match h[3].as_str() {
         "real" => Field::Real,
@@ -70,7 +76,8 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CsrMatrix> {
         return Err(MatrixError::Parse(format!("bad size line: {size_line}")));
     }
     let parse_usize = |s: &str| {
-        s.parse::<usize>().map_err(|_| MatrixError::Parse(format!("bad integer: {s}")))
+        s.parse::<usize>()
+            .map_err(|_| MatrixError::Parse(format!("bad integer: {s}")))
     };
     let nrows = parse_usize(parts[0])?;
     let ncols = parse_usize(parts[1])?;
@@ -85,16 +92,27 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CsrMatrix> {
             continue;
         }
         let mut it = t.split_whitespace();
-        let i = parse_usize(it.next().ok_or_else(|| MatrixError::Parse("short entry".into()))?)?;
-        let j = parse_usize(it.next().ok_or_else(|| MatrixError::Parse("short entry".into()))?)?;
+        let i = parse_usize(
+            it.next()
+                .ok_or_else(|| MatrixError::Parse("short entry".into()))?,
+        )?;
+        let j = parse_usize(
+            it.next()
+                .ok_or_else(|| MatrixError::Parse("short entry".into()))?,
+        )?;
         if i == 0 || j == 0 || i > nrows || j > ncols {
-            return Err(MatrixError::Parse(format!("coordinate out of range: {i} {j}")));
+            return Err(MatrixError::Parse(format!(
+                "coordinate out of range: {i} {j}"
+            )));
         }
         let v = match field {
             Field::Pattern => 1.0,
             Field::Real | Field::Integer => {
-                let s = it.next().ok_or_else(|| MatrixError::Parse("missing value".into()))?;
-                s.parse::<f64>().map_err(|_| MatrixError::Parse(format!("bad value: {s}")))?
+                let s = it
+                    .next()
+                    .ok_or_else(|| MatrixError::Parse("missing value".into()))?;
+                s.parse::<f64>()
+                    .map_err(|_| MatrixError::Parse(format!("bad value: {s}")))?
             }
         };
         let (i, j) = (i - 1, j - 1);
@@ -115,7 +133,9 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CsrMatrix> {
         read += 1;
     }
     if read != nnz {
-        return Err(MatrixError::Parse(format!("expected {nnz} entries, read {read}")));
+        return Err(MatrixError::Parse(format!(
+            "expected {nnz} entries, read {read}"
+        )));
     }
     coo.to_csr()
 }
@@ -158,13 +178,15 @@ pub fn write_binary<W: Write>(m: &CsrMatrix, mut w: W) -> std::io::Result<()> {
 /// invariants.
 pub fn read_binary<R: std::io::Read>(mut r: R) -> Result<CsrMatrix> {
     let mut magic = [0u8; 8];
-    r.read_exact(&mut magic).map_err(|e| MatrixError::Parse(e.to_string()))?;
+    r.read_exact(&mut magic)
+        .map_err(|e| MatrixError::Parse(e.to_string()))?;
     if &magic != BINARY_MAGIC {
         return Err(MatrixError::Parse("bad magic: not a SPMVCSR1 file".into()));
     }
     let mut u64buf = [0u8; 8];
     let mut read_u64 = |r: &mut R| -> Result<u64> {
-        r.read_exact(&mut u64buf).map_err(|e| MatrixError::Parse(e.to_string()))?;
+        r.read_exact(&mut u64buf)
+            .map_err(|e| MatrixError::Parse(e.to_string()))?;
         Ok(u64::from_le_bytes(u64buf))
     };
     let nrows = read_u64(&mut r)? as usize;
@@ -172,24 +194,29 @@ pub fn read_binary<R: std::io::Read>(mut r: R) -> Result<CsrMatrix> {
     let nnz = read_u64(&mut r)? as usize;
     // sanity cap: refuse absurd headers before allocating
     if nrows > (1 << 40) || ncols > u32::MAX as usize || nnz > (1 << 40) {
-        return Err(MatrixError::Parse("implausible dimensions in header".into()));
+        return Err(MatrixError::Parse(
+            "implausible dimensions in header".into(),
+        ));
     }
     let mut row_ptr = Vec::with_capacity(nrows + 1);
     for _ in 0..=nrows {
         let mut b = [0u8; 8];
-        r.read_exact(&mut b).map_err(|e| MatrixError::Parse(e.to_string()))?;
+        r.read_exact(&mut b)
+            .map_err(|e| MatrixError::Parse(e.to_string()))?;
         row_ptr.push(u64::from_le_bytes(b) as usize);
     }
     let mut col_idx = Vec::with_capacity(nnz);
     for _ in 0..nnz {
         let mut b = [0u8; 4];
-        r.read_exact(&mut b).map_err(|e| MatrixError::Parse(e.to_string()))?;
+        r.read_exact(&mut b)
+            .map_err(|e| MatrixError::Parse(e.to_string()))?;
         col_idx.push(u32::from_le_bytes(b));
     }
     let mut values = Vec::with_capacity(nnz);
     for _ in 0..nnz {
         let mut b = [0u8; 8];
-        r.read_exact(&mut b).map_err(|e| MatrixError::Parse(e.to_string()))?;
+        r.read_exact(&mut b)
+            .map_err(|e| MatrixError::Parse(e.to_string()))?;
         values.push(f64::from_le_bytes(b));
     }
     CsrMatrix::try_new(nrows, ncols, row_ptr, col_idx, values)
@@ -266,7 +293,9 @@ mod tests {
         assert!(parse("%%MatrixMarket matrix array real general\n1 1\n1.0\n").is_err());
         assert!(parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n").is_err());
         assert!(parse("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n").is_err());
-        assert!(parse("%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n").is_err());
+        assert!(
+            parse("%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n").is_err()
+        );
         assert!(parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 abc\n").is_err());
     }
 

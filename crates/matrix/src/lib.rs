@@ -33,7 +33,9 @@ pub mod holstein;
 pub mod io;
 pub mod perm;
 pub mod rcm;
+pub mod rng;
 pub mod samg;
+pub mod sell;
 pub mod stats;
 pub mod sym;
 pub mod synthetic;
@@ -43,6 +45,7 @@ pub use coo::CooMatrix;
 pub use csr::{CsrBuilder, CsrMatrix};
 pub use ell::EllMatrix;
 pub use perm::Permutation;
+pub use sell::SellMatrix;
 pub use sym::SymmetricCsr;
 
 /// Errors produced while constructing or validating sparse matrices.
@@ -53,7 +56,11 @@ pub enum MatrixError {
     /// `row_ptr` is not monotonically non-decreasing at the given row.
     RowPtrNotMonotonic { row: usize },
     /// `row_ptr[nrows]` disagrees with the value/index array lengths.
-    NnzMismatch { row_ptr_end: usize, values: usize, col_idx: usize },
+    NnzMismatch {
+        row_ptr_end: usize,
+        values: usize,
+        col_idx: usize,
+    },
     /// A column index is out of range.
     ColumnOutOfRange { row: usize, col: u32, ncols: usize },
     /// Column indices inside a row are not strictly increasing.

@@ -12,7 +12,9 @@ pub struct Permutation {
 impl Permutation {
     /// The identity permutation on `0..n`.
     pub fn identity(n: usize) -> Self {
-        Self { map: (0..n).collect() }
+        Self {
+            map: (0..n).collect(),
+        }
     }
 
     /// Validates that `map` is a bijection on `0..map.len()`.
@@ -21,10 +23,16 @@ impl Permutation {
         let mut seen = vec![false; n];
         for &v in &map {
             if v >= n {
-                return Err(MatrixError::InvalidPermutation { n, detail: "image out of range" });
+                return Err(MatrixError::InvalidPermutation {
+                    n,
+                    detail: "image out of range",
+                });
             }
             if seen[v] {
-                return Err(MatrixError::InvalidPermutation { n, detail: "duplicate image" });
+                return Err(MatrixError::InvalidPermutation {
+                    n,
+                    detail: "duplicate image",
+                });
             }
             seen[v] = true;
         }
@@ -39,10 +47,16 @@ impl Permutation {
         let mut map = vec![usize::MAX; n];
         for (new, &old) in order.iter().enumerate() {
             if old >= n {
-                return Err(MatrixError::InvalidPermutation { n, detail: "order entry out of range" });
+                return Err(MatrixError::InvalidPermutation {
+                    n,
+                    detail: "order entry out of range",
+                });
             }
             if map[old] != usize::MAX {
-                return Err(MatrixError::InvalidPermutation { n, detail: "duplicate order entry" });
+                return Err(MatrixError::InvalidPermutation {
+                    n,
+                    detail: "duplicate order entry",
+                });
             }
             map[old] = new;
         }
@@ -83,8 +97,14 @@ impl Permutation {
 
     /// Composition `other ∘ self`: applies `self` first, then `other`.
     pub fn then(&self, other: &Permutation) -> Permutation {
-        assert_eq!(self.len(), other.len(), "composed permutations must have equal length");
-        Permutation { map: self.map.iter().map(|&m| other.apply(m)).collect() }
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "composed permutations must have equal length"
+        );
+        Permutation {
+            map: self.map.iter().map(|&m| other.apply(m)).collect(),
+        }
     }
 
     /// Permutes a dense vector: `out[perm(i)] = v[i]`.

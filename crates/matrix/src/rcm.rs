@@ -200,7 +200,12 @@ pub fn cuthill_mckee(m: &CsrMatrix) -> Permutation {
         while let Some(v) = queue.pop_front() {
             order.push(v);
             nbrs.clear();
-            nbrs.extend(g.neighbors(v).iter().copied().filter(|&w| !visited[w as usize]));
+            nbrs.extend(
+                g.neighbors(v)
+                    .iter()
+                    .copied()
+                    .filter(|&w| !visited[w as usize]),
+            );
             nbrs.sort_unstable_by_key(|&w| g.degree(w as usize));
             for &w in &nbrs {
                 visited[w as usize] = true;
@@ -237,8 +242,7 @@ mod tests {
     #[test]
     fn adjacency_symmetrizes_pattern() {
         // non-symmetric pattern: entry (0,2) only
-        let m = CsrMatrix::try_new(3, 3, vec![0, 2, 3, 4], vec![0, 2, 1, 2], vec![1.0; 4])
-            .unwrap();
+        let m = CsrMatrix::try_new(3, 3, vec![0, 2, 3, 4], vec![0, 2, 1, 2], vec![1.0; 4]).unwrap();
         let g = AdjacencyGraph::from_matrix(&m);
         assert_eq!(g.neighbors(0), &[2]);
         assert_eq!(g.neighbors(2), &[0]);
@@ -256,12 +260,10 @@ mod tests {
 
     #[test]
     fn rcm_reduces_bandwidth_of_shuffled_matrix() {
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
         let m = synthetic::tridiagonal(200, 2.0, -1.0);
         // random symmetric shuffle destroys the banding
         let mut idx: Vec<usize> = (0..200).collect();
-        idx.shuffle(&mut rand::rngs::StdRng::seed_from_u64(3));
+        crate::rng::Rng64::new(3).shuffle(&mut idx);
         let p = Permutation::try_from_vec(idx).unwrap();
         let shuffled = m.permute_symmetric(&p).unwrap();
         assert!(shuffled.bandwidth() > 50);
@@ -325,6 +327,9 @@ mod tests {
         let m = synthetic::tridiagonal(50, 2.0, -1.0);
         let g = AdjacencyGraph::from_matrix(&m);
         let p = g.pseudo_peripheral(25);
-        assert!(p == 0 || p == 49, "path graph periphery is an endpoint, got {p}");
+        assert!(
+            p == 0 || p == 49,
+            "path graph periphery is an endpoint, got {p}"
+        );
     }
 }

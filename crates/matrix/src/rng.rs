@@ -1,0 +1,175 @@
+//! Small deterministic pseudo-random number generator used by the matrix
+//! generators, the randomized test harness, and the benchmarks.
+//!
+//! The workspace builds fully offline (no crates.io access), so instead of
+//! the `rand` crate we carry a self-contained xoshiro256++ generator with
+//! SplitMix64 seeding — the exact algorithms recommended by Blackman &
+//! Vigna for non-cryptographic simulation workloads. Determinism is part
+//! of the contract: the same seed always yields the same stream on every
+//! platform, so matrices and experiments are exactly reproducible.
+
+/// A deterministic xoshiro256++ generator.
+///
+/// ```
+/// use spmv_matrix::rng::Rng64;
+///
+/// let mut a = Rng64::new(42);
+/// let mut b = Rng64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let u = a.gen_f64();
+/// assert!((0.0..1.0).contains(&u));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+impl Rng64 {
+    /// Creates a generator from a 64-bit seed (SplitMix64-expanded).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next_sm(), next_sm(), next_sm(), next_sm()];
+        Self { s }
+    }
+
+    /// The next 64 uniformly random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 mantissa bits).
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo < hi);
+        lo + self.gen_f64() * (hi - lo)
+    }
+
+    /// Uniform `usize` in `[0, n)` via Lemire's multiply-shift reduction
+    /// (bias < 2⁻⁶⁴, irrelevant for simulation use). Panics if `n == 0`.
+    #[inline]
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty range");
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as usize
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    #[inline]
+    pub fn gen_range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.gen_index(hi - lo)
+    }
+
+    /// A uniformly random boolean with probability `p` of `true`.
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = Rng64::new(7);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng64::new(7);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = Rng64::new(8);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_spread() {
+        let mut r = Rng64::new(1);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..10_000 {
+            let u = r.gen_f64();
+            assert!((0.0..1.0).contains(&u));
+            lo = lo.min(u);
+            hi = hi.max(u);
+        }
+        assert!(lo < 0.01 && hi > 0.99, "poor spread: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn gen_index_covers_range_uniformly() {
+        let mut r = Rng64::new(3);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[r.gen_index(10)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((700..1300).contains(&c), "bucket {i}: {c}");
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = Rng64::new(9);
+        for _ in 0..1000 {
+            let v = r.gen_range(5, 8);
+            assert!((5..8).contains(&v));
+        }
+        assert_eq!(r.gen_range(4, 5), 4, "single-element range");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng64::new(11);
+        let mut xs: Vec<usize> = (0..100).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(xs, (0..100).collect::<Vec<_>>(), "100 elements should move");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = Rng64::new(13);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "{hits}");
+    }
+}

@@ -21,8 +21,7 @@
 //! for active neighbours.
 
 use crate::csr::{CsrBuilder, CsrMatrix};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng64;
 
 /// Parameters of the masked-geometry Poisson matrix.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,7 +46,14 @@ pub struct SamgParams {
 impl SamgParams {
     /// Small configuration for tests (~3–4k rows).
     pub fn test_scale() -> Self {
-        Self { nx: 24, ny: 12, nz: 12, perforation: 0.05, seed: 42, car_mask: true }
+        Self {
+            nx: 24,
+            ny: 12,
+            nz: 12,
+            perforation: 0.05,
+            seed: 42,
+            car_mask: true,
+        }
     }
 
     /// Medium configuration for cluster-level experiments (~1.3M rows).
@@ -57,13 +63,27 @@ impl SamgParams {
     /// its weak-communication behaviour (Fig. 6) only holds while each node
     /// keeps a substantial row block. Preserve that ratio at medium scale.
     pub fn medium_scale() -> Self {
-        Self { nx: 240, ny: 100, nz: 100, perforation: 0.05, seed: 42, car_mask: true }
+        Self {
+            nx: 240,
+            ny: 100,
+            nz: 100,
+            perforation: 0.05,
+            seed: 42,
+            car_mask: true,
+        }
     }
 
     /// Paper-scale configuration (~2.2·10⁷ rows before masking; the mask
     /// keeps roughly 60 %, so choose the box a bit larger).
     pub fn paper_scale() -> Self {
-        Self { nx: 560, ny: 260, nz: 260, perforation: 0.05, seed: 42, car_mask: true }
+        Self {
+            nx: 560,
+            ny: 260,
+            nz: 260,
+            perforation: 0.05,
+            seed: 42,
+            car_mask: true,
+        }
     }
 }
 
@@ -88,13 +108,17 @@ impl Geometry {
         let (nx, ny, nz) = (p.nx, p.ny, p.nz);
         let n = nx * ny * nz;
         let mut active = vec![false; n];
-        let mut rng = StdRng::seed_from_u64(p.seed);
+        let mut rng = Rng64::new(p.seed);
         let idx = |x: usize, y: usize, z: usize| (x * ny + y) * nz + z;
         for z in 0..nz {
             for y in 0..ny {
                 for x in 0..nx {
-                    let mut a = if p.car_mask { car_mask(nx, ny, nz, x, y, z) } else { true };
-                    if a && p.perforation > 0.0 && rng.gen::<f64>() < p.perforation {
+                    let mut a = if p.car_mask {
+                        car_mask(nx, ny, nz, x, y, z)
+                    } else {
+                        true
+                    };
+                    if a && p.perforation > 0.0 && rng.gen_f64() < p.perforation {
                         a = false;
                     }
                     active[idx(x, y, z)] = a;
@@ -109,7 +133,14 @@ impl Geometry {
                 nrows += 1;
             }
         }
-        Self { nx, ny, nz, active, row_of, nrows }
+        Self {
+            nx,
+            ny,
+            nz,
+            active,
+            row_of,
+            nrows,
+        }
     }
 
     /// Number of active cells (matrix dimension).
@@ -215,7 +246,14 @@ mod tests {
 
     #[test]
     fn unmasked_box_is_structured_poisson() {
-        let p = SamgParams { nx: 4, ny: 3, nz: 2, perforation: 0.0, seed: 1, car_mask: false };
+        let p = SamgParams {
+            nx: 4,
+            ny: 3,
+            nz: 2,
+            perforation: 0.0,
+            seed: 1,
+            car_mask: false,
+        };
         let m = poisson(&p);
         assert_eq!(m.nrows(), 24);
         assert!(m.is_symmetric(0.0));
@@ -242,7 +280,10 @@ mod tests {
         let a = poisson(&SamgParams::test_scale());
         let b = poisson(&SamgParams::test_scale());
         assert_eq!(a, b);
-        let c = poisson(&SamgParams { seed: 7, ..SamgParams::test_scale() });
+        let c = poisson(&SamgParams {
+            seed: 7,
+            ..SamgParams::test_scale()
+        });
         assert_ne!(a.nnz(), 0);
         assert_ne!(a, c, "different seeds must perforate differently");
     }
@@ -254,25 +295,39 @@ mod tests {
         for i in 0..m.nrows() {
             let (cols, vals) = m.row(i);
             let diag = m.get(i, i);
-            let off: f64 =
-                cols.iter().zip(vals).filter(|&(&c, _)| c as usize != i).map(|(_, v)| v.abs()).sum();
+            let off: f64 = cols
+                .iter()
+                .zip(vals)
+                .filter(|&(&c, _)| c as usize != i)
+                .map(|(_, v)| v.abs())
+                .sum();
             assert!(diag >= off, "row {i} not diagonally dominant");
         }
     }
 
     #[test]
     fn car_mask_keeps_reasonable_fraction() {
-        let g = Geometry::build(&SamgParams { perforation: 0.0, ..SamgParams::medium_scale() });
+        let g = Geometry::build(&SamgParams {
+            perforation: 0.0,
+            ..SamgParams::medium_scale()
+        });
         let f = g.fill_fraction();
-        assert!((0.25..0.75).contains(&f), "fill fraction {f} outside plausible car range");
+        assert!(
+            (0.25..0.75).contains(&f),
+            "fill fraction {f} outside plausible car range"
+        );
     }
 
     #[test]
     fn perforation_reduces_rows() {
-        let solid =
-            Geometry::build(&SamgParams { perforation: 0.0, ..SamgParams::test_scale() });
-        let holey =
-            Geometry::build(&SamgParams { perforation: 0.2, ..SamgParams::test_scale() });
+        let solid = Geometry::build(&SamgParams {
+            perforation: 0.0,
+            ..SamgParams::test_scale()
+        });
+        let holey = Geometry::build(&SamgParams {
+            perforation: 0.2,
+            ..SamgParams::test_scale()
+        });
         assert!(holey.nrows() < solid.nrows());
     }
 
@@ -282,8 +337,9 @@ mod tests {
         // quadratic form with a few deterministic vectors
         let n = m.nrows();
         for k in 0..3u64 {
-            let x: Vec<f64> =
-                (0..n).map(|i| ((i as u64).wrapping_mul(2654435761 + k) % 1000) as f64 / 500.0 - 1.0).collect();
+            let x: Vec<f64> = (0..n)
+                .map(|i| ((i as u64).wrapping_mul(2654435761 + k) % 1000) as f64 / 500.0 - 1.0)
+                .collect();
             let mut y = vec![0.0; n];
             m.spmv(&x, &mut y);
             let q: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();

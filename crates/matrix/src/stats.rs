@@ -47,16 +47,25 @@ impl SparsityStats {
             sum += k;
             sum_sq += (k * k) as f64;
             if let (Some(&first), Some(&last)) = (cols.first(), cols.last()) {
-                bandwidth =
-                    bandwidth.max(i.abs_diff(first as usize)).max(i.abs_diff(last as usize));
+                bandwidth = bandwidth
+                    .max(i.abs_diff(first as usize))
+                    .max(i.abs_diff(last as usize));
                 spread_sum += (last - first) as f64;
             }
             if cols.binary_search(&(i as u32)).is_ok() {
                 diag_count += 1;
             }
         }
-        let avg = if nrows == 0 { 0.0 } else { sum as f64 / nrows as f64 };
-        let var = if nrows == 0 { 0.0 } else { (sum_sq / nrows as f64 - avg * avg).max(0.0) };
+        let avg = if nrows == 0 {
+            0.0
+        } else {
+            sum as f64 / nrows as f64
+        };
+        let var = if nrows == 0 {
+            0.0
+        } else {
+            (sum_sq / nrows as f64 - avg * avg).max(0.0)
+        };
         Self {
             nrows,
             ncols: m.ncols(),
@@ -66,8 +75,16 @@ impl SparsityStats {
             max_nnzr,
             stddev_nnzr: var.sqrt(),
             bandwidth,
-            avg_row_spread: if nrows == 0 { 0.0 } else { spread_sum / nrows as f64 },
-            diag_fraction: if nrows == 0 { 0.0 } else { diag_count as f64 / nrows as f64 },
+            avg_row_spread: if nrows == 0 {
+                0.0
+            } else {
+                spread_sum / nrows as f64
+            },
+            diag_fraction: if nrows == 0 {
+                0.0
+            } else {
+                diag_count as f64 / nrows as f64
+            },
         }
     }
 }
@@ -111,8 +128,11 @@ pub fn block_occupancy(m: &CsrMatrix, blocks: usize) -> Vec<f64> {
         for bj in 0..blocks {
             let cols_in = cb.min(m.ncols().saturating_sub(bj * cb));
             let area = (rows_in * cols_in) as f64;
-            map[bi * blocks + bj] =
-                if area > 0.0 { counts[bi * blocks + bj] as f64 / area } else { 0.0 };
+            map[bi * blocks + bj] = if area > 0.0 {
+                counts[bi * blocks + bj] as f64 / area
+            } else {
+                0.0
+            };
         }
     }
     map
@@ -262,6 +282,9 @@ mod tests {
     fn off_part_fraction_scattered_is_high() {
         let m = synthetic::scattered(100, 10, 7);
         let f = off_part_fraction(&m, &[0, 25, 50, 75, 100]);
-        assert!(f > 0.5, "scattered matrix should be strongly coupled, got {f}");
+        assert!(
+            f > 0.5,
+            "scattered matrix should be strongly coupled, got {f}"
+        );
     }
 }

@@ -38,7 +38,9 @@ impl SymmetricCsr {
     /// symmetric to `tol`.
     pub fn from_full(m: &CsrMatrix, tol: f64) -> Result<Self> {
         if m.nrows() != m.ncols() {
-            return Err(MatrixError::Parse("symmetric storage needs a square matrix".into()));
+            return Err(MatrixError::Parse(
+                "symmetric storage needs a square matrix".into(),
+            ));
         }
         if !m.is_symmetric(tol) {
             return Err(MatrixError::Parse("matrix is not symmetric".into()));
@@ -58,7 +60,12 @@ impl SymmetricCsr {
             }
             row_ptr.push(col_idx.len());
         }
-        Ok(Self { n, row_ptr, col_idx, values })
+        Ok(Self {
+            n,
+            row_ptr,
+            col_idx,
+            values,
+        })
     }
 
     /// Expands back to full CRS storage.
@@ -217,7 +224,9 @@ mod tests {
     #[test]
     fn holstein_hamiltonian_roundtrips() {
         use crate::holstein::{hamiltonian, HolsteinOrdering, HolsteinParams};
-        let h = hamiltonian(&HolsteinParams::test_scale(HolsteinOrdering::ElectronContiguous));
+        let h = hamiltonian(&HolsteinParams::test_scale(
+            HolsteinOrdering::ElectronContiguous,
+        ));
         let s = SymmetricCsr::from_full(&h, 1e-12).unwrap();
         let x = vecops::random_vec(h.nrows(), 17);
         let mut y1 = vec![0.0; h.nrows()];

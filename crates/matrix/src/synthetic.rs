@@ -4,8 +4,7 @@
 
 use crate::coo::CooMatrix;
 use crate::csr::{CsrBuilder, CsrMatrix};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng64;
 
 /// Symmetric tridiagonal matrix with `diag` on the diagonal and `off` on the
 /// sub/super-diagonals (the 1-D Laplacian is `tridiagonal(n, 2.0, -1.0)`).
@@ -55,20 +54,20 @@ pub fn laplacian_2d(nx: usize, ny: usize) -> CsrMatrix {
 /// Deterministic in `seed`.
 pub fn random_banded_symmetric(n: usize, bw: usize, nnzr: f64, seed: u64) -> CsrMatrix {
     assert!(nnzr >= 1.0, "nnzr must include the diagonal");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let mut coo = CooMatrix::new(n, n);
     // Expected off-diagonal entries per row (split between upper and lower
     // by symmetry: we draw the strict upper triangle).
     let per_row_upper = (nnzr - 1.0) / 2.0;
     for i in 0..n {
-        coo.push(i, i, 4.0 + rng.gen::<f64>());
+        coo.push(i, i, 4.0 + rng.gen_f64());
         let hi = (i + bw).min(n - 1);
         if hi > i {
             let width = (hi - i) as f64;
             let p = (per_row_upper / width).min(1.0);
             if p >= 1.0 {
                 for j in (i + 1)..=hi {
-                    let v = rng.gen::<f64>() - 0.5;
+                    let v = rng.gen_f64() - 0.5;
                     coo.push(i, j, v);
                     coo.push(j, i, v);
                 }
@@ -79,7 +78,7 @@ pub fn random_banded_symmetric(n: usize, bw: usize, nnzr: f64, seed: u64) -> Csr
                 let ln_q = (1.0 - p).ln();
                 let mut j = i + 1;
                 loop {
-                    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                    let u: f64 = rng.gen_f64().max(f64::MIN_POSITIVE);
                     let skip = (u.ln() / ln_q).floor() as usize;
                     j = match j.checked_add(skip) {
                         Some(v) => v,
@@ -88,7 +87,7 @@ pub fn random_banded_symmetric(n: usize, bw: usize, nnzr: f64, seed: u64) -> Csr
                     if j > hi {
                         break;
                     }
-                    let v = rng.gen::<f64>() - 0.5;
+                    let v = rng.gen_f64() - 0.5;
                     coo.push(i, j, v);
                     coo.push(j, i, v);
                     j += 1;
@@ -103,19 +102,19 @@ pub fn random_banded_symmetric(n: usize, bw: usize, nnzr: f64, seed: u64) -> Csr
 /// per row at uniformly random columns. Deterministic in `seed`.
 pub fn random_general(nrows: usize, ncols: usize, nnzr: usize, seed: u64) -> CsrMatrix {
     assert!(nnzr <= ncols);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let mut b = CsrBuilder::new(ncols, nrows * nnzr);
     let mut cols: Vec<u32> = Vec::with_capacity(nnzr);
     for _ in 0..nrows {
         cols.clear();
         while cols.len() < nnzr {
-            let c = rng.gen_range(0..ncols) as u32;
+            let c = rng.gen_index(ncols) as u32;
             if !cols.contains(&c) {
                 cols.push(c);
             }
         }
         for &c in cols.iter() {
-            b.push(c as usize, rng.gen::<f64>() - 0.5);
+            b.push(c as usize, rng.gen_f64() - 0.5);
         }
         b.finish_row();
     }
@@ -129,11 +128,11 @@ pub fn random_general(nrows: usize, ncols: usize, nnzr: usize, seed: u64) -> Csr
 /// reuse (high κ) and for communication volume.
 pub fn scattered(n: usize, nnzr: usize, seed: u64) -> CsrMatrix {
     assert!(nnzr >= 1 && nnzr <= n);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let stride = (n / nnzr).max(1);
     let mut b = CsrBuilder::new(n, n * nnzr);
     for i in 0..n {
-        let offset = rng.gen_range(0..stride);
+        let offset = rng.gen_index(stride);
         for k in 0..nnzr {
             let c = (k * stride + offset + i) % n;
             b.push(c, 1.0 / nnzr as f64);
@@ -152,7 +151,7 @@ pub fn power_law_rows(n: usize, avg_nnzr: f64, alpha: f64, seed: u64) -> CsrMatr
     assert!(n > 0);
     assert!(avg_nnzr >= 1.0);
     assert!(alpha >= 0.0);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     // normalize so the average row length is ~avg_nnzr
     let raw: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-alpha)).collect();
     let raw_sum: f64 = raw.iter().sum();
@@ -163,13 +162,13 @@ pub fn power_law_rows(n: usize, avg_nnzr: f64, alpha: f64, seed: u64) -> CsrMatr
         let k = ((r * scale).round() as usize).clamp(1, n);
         cols.clear();
         while cols.len() < k {
-            let c = rng.gen_range(0..n) as u32;
+            let c = rng.gen_index(n) as u32;
             if !cols.contains(&c) {
                 cols.push(c);
             }
         }
         for &c in &cols {
-            b.push(c as usize, rng.gen::<f64>() - 0.5);
+            b.push(c as usize, rng.gen_f64() - 0.5);
         }
         b.finish_row();
     }
@@ -270,6 +269,9 @@ mod tests {
 
     #[test]
     fn power_law_deterministic() {
-        assert_eq!(power_law_rows(80, 5.0, 0.8, 9), power_law_rows(80, 5.0, 0.8, 9));
+        assert_eq!(
+            power_law_rows(80, 5.0, 0.8, 9),
+            power_law_rows(80, 5.0, 0.8, 9)
+        );
     }
 }

@@ -2,8 +2,7 @@
 //! bandwidth benchmarks: dot products, AXPY variants, norms, and seeded
 //! random vectors.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng64;
 
 /// Dot product `xᵀ y`.
 #[inline]
@@ -58,7 +57,10 @@ pub fn normalize(x: &mut [f64]) -> f64 {
 /// Maximum absolute componentwise difference `‖x - y‖_∞`.
 pub fn max_abs_diff(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len());
-    x.iter().zip(y).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
 }
 
 /// Relative ∞-norm error of `x` against reference `r`, with an absolute
@@ -70,8 +72,8 @@ pub fn rel_error(x: &[f64], r: &[f64]) -> f64 {
 
 /// Deterministic uniform random vector in `[-1, 1)`.
 pub fn random_vec(n: usize, seed: u64) -> Vec<f64> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect()
+    let mut rng = Rng64::new(seed);
+    (0..n).map(|_| rng.gen_f64() * 2.0 - 1.0).collect()
 }
 
 #[cfg(test)]

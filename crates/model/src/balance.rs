@@ -28,6 +28,26 @@ pub fn code_balance_split(nnzr: f64, kappa: f64) -> f64 {
     6.0 + 20.0 / nnzr + kappa / 2.0
 }
 
+/// SELL-C-σ code balance in bytes/flop.
+///
+/// Relative to CRS the matrix-data term (8 B value + 4 B column index per
+/// stored slot) is multiplied by the padding factor `α ≥ 1` ([`SellMatrix::
+/// padding_factor`]): padded slots move the same bytes as real nonzeros but
+/// contribute no useful flops. The RHS and result terms are per *useful*
+/// nonzero and unchanged:
+///
+/// `B_SELL = (12·α + 24/N_nzr + κ)/2 = 6·α + 12/N_nzr + κ/2`.
+///
+/// With `α = 1` (e.g. SELL-1-1, which is CSR) this reduces to Eq. (1).
+///
+/// [`SellMatrix::padding_factor`]: spmv_matrix::SellMatrix::padding_factor
+pub fn code_balance_sell(nnzr: f64, alpha: f64, kappa: f64) -> f64 {
+    assert!(nnzr > 0.0, "N_nzr must be positive");
+    assert!(alpha >= 1.0, "padding factor α is >= 1 by construction");
+    assert!(kappa >= 0.0, "κ cannot be negative");
+    6.0 * alpha + 12.0 / nnzr + kappa / 2.0
+}
+
 /// Bandwidth-limited performance prediction: GB/s divided by bytes/flop
 /// gives GFlop/s.
 pub fn predicted_gflops(bandwidth_gbs: f64, balance_bytes_per_flop: f64) -> f64 {
@@ -159,5 +179,46 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_nnzr_rejected() {
         let _ = code_balance_crs(0.0, 0.0);
+    }
+
+    #[test]
+    fn sell_balance_reduces_to_crs_without_padding() {
+        for nnzr in [7.0, 15.0] {
+            for kappa in [0.0, 2.5] {
+                let sell = code_balance_sell(nnzr, 1.0, kappa);
+                let crs = code_balance_crs(nnzr, kappa);
+                assert!((sell - crs).abs() < 1e-12, "nnzr {nnzr} κ {kappa}");
+            }
+        }
+    }
+
+    #[test]
+    fn sell_padding_costs_bandwidth() {
+        // 10 % padding overhead adds 0.6 bytes/flop on the matrix term
+        let b1 = code_balance_sell(15.0, 1.0, 0.0);
+        let b2 = code_balance_sell(15.0, 1.1, 0.0);
+        assert!((b2 - b1 - 0.6).abs() < 1e-12);
+        // and strictly increases with α
+        assert!(code_balance_sell(7.0, 1.5, 1.0) > code_balance_sell(7.0, 1.2, 1.0));
+    }
+
+    #[test]
+    fn sell_balance_consistent_with_actual_padding() {
+        // wire the real format statistic into the model
+        let m = spmv_matrix::synthetic::power_law_rows(256, 7.0, 1.0, 3);
+        let s = spmv_matrix::SellMatrix::from_csr(&m, 32, 256);
+        let alpha = s.padding_factor();
+        let b = code_balance_sell(m.avg_nnz_per_row(), alpha, 0.0);
+        assert!(b >= code_balance_crs(m.avg_nnz_per_row(), 0.0));
+        assert!(
+            predicted_gflops(18.1, b)
+                <= predicted_gflops(18.1, code_balance_crs(m.avg_nnz_per_row(), 0.0))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "padding factor")]
+    fn sell_alpha_below_one_rejected() {
+        let _ = code_balance_sell(7.0, 0.9, 0.0);
     }
 }

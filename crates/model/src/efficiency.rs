@@ -23,7 +23,10 @@ pub fn parallel_efficiency(point: ScalingPoint, single_node_gflops: f64) -> f64 
 
 /// Efficiency series for a whole scaling curve.
 pub fn efficiency_series(series: &[ScalingPoint], single_node_gflops: f64) -> Vec<f64> {
-    series.iter().map(|&p| parallel_efficiency(p, single_node_gflops)).collect()
+    series
+        .iter()
+        .map(|&p| parallel_efficiency(p, single_node_gflops))
+        .collect()
 }
 
 /// The largest node count in `series` whose efficiency is still `>= frac`
@@ -39,12 +42,16 @@ pub fn efficiency_point(
     debug_assert!(series.windows(2).all(|w| w[0].nodes <= w[1].nodes));
     series
         .iter()
-        .copied().rfind(|&p| parallel_efficiency(p, single_node_gflops) >= frac)
+        .copied()
+        .rfind(|&p| parallel_efficiency(p, single_node_gflops) >= frac)
 }
 
 /// Speedup of each point relative to the single-node baseline.
 pub fn speedup_series(series: &[ScalingPoint], single_node_gflops: f64) -> Vec<f64> {
-    series.iter().map(|p| p.gflops / single_node_gflops).collect()
+    series
+        .iter()
+        .map(|p| p.gflops / single_node_gflops)
+        .collect()
 }
 
 #[cfg(test)]
@@ -53,18 +60,39 @@ mod tests {
 
     fn series() -> Vec<ScalingPoint> {
         vec![
-            ScalingPoint { nodes: 1, gflops: 4.0 },
-            ScalingPoint { nodes: 2, gflops: 7.6 },
-            ScalingPoint { nodes: 4, gflops: 13.0 },
-            ScalingPoint { nodes: 8, gflops: 20.0 },
-            ScalingPoint { nodes: 16, gflops: 26.0 },
-            ScalingPoint { nodes: 32, gflops: 30.0 },
+            ScalingPoint {
+                nodes: 1,
+                gflops: 4.0,
+            },
+            ScalingPoint {
+                nodes: 2,
+                gflops: 7.6,
+            },
+            ScalingPoint {
+                nodes: 4,
+                gflops: 13.0,
+            },
+            ScalingPoint {
+                nodes: 8,
+                gflops: 20.0,
+            },
+            ScalingPoint {
+                nodes: 16,
+                gflops: 26.0,
+            },
+            ScalingPoint {
+                nodes: 32,
+                gflops: 30.0,
+            },
         ]
     }
 
     #[test]
     fn perfect_scaling_is_efficiency_one() {
-        let p = ScalingPoint { nodes: 8, gflops: 32.0 };
+        let p = ScalingPoint {
+            nodes: 8,
+            gflops: 32.0,
+        };
         assert!((parallel_efficiency(p, 4.0) - 1.0).abs() < 1e-12);
     }
 
@@ -86,7 +114,10 @@ mod tests {
 
     #[test]
     fn threshold_above_first_point_returns_none() {
-        let s = vec![ScalingPoint { nodes: 1, gflops: 1.0 }];
+        let s = vec![ScalingPoint {
+            nodes: 1,
+            gflops: 1.0,
+        }];
         assert!(efficiency_point(&s, 4.0, 0.5).is_none());
     }
 
@@ -102,7 +133,10 @@ mod tests {
         // communication volume drops with few nodes (paper §4: "a strong
         // decrease in overall internode communication volume when the number
         // of nodes is small") — efficiency slightly above 1 must not panic.
-        let p = ScalingPoint { nodes: 2, gflops: 9.0 };
+        let p = ScalingPoint {
+            nodes: 2,
+            gflops: 9.0,
+        };
         assert!(parallel_efficiency(p, 4.0) > 1.0);
     }
 }

@@ -131,7 +131,10 @@ impl LruLines {
 /// capacity to B is the standard simplification and matches the paper's
 /// interpretation of κ as B-traffic only).
 pub fn estimate_kappa(matrix: &CsrMatrix, cache_bytes: f64, line_bytes: usize) -> KappaEstimate {
-    assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+    assert!(
+        line_bytes.is_power_of_two(),
+        "line size must be a power of two"
+    );
     assert!(cache_bytes >= line_bytes as f64);
     let lines = (cache_bytes / line_bytes as f64).floor().max(1.0) as usize;
     let elems_per_line = (line_bytes / 8).max(1) as u64;
@@ -211,8 +214,16 @@ mod tests {
         let m = synthetic::scattered(4_000, 16, 5);
         let small = estimate_kappa(&m, 2.0 * 1024.0, 64);
         let large = estimate_kappa(&m, 1024.0 * 1024.0, 64);
-        assert!(small.kappa > large.kappa, "{} vs {}", small.kappa, large.kappa);
-        assert!(small.kappa > 0.5, "scattered access must thrash a 2 KiB cache");
+        assert!(
+            small.kappa > large.kappa,
+            "{} vs {}",
+            small.kappa,
+            large.kappa
+        );
+        assert!(
+            small.kappa > 0.5,
+            "scattered access must thrash a 2 KiB cache"
+        );
         assert!(small.b_load_factor > 1.5);
     }
 
@@ -237,8 +248,7 @@ mod tests {
         let est = estimate_kappa(&m, 8.0 * 1024.0, 64);
         assert_eq!(est.traffic_bytes, est.line_loads * 64);
         assert!(est.line_loads >= est.touched_lines);
-        let recomputed =
-            (est.traffic_bytes - est.touched_lines * 64) as f64 / m.nnz() as f64;
+        let recomputed = (est.traffic_bytes - est.touched_lines * 64) as f64 / m.nnz() as f64;
         assert!((est.kappa - recomputed).abs() < 1e-12);
     }
 
@@ -258,8 +268,12 @@ mod tests {
         // ordering (HMeP) must not reload more than the phonon-contiguous
         // one (HMEp), matching the paper's κ(HMeP) = 2.5 < κ(HMEp) = 3.79.
         use spmv_matrix::holstein::{hamiltonian, HolsteinOrdering, HolsteinParams};
-        let hmep_e = hamiltonian(&HolsteinParams::test_scale(HolsteinOrdering::ElectronContiguous));
-        let hmep_p = hamiltonian(&HolsteinParams::test_scale(HolsteinOrdering::PhononContiguous));
+        let hmep_e = hamiltonian(&HolsteinParams::test_scale(
+            HolsteinOrdering::ElectronContiguous,
+        ));
+        let hmep_p = hamiltonian(&HolsteinParams::test_scale(
+            HolsteinOrdering::PhononContiguous,
+        ));
         // scale the cache with the problem: 1/64 of the vector footprint
         let cache = (hmep_e.ncols() * 8) as f64 / 64.0;
         let ke = estimate_kappa(&hmep_e, cache, 64);

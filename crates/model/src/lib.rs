@@ -20,5 +20,8 @@ pub mod efficiency;
 pub mod kappa;
 pub mod roofline;
 
-pub use balance::{code_balance_crs, code_balance_split, kappa_from_measurement, predicted_gflops};
+pub use balance::{
+    code_balance_crs, code_balance_sell, code_balance_split, kappa_from_measurement,
+    predicted_gflops,
+};
 pub use kappa::{estimate_kappa, KappaEstimate};

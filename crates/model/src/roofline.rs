@@ -61,7 +61,9 @@ pub fn ld_scaling_curve(ld: &LdSpec, balance: f64) -> Vec<RooflinePoint> {
 
 /// Node-level performance: all LDs of the node active with `k` cores each.
 pub fn node_performance(lds: &[&LdSpec], k_per_ld: usize, balance: f64) -> f64 {
-    lds.iter().map(|ld| ld_performance(ld, k_per_ld, balance)).sum()
+    lds.iter()
+        .map(|ld| ld_performance(ld, k_per_ld, balance))
+        .sum()
 }
 
 #[cfg(test)]

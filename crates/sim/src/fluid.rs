@@ -203,21 +203,24 @@ pub fn simulate_spmv(
     let mut now = 0.0f64;
     let mut rank_finish = vec![0.0f64; nranks];
     let mut lanes_done = 0usize;
-    let mut trace = if cfg.trace { Some(Trace::default()) } else { None };
+    let mut trace = if cfg.trace {
+        Some(Trace::default())
+    } else {
+        None
+    };
     let total_flops: f64 = workloads.iter().map(|w| w.flops()).sum();
 
     // cached inside-MPI per rank (recomputed in cascade)
     let mut rank_inside_mpi = vec![false; nranks];
 
-    let recompute_inside =
-        |lanes: &[Lane], rank_inside_mpi: &mut [bool]| {
-            rank_inside_mpi.iter_mut().for_each(|b| *b = false);
-            for l in lanes {
-                if l.inside_mpi() {
-                    rank_inside_mpi[l.rank] = true;
-                }
+    let recompute_inside = |lanes: &[Lane], rank_inside_mpi: &mut [bool]| {
+        rank_inside_mpi.iter_mut().for_each(|b| *b = false);
+        for l in lanes {
+            if l.inside_mpi() {
+                rank_inside_mpi[l.rank] = true;
             }
-        };
+        }
+    };
 
     // barrier bookkeeping: (rank, id) -> count of arrived lanes
     let mut barrier_arrivals: HashMap<(usize, u8), usize> = HashMap::new();
@@ -268,8 +271,7 @@ pub fn simulate_spmv(
                             }
                         }
                         LaneState::Barrier(k) => {
-                            let arrived =
-                                *barrier_arrivals.get(&(lane.rank, *k)).unwrap_or(&0);
+                            let arrived = *barrier_arrivals.get(&(lane.rank, *k)).unwrap_or(&0);
                             if arrived >= 2 {
                                 (true, "")
                             } else {
@@ -301,7 +303,11 @@ pub fn simulate_spmv(
                             let r = lane.rank;
                             for &mi in &msgs_by_src[r] {
                                 if msgs[mi].state == MsgState::Unposted {
-                                    let lat = if msgs[mi].intranode { intralat_s } else { latency_s };
+                                    let lat = if msgs[mi].intranode {
+                                        intralat_s
+                                    } else {
+                                        latency_s
+                                    };
                                     msgs[mi].state = MsgState::Latency { remaining_s: lat };
                                 }
                             }
@@ -339,12 +345,15 @@ pub fn simulate_spmv(
                     }
                     Op::Gather => {
                         record_segment!(lane, "gather");
-                        lane.state =
-                            LaneState::Draining { remaining_bytes: gather_cost_bytes(w) };
+                        lane.state = LaneState::Draining {
+                            remaining_bytes: gather_cost_bytes(w),
+                        };
                     }
                     Op::Compute { bytes, label } => {
                         record_segment!(lane, label);
-                        lane.state = LaneState::Draining { remaining_bytes: bytes };
+                        lane.state = LaneState::Draining {
+                            remaining_bytes: bytes,
+                        };
                     }
                     Op::WaitAll => {
                         record_segment!(lane, "waitall");
@@ -474,7 +483,12 @@ pub fn simulate_spmv(
             let stuck: Vec<String> = lanes
                 .iter()
                 .filter(|l| !matches!(l.state, LaneState::Done))
-                .map(|l| format!("rank {} lane {} pc {} {:?}", l.rank, l.lane_idx, l.pc, l.state))
+                .map(|l| {
+                    format!(
+                        "rank {} lane {} pc {} {:?}",
+                        l.rank, l.lane_idx, l.pc, l.state
+                    )
+                })
                 .collect();
             panic!("simulation deadlock at t = {now}: {stuck:?}");
         }
@@ -505,14 +519,20 @@ pub fn simulate_spmv(
                 MsgState::Latency { remaining_s } => {
                     let left = remaining_s - dt;
                     msgs[i].state = if left <= 1e-18 {
-                        MsgState::Draining { remaining_bytes: msgs[i].bytes }
+                        MsgState::Draining {
+                            remaining_bytes: msgs[i].bytes,
+                        }
                     } else {
                         MsgState::Latency { remaining_s: left }
                     };
                     // zero-byte messages deliver immediately after latency
                     if let MsgState::Draining { remaining_bytes } = msgs[i].state {
                         if remaining_bytes <= 0.0 {
-                            deliver(&mut msgs[i], &mut incoming_pending, &mut outgoing_rdv_pending);
+                            deliver(
+                                &mut msgs[i],
+                                &mut incoming_pending,
+                                &mut outgoing_rdv_pending,
+                            );
                         }
                     }
                 }
@@ -520,9 +540,15 @@ pub fn simulate_spmv(
                     let rate = msg_rate(i, &msgs[i]);
                     let left = remaining_bytes - rate * dt;
                     if left <= 1e-9 {
-                        deliver(&mut msgs[i], &mut incoming_pending, &mut outgoing_rdv_pending);
+                        deliver(
+                            &mut msgs[i],
+                            &mut incoming_pending,
+                            &mut outgoing_rdv_pending,
+                        );
                     } else {
-                        msgs[i].state = MsgState::Draining { remaining_bytes: left };
+                        msgs[i].state = MsgState::Draining {
+                            remaining_bytes: left,
+                        };
                     }
                 }
                 _ => {}
@@ -533,7 +559,11 @@ pub fn simulate_spmv(
 
     SimResult {
         time_s: now,
-        gflops: if now > 0.0 { total_flops / now / 1e9 } else { f64::INFINITY },
+        gflops: if now > 0.0 {
+            total_flops / now / 1e9
+        } else {
+            f64::INFINITY
+        },
         per_rank_finish_s: rank_finish,
         messages: total_msgs,
         bytes_on_wire: total_wire_bytes,
@@ -554,7 +584,7 @@ mod tests {
     use super::*;
     use crate::progress::ProgressModel;
     use spmv_core::{workload, KernelMode, RowPartition};
-    use spmv_machine::{presets, plan_layout, CommThreadPlacement, HybridLayout};
+    use spmv_machine::{plan_layout, presets, CommThreadPlacement, HybridLayout};
     use spmv_matrix::synthetic;
 
     fn setup(
@@ -562,7 +592,11 @@ mod tests {
         nodes: usize,
         layout: HybridLayout,
         comm: CommThreadPlacement,
-    ) -> (spmv_machine::topology::ClusterSpec, spmv_machine::LayoutPlan, Vec<RankWorkload>) {
+    ) -> (
+        spmv_machine::topology::ClusterSpec,
+        spmv_machine::LayoutPlan,
+        Vec<RankWorkload>,
+    ) {
         let cluster = presets::westmere_cluster(nodes);
         let plan = plan_layout(&cluster.node, nodes, layout, comm).unwrap();
         let m = synthetic::random_banded_symmetric(n, n / 10, 7.0, 3);
@@ -573,9 +607,18 @@ mod tests {
 
     #[test]
     fn single_node_no_comm_runs() {
-        let (cluster, plan, w) =
-            setup(20_000, 1, HybridLayout::ProcessPerNode, CommThreadPlacement::None);
-        let r = simulate_spmv(&cluster, &plan, &w, &SimConfig::new(KernelMode::VectorNoOverlap));
+        let (cluster, plan, w) = setup(
+            20_000,
+            1,
+            HybridLayout::ProcessPerNode,
+            CommThreadPlacement::None,
+        );
+        let r = simulate_spmv(
+            &cluster,
+            &plan,
+            &w,
+            &SimConfig::new(KernelMode::VectorNoOverlap),
+        );
         assert!(r.time_s > 0.0);
         assert!(r.gflops > 0.1, "{}", r.gflops);
         assert_eq!(r.messages, 0);
@@ -585,9 +628,18 @@ mod tests {
     fn single_node_matches_roofline_ballpark() {
         // One Westmere node on a big local matrix: the simulated GFlop/s
         // must be near the bandwidth model node_spmv_bw / balance.
-        let (cluster, plan, w) =
-            setup(200_000, 1, HybridLayout::ProcessPerNode, CommThreadPlacement::None);
-        let r = simulate_spmv(&cluster, &plan, &w, &SimConfig::new(KernelMode::VectorNoOverlap));
+        let (cluster, plan, w) = setup(
+            200_000,
+            1,
+            HybridLayout::ProcessPerNode,
+            CommThreadPlacement::None,
+        );
+        let r = simulate_spmv(
+            &cluster,
+            &plan,
+            &w,
+            &SimConfig::new(KernelMode::VectorNoOverlap),
+        );
         let nnzr = w[0].nnz() as f64 / w[0].rows as f64;
         let balance = spmv_model::code_balance_crs(nnzr, 0.0);
         let expect = cluster.node.node_spmv_bw_gbs() / balance;
@@ -604,9 +656,13 @@ mod tests {
         let m = synthetic::scattered(60_000, 12, 5);
         let nodes = 4;
         let cluster = presets::westmere_cluster(nodes);
-        let layout =
-            plan_layout(&cluster.node, nodes, HybridLayout::ProcessPerLd, CommThreadPlacement::None)
-                .unwrap();
+        let layout = plan_layout(
+            &cluster.node,
+            nodes,
+            HybridLayout::ProcessPerLd,
+            CommThreadPlacement::None,
+        )
+        .unwrap();
         let layout_task = plan_layout(
             &cluster.node,
             nodes,
@@ -616,12 +672,24 @@ mod tests {
         .unwrap();
         let p = RowPartition::by_nnz(&m, layout.num_ranks());
         let w = workload::analyze(&m, &p);
-        let naive =
-            simulate_spmv(&cluster, &layout, &w, &SimConfig::new(KernelMode::VectorNaiveOverlap));
-        let novl =
-            simulate_spmv(&cluster, &layout, &w, &SimConfig::new(KernelMode::VectorNoOverlap));
-        let task =
-            simulate_spmv(&cluster, &layout_task, &w, &SimConfig::new(KernelMode::TaskMode));
+        let naive = simulate_spmv(
+            &cluster,
+            &layout,
+            &w,
+            &SimConfig::new(KernelMode::VectorNaiveOverlap),
+        );
+        let novl = simulate_spmv(
+            &cluster,
+            &layout,
+            &w,
+            &SimConfig::new(KernelMode::VectorNoOverlap),
+        );
+        let task = simulate_spmv(
+            &cluster,
+            &layout_task,
+            &w,
+            &SimConfig::new(KernelMode::TaskMode),
+        );
         assert!(
             task.gflops > novl.gflops * 1.05,
             "task {} must beat no-overlap {}",
@@ -641,9 +709,13 @@ mod tests {
         let m = synthetic::scattered(60_000, 12, 6);
         let nodes = 4;
         let cluster = presets::westmere_cluster(nodes);
-        let layout =
-            plan_layout(&cluster.node, nodes, HybridLayout::ProcessPerLd, CommThreadPlacement::None)
-                .unwrap();
+        let layout = plan_layout(
+            &cluster.node,
+            nodes,
+            HybridLayout::ProcessPerLd,
+            CommThreadPlacement::None,
+        )
+        .unwrap();
         let p = RowPartition::by_nnz(&m, layout.num_ranks());
         let w = workload::analyze(&m, &p);
         let std_ = simulate_spmv(
@@ -656,8 +728,7 @@ mod tests {
             &cluster,
             &layout,
             &w,
-            &SimConfig::new(KernelMode::VectorNaiveOverlap)
-                .with_progress(ProgressModel::Async),
+            &SimConfig::new(KernelMode::VectorNaiveOverlap).with_progress(ProgressModel::Async),
         );
         assert!(
             asy.gflops > std_.gflops * 1.05,
@@ -673,9 +744,13 @@ mod tests {
         let m = synthetic::tridiagonal(500_000, 2.0, -1.0);
         let nodes = 4;
         let cluster = presets::westmere_cluster(nodes);
-        let layout =
-            plan_layout(&cluster.node, nodes, HybridLayout::ProcessPerLd, CommThreadPlacement::None)
-                .unwrap();
+        let layout = plan_layout(
+            &cluster.node,
+            nodes,
+            HybridLayout::ProcessPerLd,
+            CommThreadPlacement::None,
+        )
+        .unwrap();
         let layout_task = plan_layout(
             &cluster.node,
             nodes,
@@ -685,12 +760,24 @@ mod tests {
         .unwrap();
         let p = RowPartition::by_nnz(&m, layout.num_ranks());
         let w = workload::analyze(&m, &p);
-        let novl =
-            simulate_spmv(&cluster, &layout, &w, &SimConfig::new(KernelMode::VectorNoOverlap));
-        let naive =
-            simulate_spmv(&cluster, &layout, &w, &SimConfig::new(KernelMode::VectorNaiveOverlap));
-        let task =
-            simulate_spmv(&cluster, &layout_task, &w, &SimConfig::new(KernelMode::TaskMode));
+        let novl = simulate_spmv(
+            &cluster,
+            &layout,
+            &w,
+            &SimConfig::new(KernelMode::VectorNoOverlap),
+        );
+        let naive = simulate_spmv(
+            &cluster,
+            &layout,
+            &w,
+            &SimConfig::new(KernelMode::VectorNaiveOverlap),
+        );
+        let task = simulate_spmv(
+            &cluster,
+            &layout_task,
+            &w,
+            &SimConfig::new(KernelMode::TaskMode),
+        );
         // With negligible communication there is nothing to overlap: task
         // mode matches naive overlap (both pay the Eq.-2 split penalty —
         // large here because N_nzr ≈ 3 for a tridiagonal matrix) and cannot
@@ -709,9 +796,18 @@ mod tests {
 
     #[test]
     fn kappa_slows_things_down() {
-        let (cluster, plan, w) =
-            setup(100_000, 1, HybridLayout::ProcessPerNode, CommThreadPlacement::None);
-        let k0 = simulate_spmv(&cluster, &plan, &w, &SimConfig::new(KernelMode::VectorNoOverlap));
+        let (cluster, plan, w) = setup(
+            100_000,
+            1,
+            HybridLayout::ProcessPerNode,
+            CommThreadPlacement::None,
+        );
+        let k0 = simulate_spmv(
+            &cluster,
+            &plan,
+            &w,
+            &SimConfig::new(KernelMode::VectorNoOverlap),
+        );
         let k25 = simulate_spmv(
             &cluster,
             &plan,
@@ -723,8 +819,12 @@ mod tests {
 
     #[test]
     fn trace_records_phases() {
-        let (cluster, plan, w) =
-            setup(5_000, 2, HybridLayout::ProcessPerLd, CommThreadPlacement::SmtSibling);
+        let (cluster, plan, w) = setup(
+            5_000,
+            2,
+            HybridLayout::ProcessPerLd,
+            CommThreadPlacement::SmtSibling,
+        );
         let r = simulate_spmv(
             &cluster,
             &plan,
@@ -745,10 +845,19 @@ mod tests {
 
     #[test]
     fn per_core_layout_runs_many_ranks() {
-        let (cluster, plan, w) =
-            setup(30_000, 2, HybridLayout::ProcessPerCore, CommThreadPlacement::None);
+        let (cluster, plan, w) = setup(
+            30_000,
+            2,
+            HybridLayout::ProcessPerCore,
+            CommThreadPlacement::None,
+        );
         assert_eq!(plan.num_ranks(), 24);
-        let r = simulate_spmv(&cluster, &plan, &w, &SimConfig::new(KernelMode::VectorNoOverlap));
+        let r = simulate_spmv(
+            &cluster,
+            &plan,
+            &w,
+            &SimConfig::new(KernelMode::VectorNoOverlap),
+        );
         assert!(r.time_s.is_finite() && r.time_s > 0.0);
         assert!(r.messages > 0);
     }
@@ -768,8 +877,12 @@ mod tests {
             .unwrap();
             let p = RowPartition::by_nnz(&m, layout.num_ranks());
             let w = workload::analyze(&m, &p);
-            let r =
-                simulate_spmv(&cluster, &layout, &w, &SimConfig::new(KernelMode::VectorNoOverlap));
+            let r = simulate_spmv(
+                &cluster,
+                &layout,
+                &w,
+                &SimConfig::new(KernelMode::VectorNoOverlap),
+            );
             assert!(
                 r.time_s < last,
                 "strong scaling should improve up to 4 nodes here ({nodes} nodes: {} vs {last})",

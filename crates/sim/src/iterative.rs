@@ -39,17 +39,29 @@ pub struct SolverShape {
 impl SolverShape {
     /// Unpreconditioned CG: 1 SpMV, 2 dots, 3 sweeps (`x`, `r`, `p`).
     pub fn cg() -> Self {
-        Self { spmvs: 1, reductions: 2, vector_sweeps: 3 }
+        Self {
+            spmvs: 1,
+            reductions: 2,
+            vector_sweeps: 3,
+        }
     }
 
     /// Symmetric Lanczos: 1 SpMV, 2 dots (α and β), 2 sweeps.
     pub fn lanczos() -> Self {
-        Self { spmvs: 1, reductions: 2, vector_sweeps: 2 }
+        Self {
+            spmvs: 1,
+            reductions: 2,
+            vector_sweeps: 2,
+        }
     }
 
     /// Jacobi-preconditioned CG: one extra sweep for `z = M⁻¹r`.
     pub fn pcg_jacobi() -> Self {
-        Self { spmvs: 1, reductions: 2, vector_sweeps: 4 }
+        Self {
+            spmvs: 1,
+            reductions: 2,
+            vector_sweeps: 4,
+        }
     }
 }
 
@@ -161,9 +173,7 @@ mod tests {
     use spmv_machine::{plan_layout, presets, CommThreadPlacement, HybridLayout};
     use spmv_matrix::synthetic;
 
-    fn setup(
-        nodes: usize,
-    ) -> (ClusterSpec, LayoutPlan, Vec<RankWorkload>) {
+    fn setup(nodes: usize) -> (ClusterSpec, LayoutPlan, Vec<RankWorkload>) {
         let cluster = presets::westmere_cluster(nodes);
         let layout = plan_layout(
             &cluster.node,
@@ -190,9 +200,7 @@ mod tests {
             100,
         );
         assert!(t.per_iteration_s > 0.0);
-        assert!(
-            (t.per_iteration_s - (t.spmv_s + t.reduction_s + t.sweeps_s)).abs() < 1e-15
-        );
+        assert!((t.per_iteration_s - (t.spmv_s + t.reduction_s + t.sweeps_s)).abs() < 1e-15);
         assert!((t.total_s - 100.0 * t.per_iteration_s).abs() < 1e-12);
         assert!(t.reduction_fraction() < 1.0);
     }
@@ -234,8 +242,7 @@ mod tests {
         let (cluster, layout, w) = setup(2);
         let cfg = SimConfig::new(KernelMode::VectorNoOverlap);
         let (cg, _) = simulate_solver(&cluster, &layout, &w, &cfg, SolverShape::cg(), 1);
-        let (pcg, _) =
-            simulate_solver(&cluster, &layout, &w, &cfg, SolverShape::pcg_jacobi(), 1);
+        let (pcg, _) = simulate_solver(&cluster, &layout, &w, &cfg, SolverShape::pcg_jacobi(), 1);
         assert!(pcg.per_iteration_s > cg.per_iteration_s);
         let (lz, _) = simulate_solver(&cluster, &layout, &w, &cfg, SolverShape::lanczos(), 1);
         assert!(lz.per_iteration_s < cg.per_iteration_s);

@@ -123,8 +123,10 @@ pub struct RankProgram {
 /// Builds the lane programs for `workload` under `cfg`.
 pub fn build_program(workload: &RankWorkload, cfg: &SimConfig) -> RankProgram {
     let w = workload;
-    let full =
-        Op::Compute { bytes: phase_bytes(w.nnz(), w.rows, w.rows + w.halo_elems, cfg.kappa), label: "spmv(full)" };
+    let full = Op::Compute {
+        bytes: phase_bytes(w.nnz(), w.rows, w.rows + w.halo_elems, cfg.kappa),
+        label: "spmv(full)",
+    };
     let local = Op::Compute {
         bytes: phase_bytes(w.local_nnz, w.rows, w.rows, cfg.kappa),
         label: "spmv(local)",
@@ -139,7 +141,13 @@ pub fn build_program(workload: &RankWorkload, cfg: &SimConfig) -> RankProgram {
     };
     match cfg.mode {
         KernelMode::VectorNoOverlap => RankProgram {
-            lanes: vec![vec![Op::PostRecvs, Op::Gather, Op::SendAll, Op::WaitAll, full]],
+            lanes: vec![vec![
+                Op::PostRecvs,
+                Op::Gather,
+                Op::SendAll,
+                Op::WaitAll,
+                full,
+            ]],
         },
         KernelMode::VectorNaiveOverlap => RankProgram {
             lanes: vec![vec![
@@ -253,7 +261,10 @@ mod tests {
     fn kappa_increases_compute_bytes() {
         let w = sample_workload();
         let b0 = build_program(&w, &SimConfig::new(KernelMode::VectorNoOverlap));
-        let b2 = build_program(&w, &SimConfig::new(KernelMode::VectorNoOverlap).with_kappa(2.5));
+        let b2 = build_program(
+            &w,
+            &SimConfig::new(KernelMode::VectorNoOverlap).with_kappa(2.5),
+        );
         let get = |p: &RankProgram| match &p.lanes[0][4] {
             Op::Compute { bytes, .. } => *bytes,
             _ => panic!("expected compute"),
@@ -280,7 +291,10 @@ mod tests {
         assert!(op_inside_mpi(&Op::SendAll));
         assert!(op_inside_mpi(&Op::PostRecvs));
         assert!(!op_inside_mpi(&Op::Gather));
-        assert!(!op_inside_mpi(&Op::Compute { bytes: 1.0, label: "x" }));
+        assert!(!op_inside_mpi(&Op::Compute {
+            bytes: 1.0,
+            label: "x"
+        }));
         assert!(!op_inside_mpi(&Op::TeamBarrier(1)));
     }
 

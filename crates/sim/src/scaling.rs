@@ -11,10 +11,7 @@ use spmv_matrix::CsrMatrix;
 /// Picks the communication-thread placement for a mode on a machine:
 /// task mode uses an SMT sibling where available (Intel) and donates a
 /// physical core otherwise (Magny Cours) — exactly the paper's setup.
-pub fn default_comm_placement(
-    cluster: &ClusterSpec,
-    mode: KernelMode,
-) -> CommThreadPlacement {
+pub fn default_comm_placement(cluster: &ClusterSpec, mode: KernelMode) -> CommThreadPlacement {
     if !mode.needs_comm_thread() {
         return CommThreadPlacement::None;
     }
@@ -51,7 +48,11 @@ pub fn try_simulate_job(
     layout: HybridLayout,
     cfg: &SimConfig,
 ) -> Option<SimResult> {
-    assert!(nodes <= cluster.num_nodes, "cluster has only {} nodes", cluster.num_nodes);
+    assert!(
+        nodes <= cluster.num_nodes,
+        "cluster has only {} nodes",
+        cluster.num_nodes
+    );
     let comm = default_comm_placement(cluster, cfg.mode);
     let plan = plan_layout(&cluster.node, nodes, layout, comm).ok()?;
     let partition = RowPartition::by_nnz(matrix, plan.num_ranks());
@@ -71,7 +72,11 @@ pub fn simulate_modes(
     layout: HybridLayout,
     cfgs: &[SimConfig],
 ) -> Vec<Option<SimResult>> {
-    assert!(nodes <= cluster.num_nodes, "cluster has only {} nodes", cluster.num_nodes);
+    assert!(
+        nodes <= cluster.num_nodes,
+        "cluster has only {} nodes",
+        cluster.num_nodes
+    );
     // the rank count is the same for any comm placement; derive it once
     let probe = plan_layout(&cluster.node, nodes, layout, CommThreadPlacement::None)
         .expect("layouts without comm threads are always realizable");
@@ -101,7 +106,10 @@ pub struct ScalingSeries {
 impl ScalingSeries {
     /// Performance at the given node count, if simulated.
     pub fn at(&self, nodes: usize) -> Option<f64> {
-        self.points.iter().find(|&&(n, _)| n == nodes).map(|&(_, g)| g)
+        self.points
+            .iter()
+            .find(|&&(n, _)| n == nodes)
+            .map(|&(_, g)| g)
     }
 }
 
@@ -117,7 +125,11 @@ pub fn strong_scaling(
         .iter()
         .map(|&n| (n, simulate_job(matrix, cluster, n, layout, cfg).gflops))
         .collect();
-    ScalingSeries { mode: cfg.mode, layout, points }
+    ScalingSeries {
+        mode: cfg.mode,
+        layout,
+        points,
+    }
 }
 
 #[cfg(test)]

@@ -50,7 +50,11 @@ impl Trace {
             return String::from("(no events)\n");
         }
         let t_end = ev.iter().map(|e| e.t1).fold(0.0, f64::max);
-        let t_scale = if t_end > 0.0 { width as f64 / t_end } else { 0.0 };
+        let t_scale = if t_end > 0.0 {
+            width as f64 / t_end
+        } else {
+            0.0
+        };
         let lanes: usize = ev.iter().map(|e| e.lane).max().unwrap_or(0) + 1;
         let mut rows = vec![vec![b' '; width]; lanes];
         for e in &ev {
@@ -63,7 +67,11 @@ impl Trace {
         }
         let mut out = String::new();
         for (li, row) in rows.iter().enumerate() {
-            let name = if lanes == 2 && li == 0 { "comm   " } else { "compute" };
+            let name = if lanes == 2 && li == 0 {
+                "comm   "
+            } else {
+                "compute"
+            };
             out.push_str(&format!("rank {rank} {name} |"));
             out.push_str(std::str::from_utf8(row).expect("ascii"));
             out.push_str("|\n");
@@ -94,12 +102,48 @@ mod tests {
     fn sample() -> Trace {
         Trace {
             events: vec![
-                TraceEvent { rank: 0, lane: 0, label: "post recvs", t0: 0.0, t1: 0.1 },
-                TraceEvent { rank: 0, lane: 0, label: "waitall", t0: 0.1, t1: 0.9 },
-                TraceEvent { rank: 0, lane: 1, label: "gather", t0: 0.0, t1: 0.2 },
-                TraceEvent { rank: 0, lane: 1, label: "spmv(local)", t0: 0.2, t1: 0.8 },
-                TraceEvent { rank: 0, lane: 1, label: "spmv(nonlocal)", t0: 0.9, t1: 1.0 },
-                TraceEvent { rank: 1, lane: 0, label: "waitall", t0: 0.0, t1: 0.5 },
+                TraceEvent {
+                    rank: 0,
+                    lane: 0,
+                    label: "post recvs",
+                    t0: 0.0,
+                    t1: 0.1,
+                },
+                TraceEvent {
+                    rank: 0,
+                    lane: 0,
+                    label: "waitall",
+                    t0: 0.1,
+                    t1: 0.9,
+                },
+                TraceEvent {
+                    rank: 0,
+                    lane: 1,
+                    label: "gather",
+                    t0: 0.0,
+                    t1: 0.2,
+                },
+                TraceEvent {
+                    rank: 0,
+                    lane: 1,
+                    label: "spmv(local)",
+                    t0: 0.2,
+                    t1: 0.8,
+                },
+                TraceEvent {
+                    rank: 0,
+                    lane: 1,
+                    label: "spmv(nonlocal)",
+                    t0: 0.9,
+                    t1: 1.0,
+                },
+                TraceEvent {
+                    rank: 1,
+                    lane: 0,
+                    label: "waitall",
+                    t0: 0.0,
+                    t1: 0.5,
+                },
             ],
         }
     }

@@ -58,7 +58,11 @@ impl PlacementMap {
                 *o = 0;
             }
         }
-        Self { len, elem_bytes, page_owner }
+        Self {
+            len,
+            elem_bytes,
+            page_owner,
+        }
     }
 
     /// Placement produced by contiguous chunked initialization across
@@ -111,7 +115,11 @@ impl PlacementMap {
                 local += 1;
             }
         }
-        if total == 0 { 1.0 } else { local as f64 / total as f64 }
+        if total == 0 {
+            1.0
+        } else {
+            local as f64 / total as f64
+        }
     }
 }
 

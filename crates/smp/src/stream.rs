@@ -51,7 +51,11 @@ pub fn run_stream(team: &ThreadTeam, len: usize, reps: usize) -> StreamResult {
 
     // first-touch initialization with the same chunking the kernels use
     {
-        let (pa, pb, pc) = (SendPtr(a.as_mut_ptr()), SendPtr(b.as_mut_ptr()), SendPtr(c.as_mut_ptr()));
+        let (pa, pb, pc) = (
+            SendPtr(a.as_mut_ptr()),
+            SendPtr(b.as_mut_ptr()),
+            SendPtr(c.as_mut_ptr()),
+        );
         team.run(|ctx| {
             for i in static_chunk(len, ctx.size, ctx.tid) {
                 // Safety: chunks are disjoint across threads.
@@ -75,7 +79,11 @@ pub fn run_stream(team: &ThreadTeam, len: usize, reps: usize) -> StreamResult {
         best
     };
 
-    let (pa, pb, pc) = (SendPtr(a.as_mut_ptr()), SendPtr(b.as_mut_ptr()), SendPtr(c.as_mut_ptr()));
+    let (pa, pb, pc) = (
+        SendPtr(a.as_mut_ptr()),
+        SendPtr(b.as_mut_ptr()),
+        SendPtr(c.as_mut_ptr()),
+    );
 
     let t_copy = time_kernel(&|tid, size| {
         for i in static_chunk(len, size, tid) {

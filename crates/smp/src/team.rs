@@ -8,10 +8,10 @@
 //! as `std::thread::scope`, enforced here with an explicit completion
 //! count).
 
-use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
+use std::sync::{Condvar, Mutex};
 
 /// Reusable sense-reversing spin barrier for exactly `size` participants.
 ///
@@ -28,7 +28,11 @@ impl SpinBarrier {
     /// A barrier for `size` participants (`size >= 1`).
     pub fn new(size: usize) -> Self {
         assert!(size >= 1);
-        Self { size, count: AtomicUsize::new(0), generation: AtomicUsize::new(0) }
+        Self {
+            size,
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
     }
 
     /// Blocks until all `size` participants have called `wait`.
@@ -141,7 +145,12 @@ impl ThreadTeam {
                 .expect("failed to spawn team worker");
             handles.push(handle);
         }
-        Self { size, senders, handles, shared }
+        Self {
+            size,
+            senders,
+            handles,
+            shared,
+        }
     }
 
     /// Team size.
@@ -169,15 +178,15 @@ impl ThreadTeam {
             >(wide as *const _)
         });
         {
-            let mut done = self.shared.done_lock.lock();
+            let mut done = self.shared.done_lock.lock().unwrap();
             *done = 0;
         }
         for tx in &self.senders {
             tx.send(Command::Run(ptr)).expect("worker thread died");
         }
-        let mut done = self.shared.done_lock.lock();
+        let mut done = self.shared.done_lock.lock().unwrap();
         while *done < self.size {
-            self.shared.done_cv.wait(&mut done);
+            done = self.shared.done_cv.wait(done).unwrap();
         }
         drop(done);
         if self.shared.panicked.swap(false, Ordering::SeqCst) {
@@ -236,14 +245,18 @@ fn worker_loop(tid: usize, size: usize, rx: Receiver<Command>, shared: Arc<Share
             Command::Exit => break,
             Command::Run(ptr) => {
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    let ctx = TeamCtx { tid, size, barrier: &shared.barrier };
+                    let ctx = TeamCtx {
+                        tid,
+                        size,
+                        barrier: &shared.barrier,
+                    };
                     // Safety: see `ThreadTeam::run`.
                     unsafe { (*ptr.0)(ctx) }
                 }));
                 if result.is_err() {
                     shared.panicked.store(true, Ordering::SeqCst);
                 }
-                let mut done = shared.done_lock.lock();
+                let mut done = shared.done_lock.lock().unwrap();
                 *done += 1;
                 if *done == size {
                     shared.done_cv.notify_all();
@@ -439,17 +452,20 @@ mod tests {
         // 9 rows: one heavy (90) then light (1 each)
         let prefix = [0usize, 90, 91, 92, 93, 94, 95, 96, 97, 98];
         let covered: Vec<AtomicUsize> = (0..9).map(|_| AtomicUsize::new(0)).collect();
-        let widths = parking_lot::Mutex::new(Vec::new());
+        let widths = Mutex::new(Vec::new());
         team.parallel_for_weighted(&prefix, |range| {
-            widths.lock().push(range.len());
+            widths.lock().unwrap().push(range.len());
             for i in range {
                 covered[i].fetch_add(1, Ordering::SeqCst);
             }
         });
         assert!(covered.iter().all(|c| c.load(Ordering::SeqCst) == 1));
-        let w = widths.lock();
+        let w = widths.lock().unwrap();
         assert_eq!(w.iter().sum::<usize>(), 9);
         // the heavy row must sit alone (or nearly) in its chunk
-        assert!(w.iter().any(|&l| l <= 2), "heavy-row chunk should be small: {w:?}");
+        assert!(
+            w.iter().any(|&l| l <= 2),
+            "heavy-row chunk should be small: {w:?}"
+        );
     }
 }

@@ -41,7 +41,10 @@ pub fn static_chunk(n: usize, nthreads: usize, tid: usize) -> Range<usize> {
 pub fn balanced_chunks(prefix: &[usize], parts: usize) -> Vec<Range<usize>> {
     assert!(parts > 0);
     assert!(!prefix.is_empty(), "prefix must have at least one entry");
-    debug_assert!(prefix.windows(2).all(|w| w[0] <= w[1]), "prefix must be non-decreasing");
+    debug_assert!(
+        prefix.windows(2).all(|w| w[0] <= w[1]),
+        "prefix must be non-decreasing"
+    );
     let n = prefix.len() - 1;
     let total = prefix[n] - prefix[0];
     let mut bounds = Vec::with_capacity(parts + 1);
@@ -143,7 +146,9 @@ mod tests {
         let mut prefix = vec![0usize];
         let mut state = 12345u64;
         for _ in 0..1000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             prefix.push(prefix.last().unwrap() + 1 + (state >> 59) as usize);
         }
         let chunks = balanced_chunks(&prefix, 8);

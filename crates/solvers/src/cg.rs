@@ -72,7 +72,12 @@ pub fn cg_solve<O: LinOp, G: GlobalOps>(
         converged = rel <= tol;
     }
 
-    CgResult { iterations, rel_residual: rr.sqrt() / b_norm, converged, history }
+    CgResult {
+        iterations,
+        rel_residual: rr.sqrt() / b_norm,
+        converged,
+        history,
+    }
 }
 
 /// Solves `A x = b` by Jacobi-preconditioned CG: `M = diag(A)` — the
@@ -93,7 +98,10 @@ pub fn pcg_solve_jacobi<O: LinOp, G: GlobalOps>(
     assert_eq!(b.len(), n);
     assert_eq!(x.len(), n);
     assert_eq!(diag.len(), n);
-    assert!(diag.iter().all(|&d| d != 0.0), "Jacobi needs a nonzero diagonal");
+    assert!(
+        diag.iter().all(|&d| d != 0.0),
+        "Jacobi needs a nonzero diagonal"
+    );
 
     let mut r = vec![0.0; n];
     let mut z = vec![0.0; n];
@@ -137,7 +145,12 @@ pub fn pcg_solve_jacobi<O: LinOp, G: GlobalOps>(
         converged = rel <= tol;
     }
 
-    CgResult { iterations, rel_residual: ops.norm2(&r) / b_norm, converged, history }
+    CgResult {
+        iterations,
+        rel_residual: ops.norm2(&r) / b_norm,
+        converged,
+        history,
+    }
 }
 
 #[cfg(test)]
@@ -179,12 +192,20 @@ mod tests {
         let b = vec![1.0; n];
         let mut x = vec![0.0; n];
         let r = cg_solve(&mut SerialOp::new(&m), &SerialOps, &b, &mut x, 1e-8, 2000);
-        assert!(r.converged, "rel res {} after {}", r.rel_residual, r.iterations);
+        assert!(
+            r.converged,
+            "rel res {} after {}",
+            r.rel_residual, r.iterations
+        );
         // verify the residual independently
         let mut ax = vec![0.0; n];
         m.spmv(&x, &mut ax);
-        let res: f64 =
-            b.iter().zip(&ax).map(|(bi, axi)| (bi - axi) * (bi - axi)).sum::<f64>().sqrt();
+        let res: f64 = b
+            .iter()
+            .zip(&ax)
+            .map(|(bi, axi)| (bi - axi) * (bi - axi))
+            .sum::<f64>()
+            .sqrt();
         assert!(res / (n as f64).sqrt() < 1e-7);
     }
 
@@ -238,22 +259,33 @@ mod tests {
         let n = m.nrows();
         let b = vecops::random_vec(n, 13);
         let mut x_serial = vec![0.0; n];
-        let serial =
-            cg_solve(&mut SerialOp::new(&m), &SerialOps, &b, &mut x_serial, 1e-10, 1000);
+        let serial = cg_solve(
+            &mut SerialOp::new(&m),
+            &SerialOps,
+            &b,
+            &mut x_serial,
+            1e-10,
+            1000,
+        );
         assert!(serial.converged);
 
-        let pieces = run_spmd(&m, 4, spmv_core::engine::EngineConfig::task_mode(2), |eng| {
-            let lo = eng.row_start();
-            let len = eng.local_len();
-            let b_local = b[lo..lo + len].to_vec();
-            let mut x_local = vec![0.0; len];
-            let comm = eng.comm().clone();
-            let ops = DistOps { comm: &comm };
-            let mut op = DistOp::new(eng, KernelMode::TaskMode);
-            let r = cg_solve(&mut op, &ops, &b_local, &mut x_local, 1e-10, 1000);
-            assert!(r.converged);
-            (lo, x_local)
-        });
+        let pieces = run_spmd(
+            &m,
+            4,
+            spmv_core::engine::EngineConfig::task_mode(2),
+            |eng| {
+                let lo = eng.row_start();
+                let len = eng.local_len();
+                let b_local = b[lo..lo + len].to_vec();
+                let mut x_local = vec![0.0; len];
+                let comm = eng.comm().clone();
+                let ops = DistOps { comm: &comm };
+                let mut op = DistOp::new(eng, KernelMode::TaskMode);
+                let r = cg_solve(&mut op, &ops, &b_local, &mut x_local, 1e-10, 1000);
+                assert!(r.converged);
+                (lo, x_local)
+            },
+        );
         for (lo, x) in pieces {
             assert!(
                 vecops::max_abs_diff(&x, &x_serial[lo..lo + x.len()]) < 1e-6,
@@ -283,8 +315,14 @@ mod tests {
         m.spmv(&x_true, &mut b);
 
         let mut x_plain = vec![0.0; n];
-        let plain =
-            cg_solve(&mut SerialOp::new(&m), &SerialOps, &b, &mut x_plain, 1e-10, 2000);
+        let plain = cg_solve(
+            &mut SerialOp::new(&m),
+            &SerialOps,
+            &b,
+            &mut x_plain,
+            1e-10,
+            2000,
+        );
         let mut x_pcg = vec![0.0; n];
         let pcg = pcg_solve_jacobi(
             &mut SerialOp::new(&m),
@@ -311,7 +349,15 @@ mod tests {
         let diag = vec![1.0; 30];
         let b = vecops::random_vec(30, 5);
         let mut x = vec![0.0; 30];
-        let r = pcg_solve_jacobi(&mut SerialOp::new(&m), &SerialOps, &diag, &b, &mut x, 1e-12, 5);
+        let r = pcg_solve_jacobi(
+            &mut SerialOp::new(&m),
+            &SerialOps,
+            &diag,
+            &b,
+            &mut x,
+            1e-12,
+            5,
+        );
         assert!(r.converged);
         assert!(r.iterations <= 1);
     }

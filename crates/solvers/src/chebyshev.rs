@@ -32,12 +32,18 @@ pub struct ComplexVec {
 impl ComplexVec {
     /// A real-valued state.
     pub fn from_real(re: &[f64]) -> Self {
-        Self { re: re.to_vec(), im: vec![0.0; re.len()] }
+        Self {
+            re: re.to_vec(),
+            im: vec![0.0; re.len()],
+        }
     }
 
     /// Zero state of length `n`.
     pub fn zeros(n: usize) -> Self {
-        Self { re: vec![0.0; n], im: vec![0.0; n] }
+        Self {
+            re: vec![0.0; n],
+            im: vec![0.0; n],
+        }
     }
 
     /// Local length.
@@ -89,7 +95,10 @@ impl ComplexVec {
 /// downward recurrence (numerically stable for all orders), normalized with
 /// `J_0 + 2·Σ_{k≥1} J_{2k} = 1`.
 pub fn bessel_jn(n_max: usize, x: f64) -> Vec<f64> {
-    assert!(x >= 0.0, "use symmetry J_k(-x) = (-1)^k J_k(x) for negative arguments");
+    assert!(
+        x >= 0.0,
+        "use symmetry J_k(-x) = (-1)^k J_k(x) for negative arguments"
+    );
     if x == 0.0 {
         let mut out = vec![0.0; n_max + 1];
         out[0] = 1.0;
@@ -139,7 +148,10 @@ pub struct ChebyshevOptions {
 
 impl Default for ChebyshevOptions {
     fn default() -> Self {
-        Self { order: None, epsilon: 0.02 }
+        Self {
+            order: None,
+            epsilon: 0.02,
+        }
     }
 }
 
@@ -167,7 +179,10 @@ pub fn evolve<O: LinOp, G: GlobalOps>(
     opts: ChebyshevOptions,
 ) -> EvolveResult {
     assert!(hi > lo, "spectrum bounds must be ordered");
-    assert!(t >= 0.0, "propagate forward in time (negate the Hamiltonian otherwise)");
+    assert!(
+        t >= 0.0,
+        "propagate forward in time (negate the Hamiltonian otherwise)"
+    );
     let n = op.len();
     assert_eq!(psi0.len(), n);
     let a = (hi - lo) / (2.0 - opts.epsilon);
@@ -435,8 +450,14 @@ mod tests {
 
     #[test]
     fn complex_vec_inner_product() {
-        let a = ComplexVec { re: vec![1.0, 0.0], im: vec![0.0, 1.0] };
-        let b = ComplexVec { re: vec![0.0, 1.0], im: vec![1.0, 0.0] };
+        let a = ComplexVec {
+            re: vec![1.0, 0.0],
+            im: vec![0.0, 1.0],
+        };
+        let b = ComplexVec {
+            re: vec![0.0, 1.0],
+            im: vec![1.0, 0.0],
+        };
         // <a|b> = conj(1)·i + conj(i)·1 = i + (-i)·1 = 0... compute:
         // element 0: conj(1+0i)·(0+1i) = i; element 1: conj(0+1i)·(1+0i) = -i
         let (re, im) = a.inner_local(&b);

@@ -39,7 +39,13 @@ pub struct KpmOptions {
 
 impl Default for KpmOptions {
     fn default() -> Self {
-        Self { order: 64, random_vectors: 8, grid: 200, seed: 777, epsilon: 0.05 }
+        Self {
+            order: 64,
+            random_vectors: 8,
+            grid: 200,
+            seed: 777,
+            epsilon: 0.05,
+        }
     }
 }
 
@@ -129,7 +135,13 @@ pub fn kpm_dos<O: LinOp, G: GlobalOps>(
     energies.reverse();
     dos.reverse();
 
-    KpmResult { moments: mu, energies, dos, scale_a: a, shift_b: b }
+    KpmResult {
+        moments: mu,
+        energies,
+        dos,
+        scale_a: a,
+        shift_b: b,
+    }
 }
 
 /// Applies the rescaled operator `Ã x = (A x - b x)/a`.
@@ -154,11 +166,16 @@ fn global_slice_random(seed: u64, rv: u64, offset: usize, len: usize) -> Vec<f64
     (0..len)
         .map(|i| {
             let g = (offset + i) as u64;
-            let mut h = seed ^ rv.wrapping_mul(0x9E3779B97F4A7C15) ^ g.wrapping_mul(0xBF58476D1CE4E5B9);
+            let mut h =
+                seed ^ rv.wrapping_mul(0x9E3779B97F4A7C15) ^ g.wrapping_mul(0xBF58476D1CE4E5B9);
             h ^= h >> 30;
             h = h.wrapping_mul(0xBF58476D1CE4E5B9);
             h ^= h >> 27;
-            if h & 1 == 0 { 1.0 } else { -1.0 }
+            if h & 1 == 0 {
+                1.0
+            } else {
+                -1.0
+            }
         })
         .collect()
 }
@@ -192,7 +209,12 @@ mod tests {
             lo,
             hi,
             0,
-            KpmOptions { order: 64, random_vectors: 10, grid: 400, ..Default::default() },
+            KpmOptions {
+                order: 64,
+                random_vectors: 10,
+                grid: 400,
+                ..Default::default()
+            },
         );
         // integrate with the trapezoid rule on the energy grid
         let mut integral = 0.0;
@@ -201,7 +223,10 @@ mod tests {
             integral += 0.5 * (r.dos[k] + r.dos[k - 1]) * de;
         }
         assert!((integral - 1.0).abs() < 0.05, "DOS integral {integral}");
-        assert!(r.dos.iter().all(|&d| d > -0.01), "Jackson kernel keeps DOS ≈ nonnegative");
+        assert!(
+            r.dos.iter().all(|&d| d > -0.01),
+            "Jackson kernel keeps DOS ≈ nonnegative"
+        );
     }
 
     #[test]
@@ -213,7 +238,12 @@ mod tests {
             0.0,
             2.0,
             0,
-            KpmOptions { order: 48, random_vectors: 4, grid: 200, ..Default::default() },
+            KpmOptions {
+                order: 48,
+                random_vectors: 4,
+                grid: 200,
+                ..Default::default()
+            },
         );
         // peak position
         let (k_max, _) = r
@@ -222,14 +252,25 @@ mod tests {
             .enumerate()
             .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap();
-        assert!((r.energies[k_max] - 1.0).abs() < 0.1, "peak at {}", r.energies[k_max]);
+        assert!(
+            (r.energies[k_max] - 1.0).abs() < 0.1,
+            "peak at {}",
+            r.energies[k_max]
+        );
     }
 
     #[test]
     fn moments_mu0_is_one() {
         let m = synthetic::random_banded_symmetric(100, 8, 4.0, 3);
         let (lo, hi) = gershgorin_bounds(&m);
-        let r = kpm_dos(&mut SerialOp::new(&m), &SerialOps, lo, hi, 0, KpmOptions::default());
+        let r = kpm_dos(
+            &mut SerialOp::new(&m),
+            &SerialOps,
+            lo,
+            hi,
+            0,
+            KpmOptions::default(),
+        );
         assert!((r.moments[0] - 1.0).abs() < 1e-12, "μ0 = {}", r.moments[0]);
     }
 
@@ -250,6 +291,13 @@ mod tests {
     #[should_panic(expected = "ordered")]
     fn bad_bounds_rejected() {
         let m = CsrMatrix::identity(4);
-        let _ = kpm_dos(&mut SerialOp::new(&m), &SerialOps, 2.0, 1.0, 0, KpmOptions::default());
+        let _ = kpm_dos(
+            &mut SerialOp::new(&m),
+            &SerialOps,
+            2.0,
+            1.0,
+            0,
+            KpmOptions::default(),
+        );
     }
 }

@@ -40,7 +40,11 @@ pub struct LanczosOptions {
 
 impl Default for LanczosOptions {
     fn default() -> Self {
-        Self { max_steps: 100, full_reorthogonalization: false, breakdown_tol: 1e-12 }
+        Self {
+            max_steps: 100,
+            full_reorthogonalization: false,
+            breakdown_tol: 1e-12,
+        }
     }
 }
 
@@ -132,7 +136,10 @@ pub fn lanczos_ground_state<O: LinOp, G: GlobalOps>(
     v0: &[f64],
     opts: LanczosOptions,
 ) -> (LanczosResult, Vec<f64>) {
-    let opts = LanczosOptions { full_reorthogonalization: false, ..opts };
+    let opts = LanczosOptions {
+        full_reorthogonalization: false,
+        ..opts
+    };
     let result = lanczos(op, ops, v0, opts);
     let weights = crate::tridiag::eigenvector(&result.alphas, &result.betas, result.eigenvalue_min);
 
@@ -182,10 +189,22 @@ mod tests {
             &mut SerialOp::new(&m),
             &SerialOps,
             &v0,
-            LanczosOptions { max_steps: 5, full_reorthogonalization: true, ..Default::default() },
+            LanczosOptions {
+                max_steps: 5,
+                full_reorthogonalization: true,
+                ..Default::default()
+            },
         );
-        assert!((r.eigenvalue_min + 3.0).abs() < 1e-8, "min {}", r.eigenvalue_min);
-        assert!((r.eigenvalue_max - 9.0).abs() < 1e-8, "max {}", r.eigenvalue_max);
+        assert!(
+            (r.eigenvalue_min + 3.0).abs() < 1e-8,
+            "min {}",
+            r.eigenvalue_min
+        );
+        assert!(
+            (r.eigenvalue_max - 9.0).abs() < 1e-8,
+            "max {}",
+            r.eigenvalue_max
+        );
     }
 
     #[test]
@@ -197,15 +216,26 @@ mod tests {
             &mut SerialOp::new(&m),
             &SerialOps,
             &v0,
-            LanczosOptions { max_steps: 80, ..Default::default() },
+            LanczosOptions {
+                max_steps: 80,
+                ..Default::default()
+            },
         );
         let lam_min = 2.0 - 2.0 * (std::f64::consts::PI / (n as f64 + 1.0)).cos();
         let lam_max = 2.0 - 2.0 * (n as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
         // The 1-D Laplacian's extreme eigenvalues are clustered (spacing
         // ~ (π/n)²), so Lanczos converges slowly there; a few 1e-3 after 80
         // steps is the expected accuracy.
-        assert!((r.eigenvalue_max - lam_max).abs() < 5e-3, "max {}", r.eigenvalue_max);
-        assert!((r.eigenvalue_min - lam_min).abs() < 5e-3, "min {}", r.eigenvalue_min);
+        assert!(
+            (r.eigenvalue_max - lam_max).abs() < 5e-3,
+            "max {}",
+            r.eigenvalue_max
+        );
+        assert!(
+            (r.eigenvalue_min - lam_min).abs() < 5e-3,
+            "min {}",
+            r.eigenvalue_min
+        );
         // Ritz values never overshoot the true spectrum
         assert!(r.eigenvalue_max <= lam_max + 1e-10);
         assert!(r.eigenvalue_min >= lam_min - 1e-10);
@@ -216,7 +246,12 @@ mod tests {
         // identity: one step diagonalizes
         let m = CsrMatrix::identity(30);
         let v0 = vecops::random_vec(30, 3);
-        let r = lanczos(&mut SerialOp::new(&m), &SerialOps, &v0, LanczosOptions::default());
+        let r = lanczos(
+            &mut SerialOp::new(&m),
+            &SerialOps,
+            &v0,
+            LanczosOptions::default(),
+        );
         assert_eq!(r.iterations, 1);
         assert!((r.eigenvalue_min - 1.0).abs() < 1e-12);
         assert!((r.eigenvalue_max - 1.0).abs() < 1e-12);
@@ -231,7 +266,10 @@ mod tests {
             &mut SerialOp::new(&m),
             &SerialOps,
             &v0,
-            LanczosOptions { max_steps: 60, ..Default::default() },
+            LanczosOptions {
+                max_steps: 60,
+                ..Default::default()
+            },
         );
         assert!(r.eigenvalue_min >= glo - 1e-8);
         assert!(r.eigenvalue_max <= ghi + 1e-8);
@@ -257,8 +295,11 @@ mod tests {
         let hc = hamiltonian(&coupled);
         let hf = hamiltonian(&free);
         let v0 = vecops::random_vec(hc.nrows(), 1);
-        let opts =
-            LanczosOptions { max_steps: 120, full_reorthogonalization: true, ..Default::default() };
+        let opts = LanczosOptions {
+            max_steps: 120,
+            full_reorthogonalization: true,
+            ..Default::default()
+        };
         let ec = lanczos(&mut SerialOp::new(&hc), &SerialOps, &v0, opts);
         let ef = lanczos(&mut SerialOp::new(&hf), &SerialOps, &v0, opts);
         assert!(
@@ -278,18 +319,26 @@ mod tests {
 
         let m = synthetic::random_banded_symmetric(240, 12, 5.0, 33);
         let v0 = vecops::random_vec(240, 21);
-        let opts = LanczosOptions { max_steps: 40, ..Default::default() };
+        let opts = LanczosOptions {
+            max_steps: 40,
+            ..Default::default()
+        };
         let serial = lanczos(&mut SerialOp::new(&m), &SerialOps, &v0, opts);
 
-        let results = run_spmd(&m, 3, spmv_core::engine::EngineConfig::task_mode(2), |eng| {
-            let lo = eng.row_start();
-            let len = eng.local_len();
-            let v_local = v0[lo..lo + len].to_vec();
-            let comm = eng.comm().clone();
-            let ops = DistOps { comm: &comm };
-            let mut op = DistOp::new(eng, KernelMode::TaskMode);
-            lanczos(&mut op, &ops, &v_local, opts)
-        });
+        let results = run_spmd(
+            &m,
+            3,
+            spmv_core::engine::EngineConfig::task_mode(2),
+            |eng| {
+                let lo = eng.row_start();
+                let len = eng.local_len();
+                let v_local = v0[lo..lo + len].to_vec();
+                let comm = eng.comm().clone();
+                let ops = DistOps { comm: &comm };
+                let mut op = DistOp::new(eng, KernelMode::TaskMode);
+                lanczos(&mut op, &ops, &v_local, opts)
+            },
+        );
         for r in results {
             assert!((r.eigenvalue_min - serial.eigenvalue_min).abs() < 1e-8);
             assert!((r.eigenvalue_max - serial.eigenvalue_max).abs() < 1e-8);
@@ -317,7 +366,10 @@ mod tests {
             &mut SerialOp::new(&m),
             &SerialOps,
             &v0,
-            LanczosOptions { max_steps: 4, ..Default::default() },
+            LanczosOptions {
+                max_steps: 4,
+                ..Default::default()
+            },
         );
         assert!((r.eigenvalue_min + 2.0).abs() < 1e-9);
         assert!(y[1].abs() > 0.999, "{y:?}");
@@ -331,7 +383,10 @@ mod tests {
             &mut SerialOp::new(&m),
             &SerialOps,
             &v0,
-            LanczosOptions { max_steps: 120, ..Default::default() },
+            LanczosOptions {
+                max_steps: 120,
+                ..Default::default()
+            },
         );
         let mut ay = vec![0.0; 200];
         m.spmv(&y, &mut ay);
@@ -354,19 +409,27 @@ mod tests {
 
         let m = synthetic::random_banded_symmetric(180, 12, 5.0, 8);
         let v0 = vecops::random_vec(180, 14);
-        let opts = LanczosOptions { max_steps: 60, ..Default::default() };
+        let opts = LanczosOptions {
+            max_steps: 60,
+            ..Default::default()
+        };
         let (sr, sy) = lanczos_ground_state(&mut SerialOp::new(&m), &SerialOps, &v0, opts);
 
-        let results = run_spmd(&m, 3, spmv_core::engine::EngineConfig::task_mode(2), |eng| {
-            let lo = eng.row_start();
-            let len = eng.local_len();
-            let v_local = v0[lo..lo + len].to_vec();
-            let comm = eng.comm().clone();
-            let ops = DistOps { comm: &comm };
-            let mut op = DistOp::new(eng, KernelMode::TaskMode);
-            let (r, y) = lanczos_ground_state(&mut op, &ops, &v_local, opts);
-            (lo, r.eigenvalue_min, y)
-        });
+        let results = run_spmd(
+            &m,
+            3,
+            spmv_core::engine::EngineConfig::task_mode(2),
+            |eng| {
+                let lo = eng.row_start();
+                let len = eng.local_len();
+                let v_local = v0[lo..lo + len].to_vec();
+                let comm = eng.comm().clone();
+                let ops = DistOps { comm: &comm };
+                let mut op = DistOp::new(eng, KernelMode::TaskMode);
+                let (r, y) = lanczos_ground_state(&mut op, &ops, &v_local, opts);
+                (lo, r.eigenvalue_min, y)
+            },
+        );
         for (lo, e, y) in results {
             assert!((e - sr.eigenvalue_min).abs() < 1e-9);
             // sign convention may differ; compare up to sign

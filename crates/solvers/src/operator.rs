@@ -156,15 +156,20 @@ mod tests {
         let x = vecops::random_vec(120, 4);
         let mut y_ref = vec![0.0; 120];
         m.spmv(&x, &mut y_ref);
-        let results = run_spmd(&m, 3, spmv_core::engine::EngineConfig::task_mode(2), |eng| {
-            let lo = eng.row_start();
-            let n = eng.local_len();
-            let x_local = x[lo..lo + n].to_vec();
-            let mut y_local = vec![0.0; n];
-            let mut op = DistOp::new(eng, KernelMode::TaskMode);
-            op.apply(&x_local, &mut y_local);
-            (lo, y_local)
-        });
+        let results = run_spmd(
+            &m,
+            3,
+            spmv_core::engine::EngineConfig::task_mode(2),
+            |eng| {
+                let lo = eng.row_start();
+                let n = eng.local_len();
+                let x_local = x[lo..lo + n].to_vec();
+                let mut y_local = vec![0.0; n];
+                let mut op = DistOp::new(eng, KernelMode::TaskMode);
+                op.apply(&x_local, &mut y_local);
+                (lo, y_local)
+            },
+        );
         for (lo, y) in results {
             assert!(vecops::max_abs_diff(&y, &y_ref[lo..lo + y.len()]) < 1e-11);
         }

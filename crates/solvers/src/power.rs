@@ -40,17 +40,29 @@ pub fn power_iteration<O: LinOp, G: GlobalOps>(
         let lambda = ops.dot(&v, &av); // Rayleigh quotient
         let av_norm = ops.norm2(&av);
         if av_norm == 0.0 {
-            return PowerResult { eigenvalue: 0.0, iterations: it, converged: true };
+            return PowerResult {
+                eigenvalue: 0.0,
+                iterations: it,
+                converged: true,
+            };
         }
         for i in 0..n {
             v[i] = av[i] / av_norm;
         }
         if (lambda - lambda_prev).abs() <= tol * lambda.abs().max(1.0) {
-            return PowerResult { eigenvalue: lambda, iterations: it, converged: true };
+            return PowerResult {
+                eigenvalue: lambda,
+                iterations: it,
+                converged: true,
+            };
         }
         lambda_prev = lambda;
     }
-    PowerResult { eigenvalue: lambda_prev, iterations: max_iter, converged: false }
+    PowerResult {
+        eigenvalue: lambda_prev,
+        iterations: max_iter,
+        converged: false,
+    }
 }
 
 #[cfg(test)]
@@ -81,7 +93,11 @@ mod tests {
         let v0 = vecops::random_vec(n, 17);
         let r = power_iteration(&mut SerialOp::new(&m), &SerialOps, &v0, 1e-12, 20_000);
         let expect = 2.0 - 2.0 * (n as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
-        assert!((r.eigenvalue - expect).abs() < 1e-5, "{} vs {expect}", r.eigenvalue);
+        assert!(
+            (r.eigenvalue - expect).abs() < 1e-5,
+            "{} vs {expect}",
+            r.eigenvalue
+        );
     }
 
     #[test]

@@ -6,7 +6,11 @@
 /// beta)` that are strictly less than `x` (Sturm count). `beta[i]` couples
 /// rows `i` and `i+1` (`beta.len() == alpha.len() - 1`).
 pub fn sturm_count(alpha: &[f64], beta: &[f64], x: f64) -> usize {
-    assert_eq!(beta.len() + 1, alpha.len().max(1), "beta must have n-1 entries");
+    assert_eq!(
+        beta.len() + 1,
+        alpha.len().max(1),
+        "beta must have n-1 entries"
+    );
     if alpha.is_empty() {
         return 0;
     }
@@ -72,13 +76,18 @@ pub fn eigenvalue_k(alpha: &[f64], beta: &[f64], k: usize, tol: f64) -> f64 {
 
 /// All eigenvalues, ascending, to absolute tolerance `tol`.
 pub fn eigenvalues(alpha: &[f64], beta: &[f64], tol: f64) -> Vec<f64> {
-    (0..alpha.len()).map(|k| eigenvalue_k(alpha, beta, k, tol)).collect()
+    (0..alpha.len())
+        .map(|k| eigenvalue_k(alpha, beta, k, tol))
+        .collect()
 }
 
 /// The extreme eigenvalues `(λ_min, λ_max)`.
 pub fn extreme_eigenvalues(alpha: &[f64], beta: &[f64], tol: f64) -> (f64, f64) {
     let n = alpha.len();
-    (eigenvalue_k(alpha, beta, 0, tol), eigenvalue_k(alpha, beta, n - 1, tol))
+    (
+        eigenvalue_k(alpha, beta, 0, tol),
+        eigenvalue_k(alpha, beta, n - 1, tol),
+    )
 }
 
 /// Solves `(T − λI) x = b` for a symmetric tridiagonal `T` by Gaussian
@@ -106,11 +115,15 @@ fn solve_shifted(alpha: &[f64], beta: &[f64], lambda: f64, b: &[f64]) -> Vec<f64
         if l[k].abs() > d[k].abs() {
             // swap rows k, k+1 in the band
             d.swap(k, k + 1); // careful: columns differ; do it explicitly
-            // row k:   [d[k], u1[k], u2[k]]
-            // row k+1: [l[k], d[k+1], u1[k+1]]
-            // After the swap above d got mangled; rebuild properly:
+                              // row k:   [d[k], u1[k], u2[k]]
+                              // row k+1: [l[k], d[k+1], u1[k+1]]
+                              // After the swap above d got mangled; rebuild properly:
             d.swap(k, k + 1); // undo, redo explicitly below
-            let rk = [d[k], u1.get(k).copied().unwrap_or(0.0), u2.get(k).copied().unwrap_or(0.0)];
+            let rk = [
+                d[k],
+                u1.get(k).copied().unwrap_or(0.0),
+                u2.get(k).copied().unwrap_or(0.0),
+            ];
             let rk1 = [
                 l[k],
                 d[k + 1],
@@ -130,14 +143,17 @@ fn solve_shifted(alpha: &[f64], beta: &[f64], lambda: f64, b: &[f64]) -> Vec<f64
             }
             rhs.swap(k, k + 1);
         }
-        let piv = if d[k].abs() >= pivfloor { d[k] } else { pivfloor.copysign(d[k].signum()) };
+        let piv = if d[k].abs() >= pivfloor {
+            d[k]
+        } else {
+            pivfloor.copysign(d[k].signum())
+        };
         let m = l[k] / piv;
         d[k] = piv;
         d[k + 1] -= m * u1[k];
-        if k < u2.len()
-            && k + 1 < u1.len() {
-                u1[k + 1] -= m * u2[k];
-            }
+        if k < u2.len() && k + 1 < u1.len() {
+            u1[k + 1] -= m * u2[k];
+        }
         rhs[k + 1] -= m * rhs[k];
         l[k] = 0.0;
     }
@@ -151,7 +167,11 @@ fn solve_shifted(alpha: &[f64], beta: &[f64], lambda: f64, b: &[f64]) -> Vec<f64
         if k + 2 < n {
             s -= u2.get(k).copied().unwrap_or(0.0) * x[k + 2];
         }
-        let piv = if d[k].abs() >= pivfloor { d[k] } else { pivfloor.copysign(d[k].signum()) };
+        let piv = if d[k].abs() >= pivfloor {
+            d[k]
+        } else {
+            pivfloor.copysign(d[k].signum())
+        };
         x[k] = s / piv;
     }
     x
@@ -164,12 +184,16 @@ pub fn eigenvector(alpha: &[f64], beta: &[f64], lambda: f64) -> Vec<f64> {
     let n = alpha.len();
     assert!(n >= 1);
     // deterministic, unlikely-orthogonal start
-    let mut x: Vec<f64> =
-        (0..n).map(|i| 1.0 + 0.618 * ((i * 2654435761) % 97) as f64 / 97.0).collect();
+    let mut x: Vec<f64> = (0..n)
+        .map(|i| 1.0 + 0.618 * ((i * 2654435761) % 97) as f64 / 97.0)
+        .collect();
     for _ in 0..3 {
         // scale by the max magnitude first so the squared norm cannot
         // overflow after a near-singular solve
-        let mx = x.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(f64::MIN_POSITIVE);
+        let mx = x
+            .iter()
+            .fold(0.0f64, |m, v| m.max(v.abs()))
+            .max(f64::MIN_POSITIVE);
         for v in x.iter_mut() {
             *v /= mx;
         }
@@ -179,7 +203,10 @@ pub fn eigenvector(alpha: &[f64], beta: &[f64], lambda: f64) -> Vec<f64> {
         }
         x = solve_shifted(alpha, beta, lambda, &x);
     }
-    let mx = x.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(f64::MIN_POSITIVE);
+    let mx = x
+        .iter()
+        .fold(0.0f64, |m, v| m.max(v.abs()))
+        .max(f64::MIN_POSITIVE);
     for v in x.iter_mut() {
         *v /= mx;
     }
@@ -231,7 +258,8 @@ mod tests {
         let beta = vec![-1.0; n - 1];
         let ev = eigenvalues(&alpha, &beta, 1e-12);
         for (k, &e) in ev.iter().enumerate() {
-            let expect = 2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
+            let expect =
+                2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
             assert!((e - expect).abs() < 1e-9, "λ_{k}: {e} vs {expect}");
         }
     }
@@ -305,7 +333,11 @@ mod tests {
                 }
                 res += (tv - lam * v[i]).powi(2);
             }
-            assert!(res.sqrt() < 1e-8, "residual {} for lambda {lam}", res.sqrt());
+            assert!(
+                res.sqrt() < 1e-8,
+                "residual {} for lambda {lam}",
+                res.sqrt()
+            );
         }
     }
 

@@ -37,7 +37,10 @@ fn main() {
     );
 
     let ranks = 4;
-    println!("{:>6} {:>16} {:>12} {:>10}", "g", "E0 (Lanczos)", "steps", "SpMVs");
+    println!(
+        "{:>6} {:>16} {:>12} {:>10}",
+        "g", "E0 (Lanczos)", "steps", "SpMVs"
+    );
     let mut last_e0 = f64::INFINITY;
     for g10 in 0..=6 {
         let g = g10 as f64 * 0.25;
@@ -58,7 +61,10 @@ fn main() {
                 &mut op,
                 &ops,
                 &v_local,
-                LanczosOptions { max_steps: 120, ..Default::default() },
+                LanczosOptions {
+                    max_steps: 120,
+                    ..Default::default()
+                },
             );
             (r.eigenvalue_min, r.iterations, op.applications())
         });

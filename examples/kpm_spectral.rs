@@ -36,13 +36,23 @@ fn main() {
         &mut SerialOp::new(&h),
         &SerialOps,
         &v0,
-        LanczosOptions { max_steps: 60, ..Default::default() },
+        LanczosOptions {
+            max_steps: 60,
+            ..Default::default()
+        },
     );
     let margin = 0.05 * (lr.eigenvalue_max - lr.eigenvalue_min);
     let (lo, hi) = (lr.eigenvalue_min - margin, lr.eigenvalue_max + margin);
-    println!("spectrum bounds: Gershgorin [{glo:.2}, {ghi:.2}], Lanczos-refined [{lo:.2}, {hi:.2}]\n");
+    println!(
+        "spectrum bounds: Gershgorin [{glo:.2}, {ghi:.2}], Lanczos-refined [{lo:.2}, {hi:.2}]\n"
+    );
 
-    let opts = KpmOptions { order: 128, random_vectors: 12, grid: 64, ..Default::default() };
+    let opts = KpmOptions {
+        order: 128,
+        random_vectors: 12,
+        grid: 64,
+        ..Default::default()
+    };
     let r = kpm_dos(&mut SerialOp::new(&h), &SerialOps, lo, hi, 0, opts);
 
     // check normalization

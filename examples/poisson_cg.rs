@@ -10,7 +10,14 @@
 use hybrid_spmv::prelude::*;
 
 fn main() {
-    let params = SamgParams { nx: 48, ny: 20, nz: 20, perforation: 0.05, seed: 42, car_mask: true };
+    let params = SamgParams {
+        nx: 48,
+        ny: 20,
+        nz: 20,
+        perforation: 0.05,
+        seed: 42,
+        car_mask: true,
+    };
     let geometry = spmv_matrix::samg::Geometry::build(&params);
     let m = spmv_matrix::samg::poisson_on(&geometry);
     println!(
@@ -31,7 +38,10 @@ fn main() {
     let ranks = 4;
     let tol = 1e-8;
 
-    println!("{:<22} {:>10} {:>14} {:>12}", "mode", "iters", "rel residual", "SpMV calls");
+    println!(
+        "{:<22} {:>10} {:>14} {:>12}",
+        "mode", "iters", "rel residual", "SpMV calls"
+    );
     let mut reference: Option<Vec<f64>> = None;
     for mode in KernelMode::ALL {
         let cfg = if mode.needs_comm_thread() {
@@ -63,7 +73,13 @@ fn main() {
             rel = r.rel_residual;
             spmvs = calls;
         }
-        println!("{:<22} {:>10} {:>14.2e} {:>12}", mode.label(), iters, rel, spmvs);
+        println!(
+            "{:<22} {:>10} {:>14.2e} {:>12}",
+            mode.label(),
+            iters,
+            rel,
+            spmvs
+        );
 
         // independent residual check against the assembled solution
         let mut ax = vec![0.0; n];
@@ -75,7 +91,10 @@ fn main() {
             .sum::<f64>()
             .sqrt();
         let b_norm = (n as f64).sqrt();
-        assert!(res_norm / b_norm < tol * 10.0, "assembled residual check failed");
+        assert!(
+            res_norm / b_norm < tol * 10.0,
+            "assembled residual check failed"
+        );
 
         match &reference {
             None => reference = Some(x),

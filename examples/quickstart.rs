@@ -17,7 +17,10 @@ fn main() {
     ));
     let samg = samg::poisson(&SamgParams::test_scale());
 
-    for (name, m) in [("HMeP (Holstein-Hubbard)", &hmep), ("sAMG (Poisson, car)", &samg)] {
+    for (name, m) in [
+        ("HMeP (Holstein-Hubbard)", &hmep),
+        ("sAMG (Poisson, car)", &samg),
+    ] {
         let stats = spmv_matrix::stats::SparsityStats::compute(m);
         println!(
             "{name}: N = {}, nnz = {}, N_nzr = {:.1}, bandwidth = {}",
@@ -44,7 +47,10 @@ fn main() {
             let y = distributed_spmv(m, &x, ranks, cfg, mode);
             let err = vecops::rel_error(&y, &y_ref);
             println!("  {mode:<22} max rel error vs serial: {err:.2e}");
-            assert!(err < 1e-10, "distributed result must match the serial kernel");
+            assert!(
+                err < 1e-10,
+                "distributed result must match the serial kernel"
+            );
         }
 
         // communication structure
@@ -63,9 +69,7 @@ fn main() {
     let nnzr = 15.0;
     let kappa = 2.5;
     let balance = code_balance_crs(nnzr, kappa);
-    println!(
-        "code balance B_CRS(N_nzr = {nnzr}, kappa = {kappa}) = {balance:.2} bytes/flop"
-    );
+    println!("code balance B_CRS(N_nzr = {nnzr}, kappa = {kappa}) = {balance:.2} bytes/flop");
     println!(
         "on a Westmere socket (18.8 GB/s SpMV bandwidth) the model allows {:.2} GFlop/s",
         spmv_model::predicted_gflops(18.8, balance)

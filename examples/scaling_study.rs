@@ -32,22 +32,28 @@ fn main() {
         let mut series = Vec::new();
         for mode in KernelMode::ALL {
             let cfg = SimConfig::new(mode).with_kappa(kappa);
-            series.push(strong_scaling(m, &cluster, &nodes, HybridLayout::ProcessPerLd, &cfg));
+            series.push(strong_scaling(
+                m,
+                &cluster,
+                &nodes,
+                HybridLayout::ProcessPerLd,
+                &cfg,
+            ));
         }
         for (i, &n) in nodes.iter().enumerate() {
             println!(
                 "{:>6} {:>20.2} GF/s {:>20.2} GF/s {:>20.2} GF/s",
-                n,
-                series[0].points[i].1,
-                series[1].points[i].1,
-                series[2].points[i].1
+                n, series[0].points[i].1, series[1].points[i].1, series[2].points[i].1
             );
         }
 
         // the paper's qualitative conclusions, checked on the spot
         let last = nodes.len() - 1;
-        let (novl, naive, task) =
-            (series[0].points[last].1, series[1].points[last].1, series[2].points[last].1);
+        let (novl, naive, task) = (
+            series[0].points[last].1,
+            series[1].points[last].1,
+            series[2].points[last].1,
+        );
         if name == "HMeP" {
             println!(
                 "--> communication-bound: task mode wins at scale ({:.1}x over no-overlap), \

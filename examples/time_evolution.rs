@@ -38,7 +38,12 @@ fn main() {
     // double-occupancy operator is diagonal: extract it from H at g=0,
     // omega0=0... simpler: recompute occupancy per basis state via a probe
     // Hamiltonian with only the U term.
-    let probe = holstein::hamiltonian(&HolsteinParams { t: 0.0, g: 0.0, omega0: 0.0, ..params });
+    let probe = holstein::hamiltonian(&HolsteinParams {
+        t: 0.0,
+        g: 0.0,
+        omega0: 0.0,
+        ..params
+    });
     let docc: Vec<f64> = (0..n).map(|i| probe.get(i, i) / params.u).collect();
 
     // spectrum bounds via Lanczos
@@ -47,7 +52,10 @@ fn main() {
         &mut SerialOp::new(&h),
         &SerialOps,
         &v0,
-        LanczosOptions { max_steps: 80, ..Default::default() },
+        LanczosOptions {
+            max_steps: 80,
+            ..Default::default()
+        },
     );
     let margin = 0.05 * (lz.eigenvalue_max - lz.eigenvalue_min);
     let (lo, hi) = (lz.eigenvalue_min - margin, lz.eigenvalue_max + margin);
@@ -71,7 +79,9 @@ fn main() {
         vecops::dot(&psi.re, &hr) + vecops::dot(&psi.im, &hi_)
     };
     let double_occ = |psi: &ComplexVec| -> f64 {
-        (0..n).map(|i| docc[i] * (psi.re[i] * psi.re[i] + psi.im[i] * psi.im[i])).sum()
+        (0..n)
+            .map(|i| docc[i] * (psi.re[i] * psi.re[i] + psi.im[i] * psi.im[i]))
+            .sum()
     };
 
     let e0 = energy(&psi);
@@ -79,7 +89,14 @@ fn main() {
         "{:>6} {:>12} {:>14} {:>14} {:>8}",
         "time", "<n_up n_dn>", "energy", "norm defect", "order"
     );
-    println!("{:>6.2} {:>12.4} {:>14.6} {:>14} {:>8}", 0.0, double_occ(&psi), e0, "-", "-");
+    println!(
+        "{:>6.2} {:>12.4} {:>14.6} {:>14} {:>8}",
+        0.0,
+        double_occ(&psi),
+        e0,
+        "-",
+        "-"
+    );
 
     let dt = 0.5;
     let mut total_spmvs = 0u64;
@@ -96,7 +113,15 @@ fn main() {
             let comm = eng.comm().clone();
             let ops = DistOps { comm: &comm };
             let mut op = DistOp::new(eng, KernelMode::TaskMode);
-            let r = evolve(&mut op, &ops, lo, hi, &local, dt, ChebyshevOptions::default());
+            let r = evolve(
+                &mut op,
+                &ops,
+                lo,
+                hi,
+                &local,
+                dt,
+                ChebyshevOptions::default(),
+            );
             (lo_r, r, op.applications())
         });
         let mut order = 0;
@@ -117,7 +142,10 @@ fn main() {
             defect,
             order
         );
-        assert!((e - e0).abs() < 1e-8 * e0.abs().max(1.0), "energy must be conserved");
+        assert!(
+            (e - e0).abs() < 1e-8 * e0.abs().max(1.0),
+            "energy must be conserved"
+        );
         assert!(defect < 1e-9, "propagation must be unitary");
     }
     println!(

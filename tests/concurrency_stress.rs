@@ -5,9 +5,8 @@
 //! happy paths cannot give.
 
 use hybrid_spmv::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use spmv_comm::collectives::ReduceOp;
+use spmv_matrix::rng::Rng64;
 use spmv_smp::ThreadTeam;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -21,12 +20,12 @@ fn p2p_message_storm_conserves_checksums() {
 
     // Pre-plan the storm deterministically so every rank knows what to
     // expect from whom (tags partition the traffic per sender).
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = Rng64::new(99);
     // plan[src][k] = (dst, len)
     let plan: Vec<Vec<(usize, usize)>> = (0..RANKS)
         .map(|_| {
             (0..MSGS_PER_RANK)
-                .map(|_| (rng.gen_range(0..RANKS), rng.gen_range(1..64)))
+                .map(|_| (rng.gen_index(RANKS), rng.gen_range(1, 64)))
                 .collect()
         })
         .collect();
@@ -46,8 +45,7 @@ fn p2p_message_storm_conserves_checksums() {
                 // send my burst: tag = my rank (receivers match by source
                 // anyway; per-(src,tag) FIFO keeps order within the pair)
                 for (k, &(dst, len)) in plan[me].iter().enumerate() {
-                    let payload: Vec<f64> =
-                        (0..len).map(|j| (me * 1000 + k + j) as f64).collect();
+                    let payload: Vec<f64> = (0..len).map(|j| (me * 1000 + k + j) as f64).collect();
                     let sum: f64 = payload.iter().sum();
                     ts.fetch_add(sum as u64, Ordering::Relaxed);
                     c.isend(dst, me as u32, &payload);
@@ -60,8 +58,7 @@ fn p2p_message_storm_conserves_checksums() {
                         }
                         let data: Vec<f64> = c.recv_vec(src, src as u32);
                         assert_eq!(data.len(), len, "length from {src} msg {k}");
-                        let expect: f64 =
-                            (0..len).map(|j| (src * 1000 + k + j) as f64).sum();
+                        let expect: f64 = (0..len).map(|j| (src * 1000 + k + j) as f64).sum();
                         let got: f64 = data.iter().sum();
                         assert_eq!(got, expect, "checksum from {src} msg {k}");
                         tr.fetch_add(got as u64, Ordering::Relaxed);
@@ -74,7 +71,10 @@ fn p2p_message_storm_conserves_checksums() {
     for h in handles {
         h.join().expect("storm rank panicked");
     }
-    assert_eq!(total_sent.load(Ordering::SeqCst), total_recv.load(Ordering::SeqCst));
+    assert_eq!(
+        total_sent.load(Ordering::SeqCst),
+        total_recv.load(Ordering::SeqCst)
+    );
 }
 
 /// Interleaves collectives of different kinds for many rounds — mismatched

@@ -109,6 +109,39 @@ fn repeated_spmv_iteration_matches_serial_power_step() {
 }
 
 #[test]
+fn non_default_kernels_through_all_modes() {
+    // the dispatcher end to end: every non-default node-level kernel must
+    // drive all three modes to the serial result on a real application matrix
+    let m = holstein::hamiltonian(&HolsteinParams::test_scale(
+        HolsteinOrdering::ElectronContiguous,
+    ));
+    let x = vecops::random_vec(m.nrows(), 17);
+    let mut y_ref = vec![0.0; m.nrows()];
+    m.spmv(&x, &mut y_ref);
+
+    let kernels = [
+        KernelKind::CsrUnrolled4,
+        KernelKind::CsrSliced,
+        KernelKind::Sell { c: 32, sigma: 256 },
+        KernelKind::Sell { c: 4, sigma: 1 },
+        KernelKind::Auto,
+    ];
+    for kernel in kernels {
+        for mode in KernelMode::ALL {
+            let cfg = if mode.needs_comm_thread() {
+                EngineConfig::task_mode(2)
+            } else {
+                EngineConfig::hybrid(2)
+            }
+            .with_kernel(kernel);
+            let y = distributed_spmv(&m, &x, 4, cfg, mode);
+            let err = vecops::rel_error(&y, &y_ref);
+            assert!(err < 1e-10, "kernel {kernel} in {mode}: err {err}");
+        }
+    }
+}
+
+#[test]
 fn comm_stats_reflect_message_aggregation() {
     // hybrid layouts send fewer, larger messages than pure MPI — paper §4
     let m = holstein::hamiltonian(&HolsteinParams::test_scale(
@@ -151,7 +184,19 @@ fn matrix_market_roundtrip_through_distributed_spmv() {
     let m2 = spmv_matrix::io::read_matrix_market(BufReader::new(&buf[..])).unwrap();
 
     let x = vecops::random_vec(150, 8);
-    let y1 = distributed_spmv(&m, &x, 3, EngineConfig::pure_mpi(), KernelMode::VectorNoOverlap);
-    let y2 = distributed_spmv(&m2, &x, 3, EngineConfig::pure_mpi(), KernelMode::VectorNoOverlap);
+    let y1 = distributed_spmv(
+        &m,
+        &x,
+        3,
+        EngineConfig::pure_mpi(),
+        KernelMode::VectorNoOverlap,
+    );
+    let y2 = distributed_spmv(
+        &m2,
+        &x,
+        3,
+        EngineConfig::pure_mpi(),
+        KernelMode::VectorNoOverlap,
+    );
     assert!(vecops::max_abs_diff(&y1, &y2) < 1e-12);
 }

@@ -38,7 +38,10 @@ fn simulator_agrees_with_roofline_on_one_ld() {
     let nnzr = m.avg_nnz_per_row();
     let balance = code_balance_crs(nnzr, kappa);
     let lds = cluster.node.lds();
-    let expect: f64 = lds.iter().map(|ld| roofline::ld_performance(ld, 6, balance)).sum();
+    let expect: f64 = lds
+        .iter()
+        .map(|ld| roofline::ld_performance(ld, 6, balance))
+        .sum();
     let ratio = r.gflops / expect;
     assert!(
         (0.9..1.1).contains(&ratio),

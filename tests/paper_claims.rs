@@ -5,7 +5,9 @@
 use hybrid_spmv::prelude::*;
 
 fn hmep_medium() -> CsrMatrix {
-    holstein::hamiltonian(&HolsteinParams::medium_scale(HolsteinOrdering::ElectronContiguous))
+    holstein::hamiltonian(&HolsteinParams::medium_scale(
+        HolsteinOrdering::ElectronContiguous,
+    ))
 }
 
 fn samg_medium() -> CsrMatrix {
@@ -162,10 +164,16 @@ fn node_level_saturation_shape() {
     let balance = code_balance_crs(15.0, 2.5);
     let curve = spmv_model::roofline::ld_scaling_curve(ld, balance);
     // performance grows monotonically but with strongly diminishing returns
-    assert!(curve[3].gflops / curve[0].gflops > 2.0, "4 cores much faster than 1");
+    assert!(
+        curve[3].gflops / curve[0].gflops > 2.0,
+        "4 cores much faster than 1"
+    );
     let last_gain = curve[5].gflops - curve[4].gflops;
     let first_gain = curve[1].gflops - curve[0].gflops;
-    assert!(last_gain < 0.3 * first_gain, "saturation: marginal core adds little");
+    assert!(
+        last_gain < 0.3 * first_gain,
+        "saturation: marginal core adds little"
+    );
 }
 
 /// Fig. 1: the HMeP/HMEp orderings have visibly different block structure

@@ -1,49 +1,85 @@
-//! Property-based tests (proptest) on the core invariants: CRS round
-//! trips, partitioning, communication plans, distributed-vs-serial SpMV,
-//! and reorderings — over randomized matrices and configurations.
+//! Randomized invariant tests on the core substrate: CRS round trips,
+//! partitioning, communication plans, distributed-vs-serial SpMV, kernel
+//! equivalence, and reorderings — over randomized matrices and
+//! configurations.
+//!
+//! Formerly proptest-based; now a seeded in-repo fuzz loop (`Rng64`) so the
+//! workspace builds fully offline. Every case derives from a fixed seed, so
+//! failures reproduce exactly.
 
 use hybrid_spmv::prelude::*;
-use proptest::prelude::*;
+use spmv_core::kernels::{prepare_kernel, KernelKind};
 use spmv_core::plan::build_plans_serial;
-use spmv_matrix::CooMatrix;
+use spmv_matrix::rng::Rng64;
+use spmv_matrix::{CooMatrix, SellMatrix};
 
-/// Strategy: a random sparse square matrix as (n, triplets).
-fn sparse_matrix(max_n: usize) -> impl Strategy<Value = CsrMatrix> {
-    (2usize..max_n).prop_flat_map(|n| {
-        proptest::collection::vec(((0..n), (0..n), -100i32..100), 1..(6 * n).max(2)).prop_map(
-            move |trips| {
-                let mut coo = CooMatrix::new(n, n);
-                // always include the diagonal so no row is empty
-                for i in 0..n {
-                    coo.push(i, i, 1.0);
-                }
-                for (i, j, v) in trips {
-                    coo.push(i, j, v as f64 / 10.0);
-                }
-                coo.to_csr().expect("valid by construction")
-            },
-        )
-    })
+const CASES: u64 = 48;
+
+/// Random sparse square matrix with a full diagonal (no empty rows),
+/// 2 ≤ n < `max_n`, up to ~6 extra entries per row.
+fn sparse_matrix(rng: &mut Rng64, max_n: usize) -> CsrMatrix {
+    let n = rng.gen_range(2, max_n);
+    let extra = rng.gen_range(1, (6 * n).max(2));
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 1.0);
+    }
+    for _ in 0..extra {
+        let v = (rng.gen_index(200) as f64 - 100.0) / 10.0;
+        coo.push(rng.gen_index(n), rng.gen_index(n), v);
+    }
+    coo.to_csr().expect("valid by construction")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Random sparse matrix that may contain empty rows (and, rarely, is all
+/// empty) — the shapes the padded formats must survive.
+fn ragged_matrix(rng: &mut Rng64, max_n: usize) -> CsrMatrix {
+    let n = rng.gen_range(1, max_n);
+    let mut b = spmv_matrix::CsrBuilder::new(n, 4 * n);
+    for _ in 0..n {
+        let len = rng.gen_index(8); // 0 => empty row
+        let mut cols: Vec<u32> = Vec::new();
+        while cols.len() < len.min(n) {
+            let c = rng.gen_index(n) as u32;
+            if !cols.contains(&c) {
+                cols.push(c);
+            }
+        }
+        for &c in &cols {
+            b.push(c as usize, rng.gen_f64() * 4.0 - 2.0);
+        }
+        b.finish_row();
+    }
+    b.build()
+}
 
-    #[test]
-    fn coo_to_csr_preserves_entry_sums(m in sparse_matrix(60)) {
-        // converting back and forth preserves the matrix exactly
+#[test]
+fn coo_to_csr_preserves_entry_sums() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0x1000 + case);
+        let m = sparse_matrix(&mut rng, 60);
         let coo = CooMatrix::from_csr(&m);
         let m2 = coo.to_csr().unwrap();
-        prop_assert_eq!(m, m2);
+        assert_eq!(m, m2, "case {case}");
     }
+}
 
-    #[test]
-    fn transpose_is_involutive(m in sparse_matrix(60)) {
-        prop_assert_eq!(m.transpose().transpose(), m);
+#[test]
+fn transpose_is_involutive() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0x2000 + case);
+        let m = sparse_matrix(&mut rng, 60);
+        assert_eq!(m.transpose().transpose(), m, "case {case}");
     }
+}
 
-    #[test]
-    fn spmv_is_linear(m in sparse_matrix(40), a in -5.0f64..5.0, b in -5.0f64..5.0) {
+#[test]
+fn spmv_is_linear() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0x3000 + case);
+        let m = sparse_matrix(&mut rng, 40);
+        let a = rng.gen_range_f64(-5.0, 5.0);
+        let b = rng.gen_range_f64(-5.0, 5.0);
         let n = m.nrows();
         let x1 = vecops::random_vec(n, 1);
         let x2 = vecops::random_vec(n, 2);
@@ -55,29 +91,42 @@ proptest! {
         m.spmv(&x2, &mut y2);
         m.spmv(&combo, &mut yc);
         for i in 0..n {
-            prop_assert!((yc[i] - (a * y1[i] + b * y2[i])).abs() < 1e-9);
+            assert!(
+                (yc[i] - (a * y1[i] + b * y2[i])).abs() < 1e-9,
+                "case {case} row {i}"
+            );
         }
     }
+}
 
-    #[test]
-    fn partition_tiles_rows(m in sparse_matrix(80), parts in 1usize..9) {
+#[test]
+fn partition_tiles_rows() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0x4000 + case);
+        let m = sparse_matrix(&mut rng, 80);
+        let parts = rng.gen_range(1, 9);
         let p = RowPartition::by_nnz(&m, parts);
-        prop_assert_eq!(p.parts(), parts);
-        prop_assert_eq!(p.nrows(), m.nrows());
+        assert_eq!(p.parts(), parts);
+        assert_eq!(p.nrows(), m.nrows());
         let mut covered = 0usize;
         for k in 0..parts {
             let r = p.range(k);
-            prop_assert_eq!(r.start, covered);
+            assert_eq!(r.start, covered, "case {case}");
             covered = r.end;
             for i in r {
-                prop_assert_eq!(p.owner_of(i), k);
+                assert_eq!(p.owner_of(i), k, "case {case}");
             }
         }
-        prop_assert_eq!(covered, m.nrows());
+        assert_eq!(covered, m.nrows(), "case {case}");
     }
+}
 
-    #[test]
-    fn plans_cover_remote_columns_exactly(m in sparse_matrix(60), parts in 1usize..7) {
+#[test]
+fn plans_cover_remote_columns_exactly() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0x5000 + case);
+        let m = sparse_matrix(&mut rng, 60);
+        let parts = rng.gen_range(1, 7);
         let p = RowPartition::by_nnz(&m, parts);
         let plans = build_plans_serial(&m, &p);
         // every remote reference appears exactly once in the halo, and
@@ -90,22 +139,23 @@ proptest! {
             let range = p.range(plan.rank);
             for n in &plan.recv {
                 for &g in &n.indices {
-                    prop_assert!(!range.contains(&(g as usize)));
-                    prop_assert_eq!(p.owner_of(g as usize), n.peer);
+                    assert!(!range.contains(&(g as usize)), "case {case}");
+                    assert_eq!(p.owner_of(g as usize), n.peer, "case {case}");
                 }
             }
         }
-        prop_assert_eq!(total_sent, total_recv);
+        assert_eq!(total_sent, total_recv, "case {case}");
     }
+}
 
-    #[test]
-    fn distributed_spmv_matches_serial(
-        m in sparse_matrix(50),
-        ranks in 1usize..6,
-        mode_idx in 0usize..3,
-        threads in 1usize..4,
-    ) {
-        let mode = KernelMode::ALL[mode_idx];
+#[test]
+fn distributed_spmv_matches_serial() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0x6000 + case);
+        let m = sparse_matrix(&mut rng, 50);
+        let ranks = rng.gen_range(1, 6);
+        let mode = KernelMode::ALL[rng.gen_index(3)];
+        let threads = rng.gen_range(1, 4);
         let cfg = if mode.needs_comm_thread() {
             EngineConfig::task_mode(threads)
         } else {
@@ -115,11 +165,80 @@ proptest! {
         let mut y_ref = vec![0.0; m.nrows()];
         m.spmv(&x, &mut y_ref);
         let y = distributed_spmv(&m, &x, ranks, cfg, mode);
-        prop_assert!(vecops::rel_error(&y, &y_ref) < 1e-9);
+        assert!(
+            vecops::rel_error(&y, &y_ref) < 1e-9,
+            "case {case} {mode} x{ranks}"
+        );
     }
+}
 
-    #[test]
-    fn rcm_preserves_matrix_invariants(m in sparse_matrix(50)) {
+/// Every kernel kind (incl. several SELL C/σ combinations) must match the
+/// scalar reference on random matrices — with empty rows, single-row
+/// matrices, and sub-range invocations all exercised.
+#[test]
+fn kernel_kinds_match_scalar_on_random_matrices() {
+    let mut kinds = KernelKind::candidates();
+    kinds.extend([
+        KernelKind::Sell { c: 1, sigma: 1 },
+        KernelKind::Sell { c: 2, sigma: 8 },
+        KernelKind::Sell { c: 16, sigma: 4 },
+        KernelKind::Sell { c: 8, sigma: 1024 },
+    ]);
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0x7000 + case);
+        // alternate generators: diagonal-full, ragged (empty rows), 1-row
+        let m = match case % 3 {
+            0 => sparse_matrix(&mut rng, 50),
+            1 => ragged_matrix(&mut rng, 50),
+            _ => ragged_matrix(&mut rng, 2), // single-row shapes
+        };
+        let n = m.nrows();
+        let x = vecops::random_vec(m.ncols(), 1000 + case);
+        let mut y_ref = vec![0.0; n];
+        m.spmv(&x, &mut y_ref);
+        for &kind in &kinds {
+            let k = prepare_kernel(kind, &m);
+            let mut y = vec![f64::NAN; n];
+            // split the row space at a random point to test sub-ranges
+            let mid = rng.gen_index(n + 1);
+            k.spmv_rows(&m, 0..mid, &x, &mut y, false);
+            k.spmv_rows(&m, mid..n, &x, &mut y, false);
+            assert!(
+                vecops::rel_error(&y, &y_ref) < 1e-12,
+                "case {case} kernel {kind} n {n}"
+            );
+        }
+    }
+}
+
+/// SELL-C-σ round trip: CSR → SELL → CSR is the identity, and the row
+/// permutation composes with its inverse to the identity through `perm.rs`.
+#[test]
+fn sell_roundtrip_and_permutation() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0x8000 + case);
+        let m = ragged_matrix(&mut rng, 60);
+        let c = 1 + rng.gen_index(16);
+        let sigma = 1 + rng.gen_index(2 * m.nrows());
+        let s = SellMatrix::from_csr(&m, c, sigma);
+        assert_eq!(s.to_csr(), m, "case {case} C={c} sigma={sigma}");
+        let p = s.permutation();
+        assert!(p.then(&p.inverse()).is_identity(), "case {case}");
+        assert!(s.padding_factor() >= 1.0, "case {case}");
+        let v = vecops::random_vec(m.nrows(), case + 5);
+        assert_eq!(
+            p.inverse().permute_vec(&p.permute_vec(&v)),
+            v,
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn rcm_preserves_matrix_invariants() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0x9000 + case);
+        let m = sparse_matrix(&mut rng, 50);
         // symmetrize so RCM's premise holds
         let t = m.transpose();
         let mut coo = CooMatrix::new(m.nrows(), m.ncols());
@@ -131,56 +250,77 @@ proptest! {
         }
         let sym = coo.to_csr().unwrap();
         let (rm, perm) = spmv_matrix::rcm::rcm_reorder(&sym);
-        prop_assert_eq!(rm.nnz(), sym.nnz());
-        prop_assert!((rm.frobenius_norm() - sym.frobenius_norm()).abs() < 1e-9);
+        assert_eq!(rm.nnz(), sym.nnz(), "case {case}");
+        assert!(
+            (rm.frobenius_norm() - sym.frobenius_norm()).abs() < 1e-9,
+            "case {case}"
+        );
         // permutation is a bijection; applying its inverse restores the matrix
         let inv = perm.inverse();
         let back = rm.permute_symmetric(&inv).unwrap();
-        prop_assert_eq!(back, sym);
+        assert_eq!(back, sym, "case {case}");
     }
+}
 
-    #[test]
-    fn balanced_chunks_cover_and_balance(weights in proptest::collection::vec(0usize..50, 1..200), parts in 1usize..9) {
+#[test]
+fn balanced_chunks_cover_and_balance() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0xA000 + case);
+        let len = rng.gen_range(1, 200);
+        let weights: Vec<usize> = (0..len).map(|_| rng.gen_index(50)).collect();
+        let parts = rng.gen_range(1, 9);
         let mut prefix = vec![0usize];
         for w in &weights {
             prefix.push(prefix.last().unwrap() + w);
         }
         let chunks = spmv_smp::workshare::balanced_chunks(&prefix, parts);
-        prop_assert_eq!(chunks.len(), parts);
-        prop_assert_eq!(chunks[0].start, 0);
-        prop_assert_eq!(chunks.last().unwrap().end, weights.len());
+        assert_eq!(chunks.len(), parts, "case {case}");
+        assert_eq!(chunks[0].start, 0, "case {case}");
+        assert_eq!(chunks.last().unwrap().end, weights.len(), "case {case}");
         for w in chunks.windows(2) {
-            prop_assert_eq!(w[0].end, w[1].start);
+            assert_eq!(w[0].end, w[1].start, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn saturation_curves_are_monotone(b1 in 1.0f64..20.0, factor in 1.05f64..3.5, n in 2usize..16) {
+#[test]
+fn saturation_curves_are_monotone() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0xB000 + case);
+        let b1 = rng.gen_range_f64(1.0, 20.0);
+        let factor = rng.gen_range_f64(1.05, 3.5);
+        let n = rng.gen_range(2, 16);
         let bn = (b1 * factor).min(b1 * n as f64 * 0.98);
-        prop_assume!(bn > b1);
+        if bn <= b1 {
+            continue;
+        }
         let c = spmv_machine::SaturationCurve::from_endpoints(b1, bn, n);
         let mut prev = 0.0;
         for k in 1..=2 * n {
             let b = c.bandwidth(k);
-            prop_assert!(b > prev);
+            assert!(b > prev, "case {case} k {k}");
             prev = b;
         }
     }
+}
 
-    #[test]
-    fn sturm_counts_monotone_in_x(
-        alpha in proptest::collection::vec(-5.0f64..5.0, 2..12),
-    ) {
-        let n = alpha.len();
-        let beta: Vec<f64> = (0..n - 1).map(|i| ((i * 7 + 3) % 5) as f64 / 2.0 - 1.0).collect();
+#[test]
+fn sturm_counts_monotone_in_x() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0xC000 + case);
+        let n = rng.gen_range(2, 12);
+        let alpha: Vec<f64> = (0..n).map(|_| rng.gen_range_f64(-5.0, 5.0)).collect();
+        let beta: Vec<f64> = (0..n - 1)
+            .map(|i| ((i * 7 + 3) % 5) as f64 / 2.0 - 1.0)
+            .collect();
         let mut prev = 0usize;
         for k in -20..=20 {
             let x = k as f64 / 2.0;
             let c = spmv_solvers::tridiag::sturm_count(&alpha, &beta, x);
-            prop_assert!(c >= prev, "count dropped at x = {x}");
-            prop_assert!(c <= n);
+            assert!(c >= prev, "case {case}: count dropped at x = {x}");
+            assert!(c <= n, "case {case}");
             prev = c;
         }
-        prop_assert_eq!(prev, n, "all eigenvalues below +10");
+        assert_eq!(prev, n, "case {case}: all eigenvalues below +10");
     }
 }

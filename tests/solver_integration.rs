@@ -105,7 +105,11 @@ fn full_reorth_lanczos_recovers_whole_spectrum_of_tiny_matrix() {
         &mut SerialOp::new(&m),
         &SerialOps,
         &v0,
-        LanczosOptions { max_steps: 24, full_reorthogonalization: true, ..Default::default() },
+        LanczosOptions {
+            max_steps: 24,
+            full_reorthogonalization: true,
+            ..Default::default()
+        },
     );
     let ritz = tridiag::eigenvalues(&r.alphas, &r.betas, 1e-12);
     // with full reorthogonalization and n steps the Ritz values ARE the
@@ -122,7 +126,10 @@ fn distributed_and_serial_lanczos_agree_on_hmep() {
         HolsteinOrdering::ElectronContiguous,
     ));
     let v0 = vecops::random_vec(h.nrows(), 21);
-    let opts = LanczosOptions { max_steps: 60, ..Default::default() };
+    let opts = LanczosOptions {
+        max_steps: 60,
+        ..Default::default()
+    };
     let serial = lanczos(&mut SerialOp::new(&h), &SerialOps, &v0, opts);
 
     for mode in KernelMode::ALL {
@@ -159,7 +166,10 @@ fn cg_and_power_iteration_consistency() {
         &mut SerialOp::new(&m),
         &SerialOps,
         &v0,
-        LanczosOptions { max_steps: 100, ..Default::default() },
+        LanczosOptions {
+            max_steps: 100,
+            ..Default::default()
+        },
     );
     let pw = power_iteration(&mut SerialOp::new(&m), &SerialOps, &v0, 1e-12, 50_000);
     // power iteration converges to the eigenvalue of largest magnitude;
@@ -191,7 +201,12 @@ fn kpm_dos_integrates_to_one_for_samg() {
         lo,
         hi,
         0,
-        spmv_solvers::kpm::KpmOptions { order: 64, random_vectors: 8, grid: 256, ..Default::default() },
+        spmv_solvers::kpm::KpmOptions {
+            order: 64,
+            random_vectors: 8,
+            grid: 256,
+            ..Default::default()
+        },
     );
     let mut integral = 0.0;
     for k in 1..r.energies.len() {
@@ -223,6 +238,14 @@ fn distributed_cg_solves_car_poisson() {
     }
     let mut ax = vec![0.0; n];
     m.spmv(&x, &mut ax);
-    let res: f64 = b.iter().zip(&ax).map(|(u, v)| (u - v) * (u - v)).sum::<f64>().sqrt();
-    assert!(res / vecops::norm2(&b) < 1e-8, "relative residual too large");
+    let res: f64 = b
+        .iter()
+        .zip(&ax)
+        .map(|(u, v)| (u - v) * (u - v))
+        .sum::<f64>()
+        .sqrt();
+    assert!(
+        res / vecops::norm2(&b) < 1e-8,
+        "relative residual too large"
+    );
 }
