@@ -6,7 +6,9 @@
 //! * `commthread` — SMT-sibling vs donated-physical-core comm thread;
 //! * `aggregation`— message counts/volumes across the three layouts;
 //! * `eager`      — eager-threshold sensitivity;
-//! * `kernel`     — node-level kernel dispatch (wall clock on this host).
+//! * `kernel`     — node-level kernel dispatch (wall clock on this host);
+//! * `commstrategy` — flat vs node-aware halo exchange: per-level message
+//!   counts from the actual plans, priced by the hierarchical cost model.
 //!
 //! `cargo run --release -p spmv-bench --bin ablations [-- <which>] [--scale ...]
 //!  [--kernel <kind>]` (runs all ablations when no selector is given; the
@@ -18,8 +20,9 @@ use spmv_bench::{header, hmep, Scale};
 use spmv_core::{
     distributed_spmv, prepare_kernel, workload, EngineConfig, KernelKind, KernelMode, RowPartition,
 };
-use spmv_machine::{plan_layout, presets, CommThreadPlacement, HybridLayout};
+use spmv_machine::{plan_layout, presets, CommThreadPlacement, HybridLayout, RankNodeMap};
 use spmv_matrix::rcm::rcm_reorder;
+use spmv_model::comm::{crossover_messages, CommLevels, RankTraffic};
 use spmv_sim::{simulate_job, simulate_spmv, ProgressModel, SimConfig};
 
 fn main() {
@@ -191,6 +194,64 @@ fn main() {
                 format!("{} B", threshold)
             };
             println!("  threshold {label:<12} {:.2} GFlop/s", r.gflops);
+        }
+        println!();
+    }
+
+    if run("commstrategy") {
+        println!("--- ablation: flat vs node-aware halo exchange (32 ranks, 4/node) ---");
+        let ranks = 32.min(m.nrows());
+        let rpn = 4;
+        let p = RowPartition::by_nnz(&m, ranks);
+        let plans = spmv_core::plan::build_plans_serial(&m, &p);
+        let map = RankNodeMap::contiguous(ranks, rpn);
+        let na_plans = spmv_core::plan::build_node_aware_serial(&plans, &map);
+        let levels = CommLevels::from_cluster(&cluster);
+        let price = |traffics: Vec<spmv_core::CommTraffic>| {
+            let per_rank: Vec<RankTraffic> = traffics
+                .iter()
+                .map(|t| RankTraffic {
+                    intra_msgs: t.intra_msgs,
+                    intra_bytes: t.intra_bytes,
+                    inter_msgs: t.inter_msgs,
+                    inter_bytes: t.inter_bytes,
+                })
+                .collect();
+            let model = levels.job_exchange_time(&per_rank);
+            let sum = per_rank
+                .iter()
+                .fold(RankTraffic::default(), |a, t| RankTraffic {
+                    intra_msgs: a.intra_msgs + t.intra_msgs,
+                    intra_bytes: a.intra_bytes + t.intra_bytes,
+                    inter_msgs: a.inter_msgs + t.inter_msgs,
+                    inter_bytes: a.inter_bytes + t.inter_bytes,
+                });
+            (sum, model)
+        };
+        let (flat_sum, flat_t) = price(plans.iter().map(|pl| pl.traffic(&map)).collect());
+        let (na_sum, na_t) = price(na_plans.iter().map(|pl| pl.traffic()).collect());
+        for (name, s, t) in [("flat", flat_sum, flat_t), ("node-aware", na_sum, na_t)] {
+            println!(
+                "  {name:<11} inter {:>4} msgs / {:>7.1} KiB, intra {:>4} msgs / {:>7.1} KiB, \
+                 model {:>6.1} us/exchange",
+                s.inter_msgs,
+                s.inter_bytes as f64 / 1024.0,
+                s.intra_msgs,
+                s.intra_bytes as f64 / 1024.0,
+                t * 1e6
+            );
+        }
+        // crossover for a representative node pair: the flat traffic of the
+        // busiest pair, swept over per-pair message counts
+        let pair_bytes = (flat_sum.inter_bytes / flat_sum.inter_msgs.max(1)).max(1);
+        match crossover_messages(&levels, pair_bytes, rpn, 64) {
+            Some(c) => println!(
+                "  model crossover: aggregation wins from {c} messages/node-pair \
+                 (at {pair_bytes} B per flat message)"
+            ),
+            None => println!(
+                "  model crossover: none up to 64 messages/node-pair (bandwidth-dominated)"
+            ),
         }
         println!();
     }

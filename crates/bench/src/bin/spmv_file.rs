@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! cargo run --release -p spmv-bench --bin spmv_file -- <matrix.mtx> [ranks] [threads] \
-//!     [--kernel csr-scalar|csr-unrolled4|csr-sliced|sell[-C-σ]|auto]
+//!     [--kernel csr-scalar|csr-unrolled4|csr-sliced|sell[-C-σ]|auto] \
+//!     [--comm-strategy flat|node-aware] [--ranks-per-node N]
 //! ```
 //!
 //! Reports: sparsity statistics, the cache-model κ, the code-balance
@@ -14,7 +15,7 @@
 //! ranking at 8 nodes.
 
 use spmv_bench::header;
-use spmv_core::engine::EngineConfig;
+use spmv_core::engine::{CommStrategy, EngineConfig};
 use spmv_core::runner::distributed_spmv;
 use spmv_core::{workload, KernelKind, KernelMode, RowPartition};
 use spmv_machine::{presets, HybridLayout};
@@ -26,19 +27,40 @@ use std::io::BufReader;
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut kernel = KernelKind::CsrScalar;
+    let mut strategy_arg: Option<String> = None;
+    let mut ranks_per_node = 4usize;
     let mut positional = Vec::new();
     let mut it = raw.iter();
     while let Some(a) = it.next() {
-        if a == "--kernel" {
-            let v = it.next().expect("--kernel needs a value");
-            kernel = KernelKind::parse(v)
-                .unwrap_or_else(|| panic!("unknown kernel '{v}' (try csr-scalar, sell, auto)"));
-        } else {
-            positional.push(a.clone());
+        match a.as_str() {
+            "--kernel" => {
+                let v = it.next().expect("--kernel needs a value");
+                kernel = KernelKind::parse(v)
+                    .unwrap_or_else(|| panic!("unknown kernel '{v}' (try csr-scalar, sell, auto)"));
+            }
+            "--comm-strategy" => {
+                strategy_arg = Some(it.next().expect("--comm-strategy needs a value").clone());
+            }
+            "--ranks-per-node" => {
+                ranks_per_node = it
+                    .next()
+                    .expect("--ranks-per-node needs a value")
+                    .parse()
+                    .expect("ranks per node");
+            }
+            _ => positional.push(a.clone()),
         }
     }
+    let comm_strategy = match &strategy_arg {
+        Some(v) => CommStrategy::parse(v, ranks_per_node)
+            .unwrap_or_else(|| panic!("unknown comm strategy '{v}' (try flat, node-aware)")),
+        None => CommStrategy::from_env().unwrap_or(CommStrategy::Flat),
+    };
     let Some(path) = positional.first() else {
-        eprintln!("usage: spmv_file <matrix.mtx> [ranks] [threads] [--kernel <kind>]");
+        eprintln!(
+            "usage: spmv_file <matrix.mtx> [ranks] [threads] [--kernel <kind>] \
+             [--comm-strategy flat|node-aware] [--ranks-per-node N]"
+        );
         std::process::exit(2);
     };
     let ranks: usize = positional
@@ -114,7 +136,9 @@ fn main() {
 
     // functional validation with real threads
     println!(
-        "\nfunctional check ({ranks} ranks x {threads} threads, real threads, kernel {kernel}):"
+        "\nfunctional check ({ranks} ranks x {threads} threads, real threads, kernel {kernel}, \
+         {} exchange):",
+        comm_strategy.label()
     );
     let x = spmv_matrix::vecops::random_vec(m.nrows(), 42);
     let mut y_ref = vec![0.0; m.nrows()];
@@ -125,7 +149,8 @@ fn main() {
         } else {
             EngineConfig::hybrid(threads)
         }
-        .with_kernel(kernel);
+        .with_kernel(kernel)
+        .with_comm_strategy(comm_strategy);
         let t0 = std::time::Instant::now();
         let y = distributed_spmv(&m, &x, ranks, cfg, mode);
         let dt = t0.elapsed().as_secs_f64();

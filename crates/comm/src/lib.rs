@@ -36,5 +36,5 @@ pub mod stats;
 pub mod world;
 
 pub use pod::Pod;
-pub use stats::WorldStats;
+pub use stats::{CommStats, WorldStats};
 pub use world::{Comm, CommWorld, RecvRequest, Request, Tag};

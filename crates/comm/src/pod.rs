@@ -11,6 +11,21 @@
 /// Implementors must be `Copy`, have no padding-dependent invariants beyond
 /// what `Copy` guarantees, no drop glue, and every aligned byte pattern of
 /// `size_of::<Self>()` bytes must be a valid value.
+///
+/// # Aliasing contract for borrowed sends
+/// [`crate::Comm::isend`] copies the payload eagerly, so the source slice
+/// is free the moment the call returns. [`crate::Comm::isend_ref`] instead
+/// transports a *pointer* to the caller's slice: the receiver reads the
+/// bytes directly out of the sender's buffer when it completes the matching
+/// receive, on the receiver's thread. That cross-thread read is sound for
+/// `Pod` types precisely because of the rules above — any byte snapshot is
+/// a valid value, so a plain `memcpy` with no synchronization beyond the
+/// mailbox lock suffices — **provided the buffer is neither mutated nor
+/// freed while the message is in flight**. The returned request enforces
+/// this at compile time by holding the borrow until [`crate::Comm::wait`]
+/// (its `Drop` blocks as a last resort). Padding bytes, if a future
+/// implementor had any, would leak their current contents to the receiver;
+/// the sealed numeric impls below have none.
 pub unsafe trait Pod: Copy + Send + 'static {}
 
 unsafe impl Pod for u8 {}

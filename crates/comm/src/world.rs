@@ -15,10 +15,97 @@ pub type Tag = u32;
 /// First tag reserved for internal use (collectives).
 pub(crate) const RESERVED_TAG_BASE: Tag = 1 << 31;
 
+/// Completion token for a borrowed (rendezvous) send: the sender's buffer
+/// stays pinned until the receiver has copied out of it.
+pub(crate) struct SendToken {
+    consumed: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl SendToken {
+    fn new() -> Self {
+        Self {
+            consumed: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn mark_consumed(&self) {
+        *self.consumed.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+
+    fn wait_consumed(&self) {
+        let mut g = self.consumed.lock().unwrap();
+        while !*g {
+            g = self.cv.wait(g).unwrap();
+        }
+    }
+
+    fn is_consumed(&self) -> bool {
+        *self.consumed.lock().unwrap()
+    }
+}
+
+/// A queued message: either an eager copy ([`Comm::isend`]) or a borrowed
+/// view of the sender's buffer ([`Comm::isend_ref`] — rendezvous protocol,
+/// the bytes move sender-buffer → receiver-buffer in one copy).
+pub(crate) enum Payload {
+    Owned(Vec<u8>),
+    Borrowed {
+        ptr: *const u8,
+        len: usize,
+        token: Arc<SendToken>,
+    },
+}
+
+// Safety: the raw pointer targets the sender's buffer, which the sender
+// keeps immutably borrowed (and alive) until `token` is marked consumed —
+// its `Request` blocks in wait/Drop otherwise. The single consumer reads it
+// exactly once, then releases the token.
+unsafe impl Send for Payload {}
+
+impl Payload {
+    fn len(&self) -> usize {
+        match self {
+            Payload::Owned(v) => v.len(),
+            Payload::Borrowed { len, .. } => *len,
+        }
+    }
+
+    /// Copies the payload into `dst` and releases the sender if borrowed.
+    ///
+    /// # Safety
+    /// `dst` must be valid for `self.len()` bytes.
+    unsafe fn consume_into(self, dst: *mut u8) {
+        match self {
+            Payload::Owned(v) => std::ptr::copy_nonoverlapping(v.as_ptr(), dst, v.len()),
+            Payload::Borrowed { ptr, len, token } => {
+                std::ptr::copy_nonoverlapping(ptr, dst, len);
+                token.mark_consumed();
+            }
+        }
+    }
+
+    /// Extracts the payload as a `Vec`, releasing the sender if borrowed.
+    fn consume_vec(self) -> Vec<u8> {
+        match self {
+            Payload::Owned(v) => v,
+            Payload::Borrowed { ptr, len, token } => {
+                // Safety: see `Send` impl — the sender pins the buffer until
+                // the token is released below.
+                let v = unsafe { std::slice::from_raw_parts(ptr, len) }.to_vec();
+                token.mark_consumed();
+                v
+            }
+        }
+    }
+}
+
 /// One rank's incoming mailbox: per-`(source, tag)` FIFO queues, exactly
 /// MPI's matching rule for non-wildcard receives.
-/// Per-`(source, tag)` FIFO queues of raw payloads.
-type MatchQueues = HashMap<(usize, Tag), VecDeque<Vec<u8>>>;
+/// Per-`(source, tag)` FIFO queues of payloads.
+type MatchQueues = HashMap<(usize, Tag), VecDeque<Payload>>;
 
 struct RankMailbox {
     queues: Mutex<MatchQueues>,
@@ -33,14 +120,15 @@ impl RankMailbox {
         }
     }
 
-    fn deposit(&self, src: usize, tag: Tag, payload: Vec<u8>) {
+    fn deposit(&self, src: usize, tag: Tag, payload: Payload) {
         let mut q = self.queues.lock().unwrap();
         q.entry((src, tag)).or_default().push_back(payload);
         self.cv.notify_all();
     }
 
     /// Blocks until a message from `(src, tag)` is available and pops it.
-    fn pop_blocking(&self, src: usize, tag: Tag) -> Vec<u8> {
+    /// The payload is consumed *after* the mailbox lock is released.
+    fn pop_blocking(&self, src: usize, tag: Tag) -> Payload {
         let mut q = self.queues.lock().unwrap();
         loop {
             if let Some(dq) = q.get_mut(&(src, tag)) {
@@ -53,7 +141,7 @@ impl RankMailbox {
     }
 
     /// Non-blocking probe-and-pop.
-    fn try_pop(&self, src: usize, tag: Tag) -> Option<Vec<u8>> {
+    fn try_pop(&self, src: usize, tag: Tag) -> Option<Payload> {
         let mut q = self.queues.lock().unwrap();
         q.get_mut(&(src, tag)).and_then(|dq| dq.pop_front())
     }
@@ -76,8 +164,22 @@ pub(crate) struct WorldShared {
     pub(crate) size: usize,
     mailboxes: Vec<RankMailbox>,
     stats: WorldStats,
+    /// Optional rank → node assignment used to classify traffic as intra-
+    /// vs inter-node in the statistics. `None` ⇒ every rank is its own node.
+    node_of: Option<Vec<usize>>,
     barrier_lock: Mutex<BarrierState>,
     barrier_cv: Condvar,
+}
+
+impl WorldShared {
+    /// Whether a `src → dst` message crosses a node boundary under the
+    /// world's node assignment (without one, any two distinct ranks do).
+    fn is_inter_node(&self, src: usize, dst: usize) -> bool {
+        match &self.node_of {
+            Some(map) => map[src] != map[dst],
+            None => src != dst,
+        }
+    }
 }
 
 /// Factory for communication worlds.
@@ -104,11 +206,24 @@ impl CommWorld {
     /// Creates a world of `size` ranks and returns one [`Comm`] handle per
     /// rank (index = rank). Hand each to its rank's thread.
     pub fn create(size: usize) -> Vec<Comm> {
+        Self::build(size, None)
+    }
+
+    /// Creates a world whose traffic statistics distinguish intra- from
+    /// inter-node messages: `node_of[r]` is the node hosting rank `r`. The
+    /// world size is `node_of.len()`. Message *delivery* is unaffected —
+    /// only the [`WorldStats`] classification changes.
+    pub fn create_with_nodes(node_of: Vec<usize>) -> Vec<Comm> {
+        Self::build(node_of.len(), Some(node_of))
+    }
+
+    fn build(size: usize, node_of: Option<Vec<usize>>) -> Vec<Comm> {
         assert!(size >= 1, "world needs at least one rank");
         let shared = Arc::new(WorldShared {
             size,
             mailboxes: (0..size).map(|_| RankMailbox::new()).collect(),
             stats: WorldStats::default(),
+            node_of,
             barrier_lock: Mutex::new(BarrierState {
                 count: 0,
                 generation: 0,
@@ -124,20 +239,27 @@ impl CommWorld {
     }
 }
 
-/// A nonblocking-operation handle. Receive requests borrow their buffer
-/// until completed by [`Comm::wait`] / [`Comm::waitall`]; the borrow makes
-/// buffer reuse before completion a compile error.
+/// A nonblocking-operation handle. Receive requests and borrowed sends
+/// ([`Comm::isend_ref`]) borrow their buffer until completed by
+/// [`Comm::wait`] / [`Comm::waitall`]; the borrow makes buffer reuse before
+/// completion a compile error.
+///
+/// Dropping a not-yet-completed borrowed-send request *blocks* until the
+/// receiver has consumed the message (the buffer must not be freed under
+/// it); dropping an unwaited receive request cancels it.
 pub struct Request<'buf> {
     kind: ReqKind,
     _buf: PhantomData<&'buf mut [u8]>,
 }
 
-/// Alias emphasizing that only receives carry interesting state.
+/// Alias emphasizing the requests that carry interesting state.
 pub type RecvRequest<'buf> = Request<'buf>;
 
 enum ReqKind {
     /// Buffered sends complete at post time (eager protocol).
     SendDone,
+    /// Borrowed (rendezvous) send: complete once the receiver copied out.
+    SendBorrowed { token: Arc<SendToken> },
     Recv {
         src: usize,
         tag: Tag,
@@ -150,6 +272,16 @@ enum ReqKind {
 // the request itself (lifetime parameter), and completion writes happen on
 // whichever thread calls wait — never concurrently with user access.
 unsafe impl Send for Request<'_> {}
+
+impl Drop for Request<'_> {
+    fn drop(&mut self) {
+        // A borrowed send pins the sender's buffer; never let it be freed
+        // (or mutated) before the receiver has copied the bytes out.
+        if let ReqKind::SendBorrowed { token } = &self.kind {
+            token.wait_consumed();
+        }
+    }
+}
 
 /// A rank's handle to the communication world; cheap to move across
 /// threads. Cloning yields another handle to the *same* rank (useful when a
@@ -196,13 +328,17 @@ impl Comm {
     pub(crate) fn isend_internal<T: Pod>(&self, dst: usize, tag: Tag, data: &[T]) {
         self.assert_peer(dst);
         let payload = as_bytes(data).to_vec();
-        self.shared.stats.record_message(payload.len());
-        self.shared.mailboxes[dst].deposit(self.rank, tag, payload);
+        self.shared
+            .stats
+            .record_message(payload.len(), self.shared.is_inter_node(self.rank, dst));
+        self.shared.mailboxes[dst].deposit(self.rank, tag, Payload::Owned(payload));
     }
 
     pub(crate) fn recv_vec_internal<T: Pod>(&self, src: usize, tag: Tag) -> Vec<T> {
         self.assert_peer(src);
-        let bytes = self.shared.mailboxes[self.rank].pop_blocking(src, tag);
+        let bytes = self.shared.mailboxes[self.rank]
+            .pop_blocking(src, tag)
+            .consume_vec();
         from_bytes_vec(&bytes)
     }
 
@@ -214,6 +350,43 @@ impl Comm {
         self.isend_internal(dst, tag, data);
         Request {
             kind: ReqKind::SendDone,
+            _buf: PhantomData,
+        }
+    }
+
+    /// Nonblocking send *without* the eager payload copy (rendezvous,
+    /// zero-allocation): the message references `data` in place and the
+    /// receiver copies directly out of it, sender buffer → receiver buffer.
+    ///
+    /// The returned request borrows `data` and completes when the receiver
+    /// has consumed the message; [`Comm::wait`]ing on it (or dropping it)
+    /// blocks until then. The borrow makes mutating the buffer before
+    /// completion a compile error — see the aliasing contract on [`Pod`].
+    ///
+    /// Unlike a real rendezvous protocol there is no handshake before the
+    /// *matching* — the message metadata is visible to the receiver
+    /// immediately — so `isend_ref` is as deadlock-free as `isend` provided
+    /// the sender does not wait on the request before posting everything the
+    /// receiver needs to make progress.
+    pub fn isend_ref<'buf, T: Pod>(&self, dst: usize, tag: Tag, data: &'buf [T]) -> Request<'buf> {
+        Self::assert_user_tag(tag);
+        self.assert_peer(dst);
+        let bytes = as_bytes(data);
+        self.shared
+            .stats
+            .record_message(bytes.len(), self.shared.is_inter_node(self.rank, dst));
+        let token = Arc::new(SendToken::new());
+        self.shared.mailboxes[dst].deposit(
+            self.rank,
+            tag,
+            Payload::Borrowed {
+                ptr: bytes.as_ptr(),
+                len: bytes.len(),
+                token: Arc::clone(&token),
+            },
+        );
+        Request {
+            kind: ReqKind::SendBorrowed { token },
             _buf: PhantomData,
         }
     }
@@ -256,9 +429,11 @@ impl Comm {
     }
 
     /// Completes one request (blocking).
-    pub fn wait(&self, req: Request<'_>) {
-        match req.kind {
+    pub fn wait(&self, mut req: Request<'_>) {
+        // Leave `SendDone` behind so the Drop impl sees a completed request.
+        match std::mem::replace(&mut req.kind, ReqKind::SendDone) {
             ReqKind::SendDone => {}
+            ReqKind::SendBorrowed { token } => token.wait_consumed(),
             ReqKind::Recv {
                 src,
                 tag,
@@ -275,7 +450,7 @@ impl Comm {
                 // Safety: `dst` points to a live exclusive buffer of `bytes`
                 // bytes (borrow held by the request), lengths checked above.
                 unsafe {
-                    std::ptr::copy_nonoverlapping(payload.as_ptr(), dst, payload.len());
+                    payload.consume_into(dst);
                 }
             }
         }
@@ -291,24 +466,38 @@ impl Comm {
 
     /// Attempts to complete one request without blocking. Returns the
     /// request back if it is not ready.
-    pub fn test<'a>(&self, req: Request<'a>) -> Result<(), Request<'a>> {
-        match req.kind {
+    pub fn test<'a>(&self, mut req: Request<'a>) -> Result<(), Request<'a>> {
+        match &req.kind {
             ReqKind::SendDone => Ok(()),
+            ReqKind::SendBorrowed { token } => {
+                if token.is_consumed() {
+                    req.kind = ReqKind::SendDone;
+                    Ok(())
+                } else {
+                    Err(req)
+                }
+            }
             ReqKind::Recv {
                 src,
                 tag,
                 dst,
                 bytes,
-            } => match self.shared.mailboxes[self.rank].try_pop(src, tag) {
-                Some(payload) => {
-                    assert_eq!(payload.len(), bytes, "message size mismatch in test");
-                    unsafe {
-                        std::ptr::copy_nonoverlapping(payload.as_ptr(), dst, payload.len());
+            } => {
+                let (src, tag, dst, bytes) = (*src, *tag, *dst, *bytes);
+                match self.shared.mailboxes[self.rank].try_pop(src, tag) {
+                    Some(payload) => {
+                        assert_eq!(payload.len(), bytes, "message size mismatch in test");
+                        // Safety: as in `wait` — exclusive buffer, length
+                        // checked.
+                        unsafe {
+                            payload.consume_into(dst);
+                        }
+                        req.kind = ReqKind::SendDone;
+                        Ok(())
                     }
-                    Ok(())
+                    None => Err(req),
                 }
-                None => Err(req),
-            },
+            }
         }
     }
 
@@ -581,6 +770,119 @@ mod tests {
             let mut inc = [0u32; 2];
             c.sendrecv(0, 2, &out, 0, 2, &mut inc);
             assert_eq!(inc, [7, 8]);
+        });
+    }
+
+    #[test]
+    fn isend_ref_roundtrip_without_copying() {
+        spawn_world(2, |c| {
+            let peer = 1 - c.rank();
+            let mut inbox = [0.0f64; 64];
+            let rreq = c.irecv(peer, 1, &mut inbox);
+            let data = [c.rank() as f64 + 0.5; 64];
+            let sreq = c.isend_ref(peer, 1, &data);
+            c.waitall([rreq, sreq]);
+            assert_eq!(inbox, [peer as f64 + 0.5; 64]);
+        });
+    }
+
+    #[test]
+    fn isend_ref_drop_blocks_until_consumed() {
+        spawn_world(2, |c| {
+            if c.rank() == 0 {
+                let data = vec![7u32; 100];
+                {
+                    let _sreq = c.isend_ref(1, 3, &data);
+                    // _sreq dropped here: must block until rank 1 receives,
+                    // so `data` stays valid for the in-flight message.
+                }
+                c.barrier();
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                let v: Vec<u32> = c.recv_vec(0, 3);
+                assert_eq!(v, vec![7u32; 100]);
+                c.barrier();
+            }
+        });
+    }
+
+    #[test]
+    fn isend_ref_completes_via_test() {
+        spawn_world(2, |c| {
+            if c.rank() == 0 {
+                let data = [1.0f64, 2.0];
+                let mut req = c.isend_ref(1, 9, &data);
+                c.barrier(); // let rank 1 consume first
+                c.barrier();
+                loop {
+                    match c.test(req) {
+                        Ok(()) => break,
+                        Err(r) => req = r,
+                    }
+                }
+            } else {
+                c.barrier();
+                let mut buf = [0.0f64; 2];
+                c.recv(0, 9, &mut buf);
+                assert_eq!(buf, [1.0, 2.0]);
+                c.barrier();
+            }
+        });
+    }
+
+    #[test]
+    fn node_map_classifies_intra_and_inter_traffic() {
+        // 4 ranks, 2 per node: 0,1 on node 0 / 2,3 on node 1.
+        let comms = CommWorld::create_with_nodes(vec![0, 0, 1, 1]);
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|c| {
+                std::thread::spawn(move || {
+                    if c.rank() == 0 {
+                        c.send(1, 1, &[0u8; 10]); // intra-node
+                        c.send(2, 1, &[0u8; 20]); // inter-node
+                    }
+                    if c.rank() == 1 {
+                        let mut b = [0u8; 10];
+                        c.recv(0, 1, &mut b);
+                    }
+                    if c.rank() == 2 {
+                        let mut b = [0u8; 20];
+                        c.recv(0, 1, &mut b);
+                    }
+                    c.barrier();
+                    c.stats().snapshot()
+                })
+            })
+            .collect();
+        let snap = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .next()
+            .unwrap();
+        assert_eq!(snap.messages, 2);
+        assert_eq!(snap.intra_messages, 1);
+        assert_eq!(snap.intra_bytes, 10);
+        assert_eq!(snap.inter_messages, 1);
+        assert_eq!(snap.inter_bytes, 20);
+    }
+
+    #[test]
+    fn flat_world_counts_nonself_traffic_as_inter() {
+        spawn_world(2, |c| {
+            if c.rank() == 0 {
+                c.send(0, 2, &[1u8]); // self-message: intra
+                c.send(1, 2, &[1u8, 2]); // cross-rank: inter (no node map)
+                let mut b = [0u8; 1];
+                c.recv(0, 2, &mut b);
+            } else {
+                let mut b = [0u8; 2];
+                c.recv(0, 2, &mut b);
+            }
+            c.barrier();
+            let snap = c.stats().snapshot();
+            assert_eq!(snap.intra_messages, 1);
+            assert_eq!(snap.inter_messages, 1);
         });
     }
 

@@ -26,19 +26,89 @@
 //! directive cannot be used, since there is no concept of 'subteams' in the
 //! current OpenMP standard" (§3.2).
 
+use crate::gather::GatherProgram;
 use crate::kernels::{prepare_kernel, KernelKind, SpmvKernel};
 use crate::modes::KernelMode;
 use crate::partition::RowPartition;
-use crate::plan::{build_plan_distributed, RankPlan};
+use crate::plan::{
+    build_node_aware_distributed, build_plan_distributed, CommTraffic, NodeAwarePlan, RankPlan,
+};
 use crate::split::SplitMatrix;
-use spmv_comm::{Comm, Tag};
+use spmv_comm::{Comm, Request, Tag};
+use spmv_machine::RankNodeMap;
 use spmv_matrix::CsrMatrix;
-use spmv_smp::workshare::{balanced_chunks, static_chunk};
+use spmv_smp::workshare::balanced_chunks;
 use spmv_smp::ThreadTeam;
 use std::ops::Range;
 
-/// Tag used for halo-exchange messages.
+/// Tag used for direct halo-exchange messages.
 const TAG_HALO: Tag = 17;
+/// Tag for member → leader shipments (node-aware phase 1).
+const TAG_SHIP: Tag = 18;
+/// Tag for leader → leader aggregated wire messages (phase 2).
+const TAG_WIRE: Tag = 19;
+/// Tag base for leader → member forwarded halo slices (phase 3); the
+/// source node id is added so slices from different nodes never collide.
+const TAG_FWD_BASE: Tag = 1024;
+
+/// How the halo exchange is routed (see [`crate::plan::NodeAwarePlan`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommStrategy {
+    /// Every rank messages every neighbour directly (the paper's scheme).
+    #[default]
+    Flat,
+    /// Inter-node traffic is aggregated through one leader rank per node
+    /// (Bienz et al.), assuming a contiguous block placement of
+    /// `ranks_per_node` ranks per node.
+    NodeAware {
+        /// Ranks hosted per node (the last node may hold fewer).
+        ranks_per_node: usize,
+    },
+}
+
+impl CommStrategy {
+    /// Parses a `--comm-strategy` CLI value (`flat` | `node-aware`).
+    pub fn parse(s: &str, ranks_per_node: usize) -> Option<Self> {
+        match s {
+            "flat" => Some(CommStrategy::Flat),
+            "node-aware" | "node_aware" | "nodeaware" => {
+                Some(CommStrategy::NodeAware { ranks_per_node })
+            }
+            _ => None,
+        }
+    }
+
+    /// Short label for experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CommStrategy::Flat => "flat",
+            CommStrategy::NodeAware { .. } => "node-aware",
+        }
+    }
+
+    /// Reads the `SPMV_COMM_STRATEGY` environment variable — `flat`,
+    /// `node-aware`, or `node-aware:<ranks_per_node>` (default 4 per node).
+    /// The [`EngineConfig`] constructors consult it, so a CI matrix can
+    /// steer every default-configured engine in the test suite without
+    /// touching call sites. Unset or unparsable values mean "no override".
+    pub fn from_env() -> Option<Self> {
+        let v = std::env::var("SPMV_COMM_STRATEGY").ok()?;
+        match v.split_once(':') {
+            Some((name, rpn)) => Self::parse(name, rpn.parse().ok()?),
+            None => Self::parse(&v, 4),
+        }
+    }
+
+    /// The rank → node map this strategy implies for a world of `size`.
+    pub fn rank_node_map(&self, size: usize) -> RankNodeMap {
+        match self {
+            CommStrategy::Flat => RankNodeMap::contiguous(size, 1),
+            CommStrategy::NodeAware { ranks_per_node } => {
+                RankNodeMap::contiguous(size, *ranks_per_node)
+            }
+        }
+    }
+}
 
 /// Threading configuration of one rank.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +123,10 @@ pub struct EngineConfig {
     /// non-local) at construction; `Auto` autotunes on the full matrix and
     /// reuses the winning kind for the split parts.
     pub kernel: KernelKind,
+    /// Halo-exchange routing (flat point-to-point vs node-aware
+    /// aggregation). Defaults to the `SPMV_COMM_STRATEGY` environment
+    /// variable when set (see [`CommStrategy::from_env`]), flat otherwise.
+    pub comm_strategy: CommStrategy,
 }
 
 impl Default for EngineConfig {
@@ -61,6 +135,7 @@ impl Default for EngineConfig {
             compute_threads: 1,
             comm_thread: false,
             kernel: KernelKind::CsrScalar,
+            comm_strategy: CommStrategy::from_env().unwrap_or(CommStrategy::Flat),
         }
     }
 }
@@ -94,6 +169,14 @@ impl EngineConfig {
     pub fn with_kernel(self, kernel: KernelKind) -> Self {
         Self { kernel, ..self }
     }
+
+    /// Returns the config with a different halo-exchange strategy.
+    pub fn with_comm_strategy(self, comm_strategy: CommStrategy) -> Self {
+        Self {
+            comm_strategy,
+            ..self
+        }
+    }
 }
 
 /// Raw pointer wrapper for disjoint multi-threaded writes.
@@ -102,17 +185,67 @@ struct MutPtr(*mut f64);
 unsafe impl Send for MutPtr {}
 unsafe impl Sync for MutPtr {}
 impl MutPtr {
-    /// # Safety
-    /// Caller must guarantee disjoint element access across threads.
-    #[inline]
-    unsafe fn at(&self, i: usize) -> *mut f64 {
-        self.0.add(i)
-    }
-
     /// The raw pointer (avoids closure field-capture of the `*mut`).
     #[inline]
     fn raw(&self) -> *mut f64 {
         self.0
+    }
+}
+
+/// Raw pointer to the engine's exchange state, handed to the task-mode
+/// communication thread (thread 0 is its only user inside the region).
+#[derive(Clone, Copy)]
+struct ExchangePtr(*mut Exchange);
+unsafe impl Send for ExchangePtr {}
+unsafe impl Sync for ExchangePtr {}
+impl ExchangePtr {
+    /// The raw pointer (avoids closure field-capture of the `*mut`).
+    #[inline]
+    fn raw(&self) -> *mut Exchange {
+        self.0
+    }
+}
+
+/// Per-strategy runtime state of the halo exchange.
+enum Exchange {
+    Flat,
+    NodeAware(Box<NodeAwareState>),
+}
+
+/// Persistent node-aware buffers: preallocated once, reused every
+/// exchange — the steady state allocates no payload memory.
+struct NodeAwareState {
+    plan: NodeAwarePlan,
+    /// Leader: per member slot, buffer for the member's shipment (the
+    /// leader's own slot stays empty — its data is read in place).
+    ship_bufs: Vec<Vec<f64>>,
+    /// Leader: one assembly buffer per outgoing wire message.
+    wire_out_bufs: Vec<Vec<f64>>,
+    /// Leader: one landing buffer per incoming wire message.
+    wire_in_bufs: Vec<Vec<f64>>,
+}
+
+impl NodeAwareState {
+    fn new(plan: NodeAwarePlan) -> Self {
+        let me = plan.flat.rank;
+        let (ship_bufs, wire_out_bufs, wire_in_bufs) = match &plan.leader {
+            Some(lp) => (
+                lp.members
+                    .iter()
+                    .zip(&lp.ship_lens)
+                    .map(|(&r, &l)| vec![0.0; if r == me { 0 } else { l }])
+                    .collect(),
+                lp.wire_out.iter().map(|w| vec![0.0; w.len]).collect(),
+                lp.wire_in.iter().map(|w| vec![0.0; w.len]).collect(),
+            ),
+            None => (Vec::new(), Vec::new(), Vec::new()),
+        };
+        Self {
+            plan,
+            ship_bufs,
+            wire_out_bufs,
+            wire_in_bufs,
+        }
     }
 }
 
@@ -127,10 +260,15 @@ pub struct RankEngine {
     x_ext: Vec<f64>,
     y: Vec<f64>,
     send_buf: Vec<f64>,
-    // flattened gather list and per-neighbour segment offsets
-    gather_indices: Vec<u32>,
+    // run-length-compressed gather program (strategy-ordered) and its
+    // per-compute-thread run ranges
+    gather_prog: GatherProgram,
+    gather_chunks: Vec<Range<usize>>,
+    // per-neighbour segment offsets (flat strategy), precomputed once
     send_offsets: Vec<usize>,
     halo_offsets: Vec<usize>,
+    // strategy-specific exchange state
+    exchange: Exchange,
     // per-thread contiguous nonzero-balanced row chunks
     full_chunks: Vec<Range<usize>>,
     local_chunks: Vec<Range<usize>>,
@@ -163,6 +301,21 @@ impl RankEngine {
             send_offsets.push(gather_indices.len());
         }
 
+        // Node-aware strategy: build the hierarchical plan (collective) and
+        // gather in its [intra | ship] send-buffer order instead.
+        let exchange = match cfg.comm_strategy {
+            CommStrategy::Flat => Exchange::Flat,
+            CommStrategy::NodeAware { .. } => {
+                let map = cfg.comm_strategy.rank_node_map(comm.size());
+                let na = build_node_aware_distributed(&comm, plan.clone(), &map);
+                Exchange::NodeAware(Box::new(NodeAwareState::new(na)))
+            }
+        };
+        let gather_prog = match &exchange {
+            Exchange::Flat => GatherProgram::compile(&gather_indices),
+            Exchange::NodeAware(st) => GatherProgram::compile(&st.plan.gather_indices),
+        };
+
         let team_size = cfg.compute_threads + usize::from(cfg.comm_thread);
         let team = if team_size > 1 {
             Some(ThreadTeam::new(team_size))
@@ -190,8 +343,10 @@ impl RankEngine {
             x_ext: vec![0.0; nloc + halo_len],
             y: vec![0.0; nloc],
             send_buf: vec![0.0; gather_indices.len()],
-            gather_indices,
+            gather_chunks: gather_prog.thread_run_ranges(c),
+            gather_prog,
             send_offsets,
+            exchange,
             comm,
             plan,
             mats,
@@ -284,7 +439,7 @@ impl RankEngine {
         y.copy_from_slice(&self.y);
     }
 
-    // -- gather ---------------------------------------------------------------
+    // -- gather + exchange ---------------------------------------------------
 
     /// Issues all halo receives, returning the requests. Splits the halo
     /// region of `x_ext` into per-neighbour segments.
@@ -293,7 +448,7 @@ impl RankEngine {
         plan: &RankPlan,
         halo_offsets: &[usize],
         halo: &'a mut [f64],
-    ) -> Vec<spmv_comm::Request<'a>> {
+    ) -> Vec<Request<'a>> {
         let mut reqs = Vec::with_capacity(plan.recv.len());
         let mut rest = halo;
         let mut consumed = 0usize;
@@ -308,12 +463,186 @@ impl RankEngine {
         reqs
     }
 
-    /// Issues all halo sends from the flat send buffer.
-    fn post_sends(comm: &Comm, plan: &RankPlan, send_offsets: &[usize], send_buf: &[f64]) {
+    /// Issues all halo sends, borrowing the persistent send buffer
+    /// (rendezvous, no payload copy). The returned requests must be waited
+    /// *after* the matching receives have been waited somewhere.
+    fn post_sends<'a>(
+        comm: &Comm,
+        plan: &RankPlan,
+        send_offsets: &[usize],
+        send_buf: &'a [f64],
+    ) -> Vec<Request<'a>> {
+        let mut reqs = Vec::with_capacity(plan.send.len());
         for (k, n) in plan.send.iter().enumerate() {
             let seg = &send_buf[send_offsets[k]..send_offsets[k + 1]];
-            // eager buffered send: the request completes immediately
-            let _ = comm.isend(n.peer, TAG_HALO, seg);
+            reqs.push(comm.isend_ref(n.peer, TAG_HALO, seg));
+        }
+        reqs
+    }
+
+    /// Runs the compiled gather program into the send buffer (parallel when
+    /// a team exists; compute threads only).
+    fn gather_into(
+        team: &Option<ThreadTeam>,
+        c: usize,
+        prog: &GatherProgram,
+        chunks: &[Range<usize>],
+        x_loc: &[f64],
+        send_buf: &mut [f64],
+    ) {
+        match team {
+            Some(team) => {
+                let sp = MutPtr(send_buf.as_mut_ptr());
+                team.run(|ctx| {
+                    if ctx.tid >= c {
+                        return; // idle comm thread in vector modes
+                    }
+                    // Safety: disjoint run ranges → disjoint destinations.
+                    unsafe { prog.execute_runs_raw(chunks[ctx.tid].clone(), x_loc, sp.raw()) };
+                });
+            }
+            None => prog.execute(x_loc, send_buf),
+        }
+    }
+
+    /// Phase 1 of the node-aware exchange: direct intra-node sends plus the
+    /// non-leader's single shipment to its leader.
+    fn na_begin<'a>(comm: &Comm, na: &NodeAwarePlan, send_buf: &'a [f64]) -> Vec<Request<'a>> {
+        let mut reqs = Vec::with_capacity(na.intra_send.len() + 1);
+        for (peer, r) in &na.intra_send {
+            reqs.push(comm.isend_ref(*peer, TAG_HALO, &send_buf[r.clone()]));
+        }
+        if !na.is_leader() && !na.ship_range.is_empty() {
+            reqs.push(comm.isend_ref(na.leader_rank, TAG_SHIP, &send_buf[na.ship_range.clone()]));
+        }
+        reqs
+    }
+
+    /// Phases 2–3 of the node-aware exchange. Leaders collect member
+    /// shipments, assemble and exchange the aggregated wire messages, and
+    /// forward per-member slices; every rank then lands its intra-node
+    /// segments and (non-leaders) the forwarded node segments in its halo.
+    ///
+    /// Deadlock-free: all sends are posted (rendezvous-visible) before any
+    /// rank blocks, and the blocking chain shipments → wires → forwards is
+    /// acyclic.
+    #[allow(clippy::too_many_arguments)]
+    fn na_finish<'a>(
+        comm: &Comm,
+        na: &NodeAwarePlan,
+        ship_bufs: &mut [Vec<f64>],
+        wire_out_bufs: &'a mut [Vec<f64>],
+        wire_in_bufs: &'a mut [Vec<f64>],
+        send_buf: &'a [f64],
+        halo: &mut [f64],
+        mut reqs: Vec<Request<'a>>,
+    ) {
+        if let Some(lp) = &na.leader {
+            let my_slot = na.flat.rank - lp.members[0];
+            // collect member shipments (their sends are already posted)
+            for (slot, &member) in lp.members.iter().enumerate() {
+                if slot != my_slot && lp.ship_lens[slot] > 0 {
+                    comm.recv(member, TAG_SHIP, &mut ship_bufs[slot]);
+                }
+            }
+            // assemble one wire message per destination node; the leader's
+            // own contribution is read in place from its send buffer
+            let my_ship = &send_buf[na.ship_range.clone()];
+            for (w, buf) in lp.wire_out.iter().zip(wire_out_bufs.iter_mut()) {
+                let mut off = 0usize;
+                for ch in &w.chunks {
+                    let src = if ch.slot == my_slot {
+                        my_ship
+                    } else {
+                        &ship_bufs[ch.slot]
+                    };
+                    buf[off..off + ch.len].copy_from_slice(&src[ch.src_off..ch.src_off + ch.len]);
+                    off += ch.len;
+                }
+                debug_assert_eq!(off, w.len);
+            }
+            let wob: &'a [Vec<f64>] = wire_out_bufs;
+            for (w, buf) in lp.wire_out.iter().zip(wob) {
+                reqs.push(comm.isend_ref(w.dest_leader, TAG_WIRE, buf));
+            }
+            // receive the aggregated wires from peer leaders
+            for (w, buf) in lp.wire_in.iter().zip(wire_in_bufs.iter_mut()) {
+                comm.recv(w.src_leader, TAG_WIRE, buf);
+            }
+            // cut each wire into contiguous per-member slices and forward;
+            // the leader's own slice lands directly in its halo
+            let wib: &'a [Vec<f64>] = wire_in_bufs;
+            for (w, buf) in lp.wire_in.iter().zip(wib) {
+                let mut off = 0usize;
+                for (slot, &len) in w.parts.iter().enumerate() {
+                    if len == 0 {
+                        continue;
+                    }
+                    let seg = &buf[off..off + len];
+                    if slot == my_slot {
+                        let r = na
+                            .recv_node_segments
+                            .iter()
+                            .find(|(n, _)| *n == w.node)
+                            .expect("leader wire part has a halo segment")
+                            .1
+                            .clone();
+                        halo[r].copy_from_slice(seg);
+                    } else {
+                        let tag = TAG_FWD_BASE + w.node as Tag;
+                        reqs.push(comm.isend_ref(lp.members[slot], tag, seg));
+                    }
+                    off += len;
+                }
+                debug_assert_eq!(off, w.len);
+            }
+        }
+        // every rank: direct intra-node segments
+        for (peer, r) in &na.intra_recv {
+            comm.recv(*peer, TAG_HALO, &mut halo[r.clone()]);
+        }
+        // non-leaders: one forwarded slice per remote source node
+        if !na.is_leader() {
+            for (node, r) in &na.recv_node_segments {
+                comm.recv(
+                    na.leader_rank,
+                    TAG_FWD_BASE + *node as Tag,
+                    &mut halo[r.clone()],
+                );
+            }
+        }
+        comm.waitall(reqs);
+    }
+
+    /// One kernel phase over disjoint per-thread row chunks (or the whole
+    /// matrix when running serially).
+    #[allow(clippy::too_many_arguments)]
+    fn run_kernel_phase(
+        team: &Option<ThreadTeam>,
+        c: usize,
+        kern: &dyn SpmvKernel,
+        mat: &CsrMatrix,
+        chunks: &[Range<usize>],
+        x: &[f64],
+        y: &mut [f64],
+        accumulate: bool,
+    ) {
+        let yp = MutPtr(y.as_mut_ptr());
+        match team {
+            Some(team) => {
+                team.run(|ctx| {
+                    if ctx.tid >= c {
+                        return;
+                    }
+                    // Safety: chunks are disjoint row ranges.
+                    unsafe {
+                        kern.spmv_rows_raw(mat, chunks[ctx.tid].clone(), x, yp.raw(), accumulate)
+                    };
+                });
+            }
+            None => unsafe {
+                kern.spmv_rows_raw(mat, 0..mat.nrows(), x, yp.raw(), accumulate);
+            },
         }
     }
 
@@ -323,68 +652,85 @@ impl RankEngine {
         self.kern_full.kind()
     }
 
+    /// The compiled gather program (compression diagnostics).
+    pub fn gather_program(&self) -> &GatherProgram {
+        &self.gather_prog
+    }
+
+    /// The halo part of the extended RHS (valid after an exchange).
+    pub fn halo(&self) -> &[f64] {
+        &self.x_ext[self.plan.local_len..]
+    }
+
+    /// Predicted per-exchange traffic of this rank under the active
+    /// strategy (flat classifies every off-rank message as inter-node,
+    /// matching a one-rank-per-node map).
+    pub fn exchange_traffic(&self) -> CommTraffic {
+        match &self.exchange {
+            Exchange::Flat => {
+                let map = self.cfg.comm_strategy.rank_node_map(self.comm.size());
+                self.plan.traffic(&map)
+            }
+            Exchange::NodeAware(st) => st.plan.traffic(),
+        }
+    }
+
+    /// Runs the gather + halo exchange alone (no SpMV). Collective — used
+    /// by the communication benchmarks to time the exchange in isolation,
+    /// and by [`Self::vector_no_overlap`] as its communication step.
+    pub fn halo_exchange(&mut self) {
+        let nloc = self.plan.local_len;
+        let (x_loc, halo) = self.x_ext.split_at_mut(nloc);
+        let x_loc = &*x_loc;
+        Self::gather_into(
+            &self.team,
+            self.cfg.compute_threads,
+            &self.gather_prog,
+            &self.gather_chunks,
+            x_loc,
+            &mut self.send_buf,
+        );
+        match &mut self.exchange {
+            Exchange::Flat => {
+                let rreqs = Self::post_receives(&self.comm, &self.plan, &self.halo_offsets, halo);
+                let sreqs =
+                    Self::post_sends(&self.comm, &self.plan, &self.send_offsets, &self.send_buf);
+                // all halo data lands here (progress inside the call)
+                self.comm.waitall(rreqs);
+                self.comm.waitall(sreqs);
+            }
+            Exchange::NodeAware(st) => {
+                let reqs = Self::na_begin(&self.comm, &st.plan, &self.send_buf);
+                Self::na_finish(
+                    &self.comm,
+                    &st.plan,
+                    &mut st.ship_bufs,
+                    &mut st.wire_out_bufs,
+                    &mut st.wire_in_bufs,
+                    &self.send_buf,
+                    halo,
+                    reqs,
+                );
+            }
+        }
+    }
+
     // -- kernels ---------------------------------------------------------------
 
     /// Fig. 4a: Irecv → gather → Isend → Waitall → full SpMV.
     fn vector_no_overlap(&mut self) {
-        let nloc = self.plan.local_len;
-
-        // 1. post receives, 2. gather, 3. send
-        {
-            let (x_loc, halo) = self.x_ext.split_at_mut(nloc);
-            let reqs = Self::post_receives(&self.comm, &self.plan, &self.halo_offsets, halo);
-            // gather (parallel when a team exists)
-            match &self.team {
-                Some(team) => {
-                    let total = self.gather_indices.len();
-                    let c = self.cfg.compute_threads;
-                    let sp = MutPtr(self.send_buf.as_mut_ptr());
-                    let gi = &self.gather_indices;
-                    let x_loc = &*x_loc;
-                    team.run(|ctx| {
-                        if ctx.tid >= c {
-                            return; // idle comm thread in vector modes
-                        }
-                        for i in static_chunk(total, c, ctx.tid) {
-                            // Safety: static chunks are disjoint.
-                            unsafe { *sp.at(i) = x_loc[gi[i] as usize] };
-                        }
-                    });
-                }
-                None => {
-                    for (i, &src) in self.gather_indices.iter().enumerate() {
-                        self.send_buf[i] = x_loc[src as usize];
-                    }
-                }
-            }
-            Self::post_sends(&self.comm, &self.plan, &self.send_offsets, &self.send_buf);
-            // 4. waitall — all halo data lands here (progress inside the call)
-            self.comm.waitall(reqs);
-        }
-
-        // 5. full SpMV over the extended vector
-        let x_ext = &self.x_ext;
-        let yp = MutPtr(self.y.as_mut_ptr());
-        let kern = &self.kern_full;
-        match &self.team {
-            Some(team) => {
-                let c = self.cfg.compute_threads;
-                let chunks = &self.full_chunks;
-                let mat = &self.mats.full;
-                team.run(|ctx| {
-                    if ctx.tid >= c {
-                        return;
-                    }
-                    // Safety: chunks are disjoint row ranges.
-                    unsafe {
-                        kern.spmv_rows_raw(mat, chunks[ctx.tid].clone(), x_ext, yp.raw(), false)
-                    };
-                });
-            }
-            None => unsafe {
-                kern.spmv_rows_raw(&self.mats.full, 0..nloc, x_ext, yp.raw(), false);
-            },
-        }
+        self.halo_exchange();
+        // full SpMV over the extended vector
+        Self::run_kernel_phase(
+            &self.team,
+            self.cfg.compute_threads,
+            self.kern_full.as_ref(),
+            &self.mats.full,
+            &self.full_chunks,
+            &self.x_ext,
+            &mut self.y,
+            false,
+        );
     }
 
     /// Fig. 4b: Irecv → gather → Isend → local SpMV → Waitall → non-local
@@ -393,80 +739,74 @@ impl RankEngine {
     /// communication calls, so the transfer really happens in `Waitall`.
     fn vector_naive_overlap(&mut self) {
         let nloc = self.plan.local_len;
+        let c = self.cfg.compute_threads;
         let (x_loc, halo) = self.x_ext.split_at_mut(nloc);
         let x_loc = &*x_loc;
-        let reqs = Self::post_receives(&self.comm, &self.plan, &self.halo_offsets, halo);
-
-        // gather + send
-        match &self.team {
-            Some(team) => {
-                let total = self.gather_indices.len();
-                let c = self.cfg.compute_threads;
-                let sp = MutPtr(self.send_buf.as_mut_ptr());
-                let gi = &self.gather_indices;
-                team.run(|ctx| {
-                    if ctx.tid >= c {
-                        return;
-                    }
-                    for i in static_chunk(total, c, ctx.tid) {
-                        unsafe { *sp.at(i) = x_loc[gi[i] as usize] };
-                    }
-                });
+        Self::gather_into(
+            &self.team,
+            c,
+            &self.gather_prog,
+            &self.gather_chunks,
+            x_loc,
+            &mut self.send_buf,
+        );
+        match &mut self.exchange {
+            Exchange::Flat => {
+                let rreqs = Self::post_receives(&self.comm, &self.plan, &self.halo_offsets, halo);
+                let sreqs =
+                    Self::post_sends(&self.comm, &self.plan, &self.send_offsets, &self.send_buf);
+                // local SpMV (communication does NOT progress meanwhile)
+                Self::run_kernel_phase(
+                    &self.team,
+                    c,
+                    self.kern_local.as_ref(),
+                    &self.mats.local,
+                    &self.local_chunks,
+                    x_loc,
+                    &mut self.y,
+                    false,
+                );
+                // the transfers actually complete here
+                self.comm.waitall(rreqs);
+                self.comm.waitall(sreqs);
             }
-            None => {
-                for (i, &src) in self.gather_indices.iter().enumerate() {
-                    self.send_buf[i] = x_loc[src as usize];
-                }
+            Exchange::NodeAware(st) => {
+                let reqs = Self::na_begin(&self.comm, &st.plan, &self.send_buf);
+                Self::run_kernel_phase(
+                    &self.team,
+                    c,
+                    self.kern_local.as_ref(),
+                    &self.mats.local,
+                    &self.local_chunks,
+                    x_loc,
+                    &mut self.y,
+                    false,
+                );
+                Self::na_finish(
+                    &self.comm,
+                    &st.plan,
+                    &mut st.ship_bufs,
+                    &mut st.wire_out_bufs,
+                    &mut st.wire_in_bufs,
+                    &self.send_buf,
+                    halo,
+                    reqs,
+                );
             }
         }
-        Self::post_sends(&self.comm, &self.plan, &self.send_offsets, &self.send_buf);
-
-        // local SpMV (communication does NOT progress meanwhile)
-        let yp = MutPtr(self.y.as_mut_ptr());
-        let kern = &self.kern_local;
-        match &self.team {
-            Some(team) => {
-                let c = self.cfg.compute_threads;
-                let chunks = &self.local_chunks;
-                let mat = &self.mats.local;
-                team.run(|ctx| {
-                    if ctx.tid >= c {
-                        return;
-                    }
-                    unsafe {
-                        kern.spmv_rows_raw(mat, chunks[ctx.tid].clone(), x_loc, yp.raw(), false)
-                    };
-                });
-            }
-            None => unsafe {
-                kern.spmv_rows_raw(&self.mats.local, 0..nloc, x_loc, yp.raw(), false);
-            },
-        }
-
-        // the transfers actually complete here
-        self.comm.waitall(reqs);
 
         // non-local part accumulates into y (second write — Eq. 2 traffic)
         let halo = &self.x_ext[nloc..];
-        let kern = &self.kern_nonlocal;
-        match &self.team {
-            Some(team) => {
-                let c = self.cfg.compute_threads;
-                let chunks = &self.nonlocal_chunks;
-                let mat = &self.mats.nonlocal;
-                team.run(|ctx| {
-                    if ctx.tid >= c {
-                        return;
-                    }
-                    unsafe {
-                        kern.spmv_rows_raw(mat, chunks[ctx.tid].clone(), halo, yp.raw(), true)
-                    };
-                });
-            }
-            None => unsafe {
-                kern.spmv_rows_raw(&self.mats.nonlocal, 0..nloc, halo, yp.raw(), true);
-            },
-        }
+        Self::run_kernel_phase(
+            &self.team,
+            c,
+            self.kern_nonlocal.as_ref(),
+            &self.mats.nonlocal,
+            &self.nonlocal_chunks,
+            halo,
+            &mut self.y,
+            true,
+        );
     }
 
     /// Fig. 4c: one team region; thread 0 executes MPI calls only, the rest
@@ -493,7 +833,8 @@ impl RankEngine {
         let yp = MutPtr(self.y.as_mut_ptr());
         let sp = MutPtr(self.send_buf.as_mut_ptr());
         let send_buf_len = self.send_buf.len();
-        let gi = &self.gather_indices;
+        let prog = &self.gather_prog;
+        let gather_chunks = &self.gather_chunks;
         let comm = &self.comm;
         let plan = &self.plan;
         let halo_offsets = &self.halo_offsets;
@@ -503,29 +844,52 @@ impl RankEngine {
         let mats = &self.mats;
         let kern_local = &self.kern_local;
         let kern_nonlocal = &self.kern_nonlocal;
+        let ex_ptr = ExchangePtr(&mut self.exchange);
 
         team.run(|ctx| {
             if ctx.tid == 0 {
                 // ---- dedicated communication thread ----
-                // Safety: until B2 the halo region is exclusively owned by
-                // this thread (compute threads read only the local part).
+                // Safety: until B2 the halo region and the exchange state
+                // are exclusively owned by this thread (compute threads
+                // read only the local part, and the enclosing call blocks
+                // the owner until the region completes).
                 let halo: &mut [f64] =
                     unsafe { std::slice::from_raw_parts_mut(halo_ptr.raw(), halo_len) };
-                let reqs = Self::post_receives(comm, plan, halo_offsets, halo);
-                ctx.barrier(); // B1: gather finished
-                let send_buf: &[f64] =
-                    unsafe { std::slice::from_raw_parts(sp.raw(), send_buf_len) };
-                Self::post_sends(comm, plan, send_offsets, send_buf);
-                comm.waitall(reqs); // progress happens here, overlapping compute
+                let exchange: &mut Exchange = unsafe { &mut *ex_ptr.raw() };
+                match exchange {
+                    Exchange::Flat => {
+                        let rreqs = Self::post_receives(comm, plan, halo_offsets, halo);
+                        ctx.barrier(); // B1: gather finished
+                        let send_buf: &[f64] =
+                            unsafe { std::slice::from_raw_parts(sp.raw(), send_buf_len) };
+                        let sreqs = Self::post_sends(comm, plan, send_offsets, send_buf);
+                        comm.waitall(rreqs); // progress here, overlapping compute
+                        comm.waitall(sreqs);
+                    }
+                    Exchange::NodeAware(st) => {
+                        ctx.barrier(); // B1: gather finished
+                        let send_buf: &[f64] =
+                            unsafe { std::slice::from_raw_parts(sp.raw(), send_buf_len) };
+                        let reqs = Self::na_begin(comm, &st.plan, send_buf);
+                        Self::na_finish(
+                            comm,
+                            &st.plan,
+                            &mut st.ship_bufs,
+                            &mut st.wire_out_bufs,
+                            &mut st.wire_in_bufs,
+                            send_buf,
+                            halo,
+                            reqs,
+                        );
+                    }
+                }
                 ctx.barrier(); // B2: comm done & local SpMV done
                                // non-local phase: nothing to do for the comm thread
             } else {
                 // ---- compute threads ----
                 let ctid = ctx.tid - 1;
-                // gather into the send buffer (disjoint static chunks)
-                for i in static_chunk(gi.len(), c, ctid) {
-                    unsafe { *sp.at(i) = x_loc[gi[i] as usize] };
-                }
+                // gather into the send buffer (disjoint run ranges)
+                unsafe { prog.execute_runs_raw(gather_chunks[ctid].clone(), x_loc, sp.raw()) };
                 ctx.barrier(); // B1
                                // local SpMV, one contiguous nonzero-balanced chunk each
                 unsafe {
@@ -562,6 +926,11 @@ mod tests {
     use spmv_matrix::{synthetic, vecops, CsrMatrix};
     use std::sync::Arc;
 
+    /// World creation honouring the strategy's rank → node map.
+    fn world_for(ranks: usize, cfg: &EngineConfig) -> Vec<spmv_comm::Comm> {
+        crate::runner::create_world(ranks, cfg)
+    }
+
     /// Runs `modes` on `matrix` with the given rank/thread layout and
     /// compares every result against the serial reference.
     fn check_all_modes(matrix: CsrMatrix, ranks: usize, cfg: EngineConfig) {
@@ -578,7 +947,7 @@ mod tests {
             vec![KernelMode::VectorNoOverlap, KernelMode::VectorNaiveOverlap]
         };
 
-        let comms = CommWorld::create(ranks);
+        let comms = world_for(ranks, &cfg);
         let x = Arc::new(x);
         let modes = Arc::new(modes);
         let handles: Vec<_> = comms
@@ -721,6 +1090,144 @@ mod tests {
         for kind in crate::kernels::KernelKind::candidates() {
             check_all_modes(m.clone(), 3, EngineConfig::task_mode(2).with_kernel(kind));
         }
+    }
+
+    #[test]
+    fn node_aware_all_modes_match_reference() {
+        let m = synthetic::random_banded_symmetric(400, 60, 6.0, 21);
+        for rpn in [2, 3, 4, 8] {
+            let cfg = EngineConfig::task_mode(2).with_comm_strategy(CommStrategy::NodeAware {
+                ranks_per_node: rpn,
+            });
+            check_all_modes(m.clone(), 8, cfg);
+        }
+    }
+
+    #[test]
+    fn node_aware_pure_mpi_and_hybrid() {
+        let m = synthetic::scattered(256, 16, 9);
+        let na2 = CommStrategy::NodeAware { ranks_per_node: 2 };
+        let na3 = CommStrategy::NodeAware { ranks_per_node: 3 };
+        check_all_modes(
+            m.clone(),
+            6,
+            EngineConfig::pure_mpi().with_comm_strategy(na2),
+        );
+        check_all_modes(m, 6, EngineConfig::hybrid(3).with_comm_strategy(na3));
+    }
+
+    #[test]
+    fn node_aware_single_node_all_intra() {
+        // every rank on one node: no wires, only direct intra messages
+        let m = synthetic::random_general(200, 200, 7, 6);
+        let cfg = EngineConfig::task_mode(2)
+            .with_comm_strategy(CommStrategy::NodeAware { ranks_per_node: 4 });
+        check_all_modes(m, 4, cfg);
+    }
+
+    /// Runs one halo exchange on a world whose stats classify messages by
+    /// the given node map, returning the world-level deltas.
+    fn exchange_stats(
+        matrix: &CsrMatrix,
+        ranks: usize,
+        ranks_per_node: usize,
+        cfg: EngineConfig,
+    ) -> spmv_comm::CommStats {
+        let partition = RowPartition::by_nnz(matrix, ranks);
+        let map = spmv_machine::RankNodeMap::contiguous(ranks, ranks_per_node);
+        let comms = CommWorld::create_with_nodes((0..ranks).map(|r| map.node_of(r)).collect());
+        std::thread::scope(|scope| {
+            let partition = &partition;
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|c| {
+                    scope.spawn(move || {
+                        let block = matrix.row_block(partition.range(c.rank()));
+                        let mut eng = RankEngine::new(c, &block, partition, cfg);
+                        // world-global counters: bracket both snapshots with
+                        // message-free barriers so no rank races traffic in
+                        eng.comm().barrier(); // plan-construction traffic done
+                        let base = eng.comm().stats().snapshot();
+                        eng.comm().barrier(); // all baselines taken
+                        eng.halo_exchange();
+                        eng.comm().barrier(); // all exchange traffic recorded
+                        (
+                            eng.comm().rank(),
+                            eng.comm().stats().snapshot().since(&base),
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .find(|(r, _)| *r == 0)
+                .unwrap()
+                .1
+        })
+    }
+
+    #[test]
+    fn node_aware_cuts_inter_node_messages_same_bytes() {
+        // wide band: every rank's halo spans several ranks on each side, so
+        // aggregation has plenty of per-node-pair messages to merge
+        let m = synthetic::random_banded_symmetric(600, 150, 5.0, 33);
+        let (ranks, rpn) = (8, 4);
+        // explicit Flat: immune to the SPMV_COMM_STRATEGY CI override
+        let flat = exchange_stats(
+            &m,
+            ranks,
+            rpn,
+            EngineConfig::pure_mpi().with_comm_strategy(CommStrategy::Flat),
+        );
+        let na = exchange_stats(
+            &m,
+            ranks,
+            rpn,
+            EngineConfig::pure_mpi().with_comm_strategy(CommStrategy::NodeAware {
+                ranks_per_node: rpn,
+            }),
+        );
+        assert!(
+            na.inter_messages < flat.inter_messages,
+            "node-aware {} vs flat {} inter-node messages",
+            na.inter_messages,
+            flat.inter_messages
+        );
+        assert_eq!(
+            na.inter_bytes, flat.inter_bytes,
+            "aggregation must not duplicate inter-node payload"
+        );
+        // 2 nodes → at most one wire per direction
+        assert!(na.inter_messages <= 2);
+    }
+
+    #[test]
+    fn exchange_traffic_prediction_matches_strategy() {
+        let m = synthetic::random_banded_symmetric(400, 80, 5.0, 7);
+        let cfg_na = EngineConfig::pure_mpi()
+            .with_comm_strategy(CommStrategy::NodeAware { ranks_per_node: 4 });
+        let traffic = crate::runner::run_spmd(&m, 8, cfg_na, |eng| eng.exchange_traffic());
+        let total_inter: usize = traffic.iter().map(|t| t.inter_msgs).sum();
+        let cfg_flat = EngineConfig::pure_mpi().with_comm_strategy(CommStrategy::Flat);
+        let flat_traffic = crate::runner::run_spmd(&m, 8, cfg_flat, |eng| eng.exchange_traffic());
+        let flat_inter: usize = flat_traffic.iter().map(|t| t.inter_msgs).sum();
+        assert!(total_inter < flat_inter, "{total_inter} vs {flat_inter}");
+    }
+
+    #[test]
+    fn gather_program_compresses_banded_sends() {
+        // banded halos are contiguous row slices → few long runs
+        let m = synthetic::tridiagonal(120, 2.0, -1.0);
+        let p = RowPartition::by_nnz(&m, 1);
+        let comms = CommWorld::create(1);
+        let eng = RankEngine::new(
+            comms.into_iter().next().unwrap(),
+            &m,
+            &p,
+            EngineConfig::pure_mpi(),
+        );
+        assert_eq!(eng.gather_program().total_elems(), 0, "single rank");
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //!    volumes the discrete-event simulator prices.
 
 pub mod engine;
+pub mod gather;
 pub mod kernels;
 pub mod modes;
 pub mod node;
@@ -39,11 +40,12 @@ pub mod split;
 pub mod symmetric;
 pub mod workload;
 
-pub use engine::{EngineConfig, RankEngine};
+pub use engine::{CommStrategy, EngineConfig, RankEngine};
+pub use gather::{GatherProgram, GatherRun};
 pub use kernels::{prepare_kernel, KernelKind, SpmvKernel};
 pub use modes::KernelMode;
 pub use partition::RowPartition;
-pub use plan::RankPlan;
+pub use plan::{CommTraffic, NodeAwarePlan, RankPlan};
 pub use runner::distributed_spmv;
 pub use split::SplitMatrix;
 pub use symmetric::{parallel_symmetric_spmv, SymmetricWorkspace};

@@ -6,11 +6,24 @@
 //! per-rank results in rank order. [`distributed_spmv`] is the one-shot
 //! convenience built on top of it.
 
-use crate::engine::{EngineConfig, RankEngine};
+use crate::engine::{CommStrategy, EngineConfig, RankEngine};
 use crate::modes::KernelMode;
 use crate::partition::RowPartition;
-use spmv_comm::CommWorld;
+use spmv_comm::{Comm, CommWorld};
 use spmv_matrix::CsrMatrix;
+
+/// Creates the communication world for a job, attaching the rank → node map
+/// implied by the configured strategy so traffic statistics classify
+/// intra- vs inter-node messages correctly.
+pub fn create_world(ranks: usize, cfg: &EngineConfig) -> Vec<Comm> {
+    match cfg.comm_strategy {
+        CommStrategy::Flat => CommWorld::create(ranks),
+        CommStrategy::NodeAware { .. } => {
+            let map = cfg.comm_strategy.rank_node_map(ranks);
+            CommWorld::create_with_nodes((0..ranks).map(|r| map.node_of(r)).collect())
+        }
+    }
+}
 
 /// Runs `f` as an SPMD program: one thread per rank, each with its own
 /// [`RankEngine`] over a nonzero-balanced row partition of `matrix`.
@@ -43,7 +56,7 @@ where
         "partition must cover the matrix"
     );
     let ranks = partition.parts();
-    let comms = CommWorld::create(ranks);
+    let comms = create_world(ranks, &cfg);
     let f = &f;
     std::thread::scope(|scope| {
         let handles: Vec<_> = comms
@@ -108,6 +121,24 @@ mod tests {
                 let y = distributed_spmv(&m, &x, ranks, cfg, mode);
                 let err = vecops::max_abs_diff(&y, &y_ref);
                 assert!(err < 1e-11, "{mode} with {ranks} ranks: err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_spmv_node_aware_matches_reference() {
+        let m = synthetic::random_banded_symmetric(300, 25, 6.0, 42);
+        let x = vecops::random_vec(300, 11);
+        let mut y_ref = vec![0.0; 300];
+        m.spmv(&x, &mut y_ref);
+        for rpn in [2, 4] {
+            let cfg = EngineConfig::task_mode(2).with_comm_strategy(CommStrategy::NodeAware {
+                ranks_per_node: rpn,
+            });
+            for mode in KernelMode::ALL {
+                let y = distributed_spmv(&m, &x, 6, cfg, mode);
+                let err = vecops::max_abs_diff(&y, &y_ref);
+                assert!(err < 1e-11, "{mode} node-aware rpn={rpn}: err {err}");
             }
         }
     }

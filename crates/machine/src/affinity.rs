@@ -130,6 +130,13 @@ impl LayoutPlan {
     pub fn total_compute_threads(&self) -> usize {
         self.ranks.iter().map(|r| r.compute_threads).sum()
     }
+
+    /// The rank → node mapping of this plan, for topology-aware
+    /// communication. Placement is node-major by construction, so the map
+    /// is always contiguous.
+    pub fn rank_node_map(&self) -> crate::topology::RankNodeMap {
+        crate::topology::RankNodeMap::from_nodes(self.ranks.iter().map(|r| r.node).collect())
+    }
 }
 
 /// Plans rank placement for `num_nodes` nodes of the given topology.
@@ -329,6 +336,25 @@ mod tests {
             comm: CommThreadPlacement::DedicatedCore,
         };
         assert_eq!(r.compute_threads_per_ld(), vec![6, 5]);
+    }
+
+    #[test]
+    fn layout_plan_rank_node_map() {
+        let node = presets::westmere_ep_node();
+        let plan = plan_layout(
+            &node,
+            3,
+            HybridLayout::ProcessPerLd,
+            CommThreadPlacement::None,
+        )
+        .unwrap();
+        let map = plan.rank_node_map();
+        assert_eq!(map.num_ranks(), 6);
+        assert_eq!(map.num_nodes(), 3);
+        assert_eq!(map.ranks_of(1), 2..4);
+        assert!(map.is_leader(2));
+        assert!(map.same_node(4, 5));
+        assert!(!map.same_node(1, 2));
     }
 
     #[test]

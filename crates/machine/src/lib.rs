@@ -26,4 +26,4 @@ pub mod topology;
 pub use affinity::{plan_layout, CommThreadPlacement, HybridLayout, LayoutPlan, RankPlacement};
 pub use network::NetworkModel;
 pub use saturation::SaturationCurve;
-pub use topology::{ClusterSpec, LdSpec, NodeTopology, SocketSpec};
+pub use topology::{ClusterSpec, LdSpec, NodeTopology, RankNodeMap, SocketSpec};

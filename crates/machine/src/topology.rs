@@ -200,8 +200,103 @@ impl ClusterSpec {
     }
 }
 
+/// A rank → node mapping for topology-aware communication.
+///
+/// Node-aware halo aggregation (Bienz/Gropp/Olson-style: route all traffic
+/// between a node pair through one leader rank per node) needs to know
+/// which ranks share a node. The map requires each node's ranks to be a
+/// *contiguous, ascending* rank range — the standard block placement every
+/// batch scheduler produces — because that is what makes a rank's halo
+/// buffer decompose into per-source-node contiguous segments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankNodeMap {
+    /// `node_of[r]` = node hosting rank `r`; non-decreasing and dense.
+    node_of: Vec<usize>,
+    /// First rank of each node plus a trailing sentinel (`num_nodes + 1`
+    /// entries).
+    node_starts: Vec<usize>,
+}
+
+impl RankNodeMap {
+    /// Block placement: ranks `0..per_node` on node 0, the next `per_node`
+    /// on node 1, … (the last node may be smaller).
+    pub fn contiguous(num_ranks: usize, ranks_per_node: usize) -> Self {
+        assert!(num_ranks >= 1, "need at least one rank");
+        assert!(ranks_per_node >= 1, "need at least one rank per node");
+        Self::from_nodes((0..num_ranks).map(|r| r / ranks_per_node).collect())
+    }
+
+    /// Builds the map from an explicit assignment.
+    ///
+    /// # Panics
+    /// If the assignment is empty, node ids are not non-decreasing, or they
+    /// skip a value (nodes must be dense `0..num_nodes`).
+    pub fn from_nodes(node_of: Vec<usize>) -> Self {
+        assert!(!node_of.is_empty(), "need at least one rank");
+        assert_eq!(node_of[0], 0, "nodes must start at 0");
+        let mut node_starts = vec![0usize];
+        for r in 1..node_of.len() {
+            let (prev, cur) = (node_of[r - 1], node_of[r]);
+            assert!(
+                cur == prev || cur == prev + 1,
+                "node ids must be non-decreasing and dense (rank {r}: {prev} -> {cur})"
+            );
+            if cur == prev + 1 {
+                node_starts.push(r);
+            }
+        }
+        node_starts.push(node_of.len());
+        Self {
+            node_of,
+            node_starts,
+        }
+    }
+
+    /// Number of ranks covered.
+    pub fn num_ranks(&self) -> usize {
+        self.node_of.len()
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.node_starts.len() - 1
+    }
+
+    /// Node hosting `rank`.
+    pub fn node_of(&self, rank: usize) -> usize {
+        self.node_of[rank]
+    }
+
+    /// The contiguous rank range of `node`.
+    pub fn ranks_of(&self, node: usize) -> std::ops::Range<usize> {
+        self.node_starts[node]..self.node_starts[node + 1]
+    }
+
+    /// The leader (lowest rank) of `node` — the rank that aggregates the
+    /// node's inter-node traffic.
+    pub fn leader_of_node(&self, node: usize) -> usize {
+        self.node_starts[node]
+    }
+
+    /// The leader of the node hosting `rank`.
+    pub fn leader_of(&self, rank: usize) -> usize {
+        self.leader_of_node(self.node_of(rank))
+    }
+
+    /// Whether `rank` is its node's leader.
+    pub fn is_leader(&self, rank: usize) -> bool {
+        self.leader_of(rank) == rank
+    }
+
+    /// Whether two ranks share a node.
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::RankNodeMap;
     use crate::presets;
 
     #[test]
@@ -282,5 +377,44 @@ mod tests {
         // 2 MiB L3 per core on Westmere (12 MiB / 6 cores) + L1 + L2
         let expect = (32.0 + 256.0) * 1024.0 + 2.0 * 1024.0 * 1024.0;
         assert!((ld.cache_bytes_per_core() - expect).abs() < 1.0);
+    }
+
+    #[test]
+    fn rank_node_map_contiguous() {
+        let m = RankNodeMap::contiguous(10, 4);
+        assert_eq!(m.num_ranks(), 10);
+        assert_eq!(m.num_nodes(), 3, "10 ranks at 4/node: last node ragged");
+        assert_eq!(m.node_of(0), 0);
+        assert_eq!(m.node_of(3), 0);
+        assert_eq!(m.node_of(4), 1);
+        assert_eq!(m.node_of(9), 2);
+        assert_eq!(m.ranks_of(1), 4..8);
+        assert_eq!(m.ranks_of(2), 8..10);
+        assert_eq!(m.leader_of(5), 4);
+        assert_eq!(m.leader_of_node(2), 8);
+        assert!(m.is_leader(8));
+        assert!(!m.is_leader(9));
+        assert!(m.same_node(4, 7));
+        assert!(!m.same_node(3, 4));
+    }
+
+    #[test]
+    fn rank_node_map_single_node() {
+        let m = RankNodeMap::contiguous(4, 8);
+        assert_eq!(m.num_nodes(), 1);
+        assert!(m.is_leader(0));
+        assert!(m.same_node(0, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn rank_node_map_rejects_gaps() {
+        RankNodeMap::from_nodes(vec![0, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn rank_node_map_rejects_non_contiguous() {
+        RankNodeMap::from_nodes(vec![0, 1, 0]);
     }
 }

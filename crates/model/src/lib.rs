@@ -13,9 +13,13 @@
 //!   with the bandwidth ceiling, giving the Fig. 3 performance-vs-cores
 //!   curves;
 //! * [`efficiency`] — strong-scaling parallel efficiency and the 50 %
-//!   efficiency point marked on every data set of Fig. 5.
+//!   efficiency point marked on every data set of Fig. 5;
+//! * [`comm`] — a hierarchical (intra-/inter-node) latency–bandwidth model
+//!   of the halo exchange, pricing the flat vs. node-aware strategies and
+//!   their crossover.
 
 pub mod balance;
+pub mod comm;
 pub mod efficiency;
 pub mod kappa;
 pub mod roofline;
@@ -24,4 +28,5 @@ pub use balance::{
     code_balance_crs, code_balance_sell, code_balance_split, kappa_from_measurement,
     predicted_gflops,
 };
+pub use comm::{CommLevels, RankTraffic};
 pub use kappa::{estimate_kappa, KappaEstimate};

@@ -55,7 +55,7 @@ pub use spmv_solvers as solvers;
 /// The names almost every user of the library wants in scope.
 pub mod prelude {
     pub use spmv_comm::{Comm, CommWorld};
-    pub use spmv_core::engine::EngineConfig;
+    pub use spmv_core::engine::{CommStrategy, EngineConfig};
     pub use spmv_core::runner::{distributed_spmv, run_spmd};
     pub use spmv_core::symmetric::{parallel_symmetric_spmv, SymmetricWorkspace};
     pub use spmv_core::{prepare_kernel, KernelKind, KernelMode, RankEngine, RowPartition};
