@@ -57,6 +57,18 @@ impl Comm {
 
     /// Elementwise allreduce over `f64` buffers of equal length on all
     /// ranks; the result replaces `buf` everywhere.
+    ///
+    /// # Reduction-order guarantee
+    ///
+    /// Floating-point reduction is not associative, so the combination
+    /// order is part of the contract: rank 0 folds the contributions in
+    /// **ascending source-rank order** — `((x₀ op x₁) op x₂) op …` — and
+    /// broadcasts the single result. Every rank therefore observes the
+    /// *same bit pattern*, and repeated runs reproduce it exactly,
+    /// regardless of message arrival timing (the per-pair FIFO matching
+    /// pins which buffer each `recv` sees). This is stricter than MPI,
+    /// which only requires a deterministic order per (implementation,
+    /// rank count), not a canonical one.
     pub fn allreduce(&self, buf: &mut Vec<f64>, op: ReduceOp) {
         if self.size() == 1 {
             return;
@@ -379,6 +391,84 @@ mod tests {
         spawn_world(1, |c| {
             assert_eq!(c.scan_scalar(5.0, ReduceOp::Sum), 5.0);
             assert_eq!(c.exscan_sum(5.0), 0.0);
+        });
+    }
+
+    // -- edge cases ---------------------------------------------------------
+
+    #[test]
+    fn size_one_world_collectives_are_identities() {
+        spawn_world(1, |c| {
+            let mut b = vec![1.0f64, 2.0];
+            c.bcast(0, &mut b);
+            assert_eq!(b, vec![1.0, 2.0]);
+            let all = c.allgatherv(&[7u32, 8]);
+            assert_eq!(all, vec![vec![7, 8]]);
+            let inc = c.alltoallv(&[vec![3i64]]);
+            assert_eq!(inc, vec![vec![3]]);
+            assert_eq!(c.reduce(0, &[4.0], ReduceOp::Max), Some(vec![4.0]));
+            assert_eq!(c.gatherv(0, &[9u8]), Some(vec![vec![9]]));
+        });
+    }
+
+    #[test]
+    fn empty_buffers_flow_through_collectives() {
+        spawn_world(3, |c| {
+            let mut b: Vec<f64> = vec![];
+            c.bcast(1, &mut b);
+            assert!(b.is_empty());
+            c.allreduce(&mut b, ReduceOp::Sum);
+            assert!(b.is_empty());
+            let all = c.allgatherv::<u64>(&[]);
+            assert_eq!(all, vec![vec![], vec![], vec![]]);
+            match c.gatherv::<f64>(0, &[]) {
+                Some(parts) => assert!(parts.iter().all(|p| p.is_empty())),
+                None => assert_ne!(c.rank(), 0),
+            }
+        });
+    }
+
+    #[test]
+    fn alltoallv_self_send_only() {
+        // every rank addresses data exclusively to itself: the self lane is
+        // served by a local clone, no messages cross ranks
+        spawn_world(3, |c| {
+            let mut outgoing: Vec<Vec<u64>> = vec![vec![]; 3];
+            outgoing[c.rank()] = vec![c.rank() as u64 * 11; 4];
+            c.barrier();
+            let base = c.stats().snapshot();
+            c.barrier(); // every base is taken before anyone sends
+            let incoming = c.alltoallv(&outgoing);
+            c.barrier(); // every send is recorded before any delta
+            let delta = c.stats().snapshot().since(&base);
+            assert_eq!(incoming[c.rank()], vec![c.rank() as u64 * 11; 4]);
+            for (s, lane) in incoming.iter().enumerate() {
+                if s != c.rank() {
+                    assert!(lane.is_empty());
+                }
+            }
+            assert_eq!(delta.messages, 6, "3 ranks x 2 empty cross-lanes");
+            assert_eq!(delta.bytes, 0, "self data must not hit the wire");
+        });
+    }
+
+    #[test]
+    fn allreduce_non_commutative_float_order_is_canonical() {
+        // (x0 + x1) + x2 differs from other association orders in f64:
+        // the contract pins the ascending-rank left fold on every rank.
+        spawn_world(3, |c| {
+            // (1.0 + 1e16) + -1e16 = 0.0, but 1.0 + (1e16 + -1e16) = 1.0
+            let xs = [1.0, 1e16, -1e16];
+            let folded = (xs[0] + xs[1]) + xs[2]; // the guaranteed order
+            assert_ne!(
+                folded,
+                xs[0] + (xs[1] + xs[2]),
+                "inputs must expose non-associativity"
+            );
+            for _ in 0..20 {
+                let s = c.allreduce_scalar(xs[c.rank()], ReduceOp::Sum);
+                assert_eq!(s.to_bits(), folded.to_bits(), "rank {}", c.rank());
+            }
         });
     }
 }

@@ -30,11 +30,24 @@
 //! discrete-event simulator reuses the same communication plans to model
 //! time.
 
+//! ## Fault injection and resilience
+//!
+//! [`CommWorld::builder`] can attach a seeded [`FaultPlan`] (deterministic
+//! chaos: delay / reorder / duplicate / drop-with-retransmit / truncate /
+//! stall / kill) and a stall watchdog that converts a world-wide hang into
+//! a typed [`CommError::Poisoned`] carrying a per-rank pending-request
+//! dump. Every blocking operation has a checked (`try_*` / `*_timeout`)
+//! variant; see DESIGN.md §8 for the fault model.
+
 pub mod collectives;
+pub mod error;
+pub mod fault;
 pub mod pod;
 pub mod stats;
 pub mod world;
 
+pub use error::{CommError, PendingKind, PendingOp, StallReport};
+pub use fault::{FaultPlan, FaultStats};
 pub use pod::Pod;
 pub use stats::{CommStats, WorldStats};
-pub use world::{Comm, CommWorld, RecvRequest, Request, Tag};
+pub use world::{Comm, CommWorld, RecvRequest, Request, Tag, WorldBuilder};

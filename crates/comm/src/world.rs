@@ -1,12 +1,36 @@
 //! The communication world: rank handles, mailboxes, nonblocking
 //! point-to-point with MPI matching semantics.
+//!
+//! Resilience features (all opt-in via [`CommWorld::builder`]):
+//!
+//! * **Fault injection** — a seeded [`FaultPlan`] perturbs delivery (delay,
+//!   reorder, duplicate, drop-with-retransmit, truncate) and rank health
+//!   (stall, kill). Under a plan every message carries a per-flow sequence
+//!   number and the receive side reassembles strict FIFO order, so the
+//!   recoverable faults are invisible to correct programs — results stay
+//!   bit-identical to a fault-free run.
+//! * **Stall watchdog** — a monitor thread that detects a world-wide
+//!   quiesced-but-incomplete state (no progress, ≥ 1 rank blocked) and
+//!   *poisons* the world: every blocked and future operation fails with
+//!   [`CommError::Poisoned`] carrying a per-rank pending-request dump
+//!   instead of hanging forever.
+//! * **Typed errors** — the `try_*` / `*_timeout` variants return
+//!   [`CommError`]; the classic infallible API panics with the same
+//!   message (a panic with a dump still beats a silent hang in CI).
+//!
+//! A world built without faults or watchdog takes the exact historical
+//! fast path: one `Option` check per operation is the entire cost
+//! (measured by `bench_faults`).
 
+use crate::error::{CommError, PendingKind, PendingOp, StallReport};
+use crate::fault::{ChaosState, FaultAction, FaultPlan, FaultStats, HeldMsg, OpFate};
 use crate::pod::{as_bytes, from_bytes_vec, Pod};
 use crate::stats::WorldStats;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::marker::PhantomData;
-use std::sync::Arc;
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::time::{Duration, Instant};
 
 /// Message tag. User tags must be below [`Tag::MAX`]` / 2`; the upper half
 /// is reserved for internal collectives.
@@ -14,6 +38,11 @@ pub type Tag = u32;
 
 /// First tag reserved for internal use (collectives).
 pub(crate) const RESERVED_TAG_BASE: Tag = 1 << 31;
+
+/// Polling granularity for waits that must observe poison, chaos
+/// redelivery, or a deadline. Plain (untimed) condvar waits are used
+/// whenever none of those can occur.
+const WAIT_SLICE: Duration = Duration::from_millis(1);
 
 /// Completion token for a borrowed (rendezvous) send: the sender's buffer
 /// stays pinned until the receiver has copied out of it.
@@ -40,6 +69,20 @@ impl SendToken {
         while !*g {
             g = self.cv.wait(g).unwrap();
         }
+    }
+
+    /// Bounded wait; true when the token was consumed within `dur`.
+    fn wait_consumed_for(&self, dur: Duration) -> bool {
+        let mut g = self.consumed.lock().unwrap();
+        let deadline = Instant::now() + dur;
+        while !*g {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            g = self.cv.wait_timeout(g, deadline - now).unwrap().0;
+        }
+        true
     }
 
     fn is_consumed(&self) -> bool {
@@ -102,13 +145,23 @@ impl Payload {
     }
 }
 
-/// One rank's incoming mailbox: per-`(source, tag)` FIFO queues, exactly
-/// MPI's matching rule for non-wildcard receives.
-/// Per-`(source, tag)` FIFO queues of payloads.
-type MatchQueues = HashMap<(usize, Tag), VecDeque<Payload>>;
+/// One `(source, tag)` flow inside a mailbox. Without fault injection only
+/// `ready` is used (plain FIFO). Under a fault plan, messages arrive
+/// carrying sequence numbers and are *reassembled*: `next_seq` is the next
+/// in-order number, `ooo` parks early arrivals, and duplicates (seq below
+/// `next_seq` or already parked) are discarded. This is what restores
+/// exactly-once in-order delivery under delay/reorder/duplicate/drop.
+#[derive(Default)]
+struct Channel {
+    ready: VecDeque<Payload>,
+    next_seq: u64,
+    ooo: BTreeMap<u64, Vec<u8>>,
+}
 
+/// One rank's incoming mailbox: per-`(source, tag)` FIFO flows, exactly
+/// MPI's matching rule for non-wildcard receives.
 struct RankMailbox {
-    queues: Mutex<MatchQueues>,
+    queues: Mutex<HashMap<(usize, Tag), Channel>>,
     cv: Condvar,
 }
 
@@ -120,37 +173,17 @@ impl RankMailbox {
         }
     }
 
-    fn deposit(&self, src: usize, tag: Tag, payload: Payload) {
-        let mut q = self.queues.lock().unwrap();
-        q.entry((src, tag)).or_default().push_back(payload);
-        self.cv.notify_all();
-    }
-
-    /// Blocks until a message from `(src, tag)` is available and pops it.
-    /// The payload is consumed *after* the mailbox lock is released.
-    fn pop_blocking(&self, src: usize, tag: Tag) -> Payload {
-        let mut q = self.queues.lock().unwrap();
-        loop {
-            if let Some(dq) = q.get_mut(&(src, tag)) {
-                if let Some(msg) = dq.pop_front() {
-                    return msg;
-                }
-            }
-            q = self.cv.wait(q).unwrap();
-        }
-    }
-
     /// Non-blocking probe-and-pop.
     fn try_pop(&self, src: usize, tag: Tag) -> Option<Payload> {
         let mut q = self.queues.lock().unwrap();
-        q.get_mut(&(src, tag)).and_then(|dq| dq.pop_front())
+        q.get_mut(&(src, tag)).and_then(|ch| ch.ready.pop_front())
     }
 
     /// Non-destructive probe: byte length of the next queued message.
     fn peek_len(&self, src: usize, tag: Tag) -> Option<usize> {
         let q = self.queues.lock().unwrap();
         q.get(&(src, tag))
-            .and_then(|dq| dq.front())
+            .and_then(|ch| ch.ready.front())
             .map(|m| m.len())
     }
 }
@@ -158,6 +191,15 @@ impl RankMailbox {
 struct BarrierState {
     count: usize,
     generation: u64,
+}
+
+/// What a blocked rank is doing, for the watchdog's report.
+struct PendingSlot {
+    kind: PendingKind,
+    peer: Option<usize>,
+    tag: Option<Tag>,
+    bytes: Option<usize>,
+    since: Instant,
 }
 
 pub(crate) struct WorldShared {
@@ -169,6 +211,18 @@ pub(crate) struct WorldShared {
     node_of: Option<Vec<usize>>,
     barrier_lock: Mutex<BarrierState>,
     barrier_cv: Condvar,
+    /// Fault injector; `None` ⇒ the historical fast path.
+    chaos: Option<ChaosState>,
+    /// Watchdog timeout; `None` ⇒ no monitor thread, no pending tracking.
+    watchdog: Option<Duration>,
+    /// Global progress counter: bumped on every delivery, pop, and barrier
+    /// arrival. The watchdog declares a stall when it stops moving while
+    /// at least one rank is blocked.
+    progress: AtomicU64,
+    /// Per-rank pending-operation slots (maintained only with a watchdog).
+    pending: Vec<Mutex<Option<PendingSlot>>>,
+    poisoned: AtomicBool,
+    poison_report: Mutex<Option<Arc<StallReport>>>,
 }
 
 impl WorldShared {
@@ -178,6 +232,375 @@ impl WorldShared {
         match &self.node_of {
             Some(map) => map[src] != map[dst],
             None => src != dst,
+        }
+    }
+
+    fn bump_progress(&self) {
+        self.progress.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Whether blocking waits must poll in slices (something other than a
+    /// condvar notification — chaos redelivery or poison — can unblock us).
+    fn needs_slices(&self) -> bool {
+        self.chaos.is_some() || self.watchdog.is_some()
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    fn poison_error(&self) -> CommError {
+        let report = self.poison_report.lock().unwrap().clone();
+        CommError::Poisoned {
+            report: report.unwrap_or_else(|| {
+                Arc::new(StallReport {
+                    timeout: Duration::ZERO,
+                    progress: 0,
+                    ranks: Vec::new(),
+                })
+            }),
+        }
+    }
+
+    /// Marks the world dead and wakes every blocked rank so it can observe
+    /// the poison and fail fast instead of waiting forever.
+    fn poison(&self, report: Arc<StallReport>) {
+        *self.poison_report.lock().unwrap() = Some(report);
+        self.poisoned.store(true, Ordering::SeqCst);
+        for mb in &self.mailboxes {
+            let _guard = mb.queues.lock().unwrap();
+            mb.cv.notify_all();
+        }
+        let _guard = self.barrier_lock.lock().unwrap();
+        self.barrier_cv.notify_all();
+    }
+
+    fn enter_pending(
+        &self,
+        rank: usize,
+        kind: PendingKind,
+        peer: Option<usize>,
+        tag: Option<Tag>,
+        bytes: Option<usize>,
+    ) {
+        if self.watchdog.is_none() {
+            return;
+        }
+        *self.pending[rank].lock().unwrap() = Some(PendingSlot {
+            kind,
+            peer,
+            tag,
+            bytes,
+            since: Instant::now(),
+        });
+    }
+
+    fn clear_pending(&self, rank: usize) {
+        if self.watchdog.is_none() {
+            return;
+        }
+        *self.pending[rank].lock().unwrap() = None;
+    }
+
+    fn blocked_count(&self) -> usize {
+        self.pending
+            .iter()
+            .filter(|slot| slot.lock().unwrap().is_some())
+            .count()
+    }
+
+    fn build_report(&self, timeout: Duration) -> StallReport {
+        StallReport {
+            timeout,
+            progress: self.progress.load(Ordering::Relaxed),
+            ranks: self
+                .pending
+                .iter()
+                .map(|slot| {
+                    slot.lock().unwrap().as_ref().map(|s| PendingOp {
+                        kind: s.kind,
+                        peer: s.peer,
+                        tag: s.tag,
+                        bytes: s.bytes,
+                        blocked: s.since.elapsed(),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Delivers already-sequenced bytes into `dst`'s `(src, tag)` flow,
+    /// discarding duplicates and releasing any in-order run.
+    fn deliver_seq(&self, dst: usize, src: usize, tag: Tag, seq: u64, bytes: Vec<u8>) {
+        let mb = &self.mailboxes[dst];
+        let mut released = false;
+        {
+            let mut q = mb.queues.lock().unwrap();
+            let ch = q.entry((src, tag)).or_default();
+            if seq < ch.next_seq || ch.ooo.contains_key(&seq) {
+                return; // duplicate: already delivered or already parked
+            }
+            ch.ooo.insert(seq, bytes);
+            while let Some(b) = ch.ooo.remove(&ch.next_seq) {
+                ch.ready.push_back(Payload::Owned(b));
+                ch.next_seq += 1;
+                released = true;
+            }
+        }
+        if released {
+            mb.cv.notify_all();
+            self.bump_progress();
+        }
+    }
+
+    /// Central send path: records statistics, then either deposits directly
+    /// (fast path) or runs the payload through the fault injector.
+    fn send_payload(&self, src: usize, dst: usize, tag: Tag, payload: Payload) {
+        self.stats
+            .record_message(payload.len(), self.is_inter_node(src, dst));
+        let Some(chaos) = &self.chaos else {
+            let mb = &self.mailboxes[dst];
+            {
+                let mut q = mb.queues.lock().unwrap();
+                q.entry((src, tag)).or_default().ready.push_back(payload);
+            }
+            mb.cv.notify_all();
+            self.bump_progress();
+            return;
+        };
+        // Under chaos every payload becomes an owned copy (releasing any
+        // rendezvous token immediately): held/duplicated messages must not
+        // pin the sender's buffer past its request.
+        let mut bytes = payload.consume_vec();
+        let seq = chaos.next_seq(src, dst, tag);
+        let mut action = chaos.decide(src, dst, tag, seq);
+        if action == FaultAction::Truncate && (tag >= RESERVED_TAG_BASE || bytes.is_empty()) {
+            // truncation is an unrecoverable error-path fault; keep it off
+            // the internal collective protocol and off empty messages
+            action = FaultAction::Deliver;
+        }
+        chaos.count(action);
+        let now = Instant::now();
+        // a message stashed for reorder on this flow is delivered *after*
+        // the current one — that is the injected inversion
+        let stashed = chaos.take_reorder(src, dst, tag);
+        match action {
+            FaultAction::Deliver => self.deliver_seq(dst, src, tag, seq, bytes),
+            FaultAction::Delay => chaos.hold(HeldMsg {
+                due: now + chaos.plan.delay,
+                src,
+                dst,
+                tag,
+                seq,
+                bytes,
+            }),
+            FaultAction::DropRetransmit => chaos.hold(HeldMsg {
+                due: now + chaos.plan.retransmit,
+                src,
+                dst,
+                tag,
+                seq,
+                bytes,
+            }),
+            FaultAction::Duplicate => {
+                self.deliver_seq(dst, src, tag, seq, bytes.clone());
+                self.deliver_seq(dst, src, tag, seq, bytes);
+            }
+            FaultAction::Truncate => {
+                let cut = bytes.len().min(8);
+                bytes.truncate(bytes.len() - cut);
+                self.deliver_seq(dst, src, tag, seq, bytes);
+            }
+            FaultAction::Reorder => {
+                if stashed.is_none() {
+                    chaos.stash_reorder(HeldMsg {
+                        due: now + chaos.reorder_window(),
+                        src,
+                        dst,
+                        tag,
+                        seq,
+                        bytes,
+                    });
+                } else {
+                    // the displaced message already provides the inversion
+                    self.deliver_seq(dst, src, tag, seq, bytes);
+                }
+            }
+        }
+        if let Some(m) = stashed {
+            self.deliver_seq(m.dst, m.src, m.tag, m.seq, m.bytes);
+        }
+        self.pump();
+    }
+
+    /// Flushes injector-held messages that have come due. Called from every
+    /// send and from each slice of a blocked receive, so held messages
+    /// drain even when all ranks are waiting.
+    fn pump(&self) {
+        let Some(chaos) = &self.chaos else { return };
+        for m in chaos.take_due(Instant::now()) {
+            self.deliver_seq(m.dst, m.src, m.tag, m.seq, m.bytes);
+        }
+    }
+
+    /// Blocks until a message on `(src, tag)` is available and pops it,
+    /// observing poison, peer death, and an optional deadline.
+    fn pop_blocking_checked(
+        &self,
+        rank: usize,
+        src: usize,
+        tag: Tag,
+        timeout: Option<Duration>,
+        expect_bytes: Option<usize>,
+    ) -> Result<Payload, CommError> {
+        let start = Instant::now();
+        let deadline = timeout.map(|t| start + t);
+        let sliced = self.needs_slices() || deadline.is_some();
+        self.enter_pending(rank, PendingKind::Recv, Some(src), Some(tag), expect_bytes);
+        let result = loop {
+            if self.is_poisoned() {
+                break Err(self.poison_error());
+            }
+            self.pump();
+            let mb = &self.mailboxes[rank];
+            let mut q = mb.queues.lock().unwrap();
+            if let Some(p) = q.get_mut(&(src, tag)).and_then(|ch| ch.ready.pop_front()) {
+                break Ok(p);
+            }
+            if let Some(chaos) = &self.chaos {
+                // nothing queued, nothing parked, and the producer is dead:
+                // the message can never arrive (already-delivered messages
+                // were drained by the pop above, like in-flight MPI packets)
+                if chaos.is_dead(src) && !chaos.has_parked() {
+                    break Err(CommError::PeerDead { peer: src });
+                }
+            }
+            if let Some(dl) = deadline {
+                if Instant::now() >= dl {
+                    break Err(CommError::Timeout {
+                        rank,
+                        src,
+                        tag,
+                        waited: start.elapsed(),
+                    });
+                }
+            }
+            if sliced {
+                drop(mb.cv.wait_timeout(q, WAIT_SLICE).unwrap());
+            } else {
+                drop(mb.cv.wait(q).unwrap());
+            }
+        };
+        self.clear_pending(rank);
+        if result.is_ok() {
+            self.bump_progress();
+        }
+        result
+    }
+
+    /// Waits for a borrowed send's token, observing poison and an optional
+    /// deadline. On poison/timeout the in-flight payload is cancelled
+    /// (removed from the destination queue) when still possible.
+    fn wait_send_checked(
+        &self,
+        rank: usize,
+        dst: usize,
+        tag: Tag,
+        token: &Arc<SendToken>,
+        timeout: Option<Duration>,
+    ) -> Result<(), CommError> {
+        let start = Instant::now();
+        let deadline = timeout.map(|t| start + t);
+        let sliced = self.needs_slices() || deadline.is_some();
+        self.enter_pending(rank, PendingKind::SendWait, Some(dst), Some(tag), None);
+        let result = loop {
+            if token.is_consumed() {
+                break Ok(());
+            }
+            let timed_out = matches!(deadline, Some(dl) if Instant::now() >= dl);
+            if self.is_poisoned() || timed_out {
+                if self.cancel_borrowed(dst, rank, tag, token) {
+                    break if self.is_poisoned() {
+                        Err(self.poison_error())
+                    } else {
+                        Err(CommError::Timeout {
+                            rank,
+                            src: dst,
+                            tag,
+                            waited: start.elapsed(),
+                        })
+                    };
+                }
+                // already popped by the receiver: consumption is imminent
+                token.wait_consumed();
+                break Ok(());
+            }
+            if sliced {
+                let _ = token.wait_consumed_for(WAIT_SLICE);
+            } else {
+                token.wait_consumed();
+            }
+        };
+        self.clear_pending(rank);
+        result
+    }
+
+    /// Removes a still-queued borrowed payload (identified by its token)
+    /// from `dst`'s mailbox and settles the token. False when the payload
+    /// was already popped — the receiver owns it and will consume it.
+    fn cancel_borrowed(&self, dst: usize, src: usize, tag: Tag, token: &Arc<SendToken>) -> bool {
+        let mut q = self.mailboxes[dst].queues.lock().unwrap();
+        let Some(ch) = q.get_mut(&(src, tag)) else {
+            return false;
+        };
+        let pos = ch
+            .ready
+            .iter()
+            .position(|p| matches!(p, Payload::Borrowed { token: t, .. } if Arc::ptr_eq(t, token)));
+        match pos {
+            Some(i) => {
+                drop(ch.ready.remove(i));
+                token.mark_consumed(); // settle: releases every other waiter
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Parks an injected-stall rank until the watchdog poisons the world.
+    fn park_stalled(&self, rank: usize) -> CommError {
+        self.enter_pending(rank, PendingKind::Stalled, None, None, None);
+        while !self.is_poisoned() {
+            std::thread::sleep(WAIT_SLICE);
+        }
+        self.clear_pending(rank);
+        self.poison_error()
+    }
+}
+
+/// The watchdog: samples the progress counter and the per-rank pending
+/// slots; when progress freezes for `timeout` with at least one rank
+/// blocked, it poisons the world with a [`StallReport`] and exits.
+fn watchdog_loop(weak: Weak<WorldShared>, timeout: Duration) {
+    let poll = (timeout / 8).max(Duration::from_millis(1));
+    let mut last_progress = u64::MAX;
+    let mut last_change = Instant::now();
+    loop {
+        std::thread::sleep(poll);
+        let Some(shared) = weak.upgrade() else { return };
+        if shared.is_poisoned() {
+            return;
+        }
+        let progress = shared.progress.load(Ordering::Relaxed);
+        if progress != last_progress || shared.blocked_count() == 0 {
+            last_progress = progress;
+            last_change = Instant::now();
+            continue;
+        }
+        if last_change.elapsed() >= timeout {
+            let report = Arc::new(shared.build_report(timeout));
+            shared.poison(report);
+            return;
         }
     }
 }
@@ -206,7 +629,7 @@ impl CommWorld {
     /// Creates a world of `size` ranks and returns one [`Comm`] handle per
     /// rank (index = rank). Hand each to its rank's thread.
     pub fn create(size: usize) -> Vec<Comm> {
-        Self::build(size, None)
+        Self::builder(size).build()
     }
 
     /// Creates a world whose traffic statistics distinguish intra- from
@@ -214,22 +637,87 @@ impl CommWorld {
     /// world size is `node_of.len()`. Message *delivery* is unaffected —
     /// only the [`WorldStats`] classification changes.
     pub fn create_with_nodes(node_of: Vec<usize>) -> Vec<Comm> {
-        Self::build(node_of.len(), Some(node_of))
+        Self::builder(node_of.len()).node_map(node_of).build()
     }
 
-    fn build(size: usize, node_of: Option<Vec<usize>>) -> Vec<Comm> {
-        assert!(size >= 1, "world needs at least one rank");
+    /// Configurable world construction: node map, fault plan, watchdog.
+    pub fn builder(size: usize) -> WorldBuilder {
+        WorldBuilder {
+            size,
+            node_of: None,
+            faults: None,
+            watchdog: None,
+        }
+    }
+}
+
+/// Builder returned by [`CommWorld::builder`].
+pub struct WorldBuilder {
+    size: usize,
+    node_of: Option<Vec<usize>>,
+    faults: Option<FaultPlan>,
+    watchdog: Option<Duration>,
+}
+
+impl WorldBuilder {
+    /// Attaches a rank → node map (see [`CommWorld::create_with_nodes`]).
+    pub fn node_map(mut self, node_of: Vec<usize>) -> Self {
+        assert_eq!(node_of.len(), self.size, "node map must cover the world");
+        self.node_of = Some(node_of);
+        self
+    }
+
+    /// Attaches a seeded fault plan. Without one the injector code is
+    /// never consulted (zero-cost-when-disabled).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Arms the stall watchdog: if the world makes no progress for
+    /// `timeout` while at least one rank is blocked in the communication
+    /// layer, the world is poisoned with a per-rank pending dump. Pick a
+    /// timeout longer than the longest compute-only phase between
+    /// communication calls, or a slow-but-healthy run may be flagged.
+    pub fn watchdog(mut self, timeout: Duration) -> Self {
+        self.watchdog = Some(timeout);
+        self
+    }
+
+    /// Builds the world and returns one [`Comm`] handle per rank.
+    pub fn build(self) -> Vec<Comm> {
+        assert!(self.size >= 1, "world needs at least one rank");
+        if let Some(plan) = &self.faults {
+            assert!(
+                plan.stall.is_none() || self.watchdog.is_some(),
+                "a stall plan requires a watchdog (the world would hang forever)"
+            );
+        }
+        let size = self.size;
         let shared = Arc::new(WorldShared {
             size,
             mailboxes: (0..size).map(|_| RankMailbox::new()).collect(),
             stats: WorldStats::default(),
-            node_of,
+            node_of: self.node_of,
             barrier_lock: Mutex::new(BarrierState {
                 count: 0,
                 generation: 0,
             }),
             barrier_cv: Condvar::new(),
+            chaos: self.faults.map(|plan| ChaosState::new(plan, size)),
+            watchdog: self.watchdog,
+            progress: AtomicU64::new(0),
+            pending: (0..size).map(|_| Mutex::new(None)).collect(),
+            poisoned: AtomicBool::new(false),
+            poison_report: Mutex::new(None),
         });
+        if let Some(timeout) = self.watchdog {
+            let weak = Arc::downgrade(&shared);
+            std::thread::Builder::new()
+                .name("spmv-comm-watchdog".into())
+                .spawn(move || watchdog_loop(weak, timeout))
+                .expect("failed to spawn watchdog thread");
+        }
         (0..size)
             .map(|rank| Comm {
                 rank,
@@ -246,7 +734,10 @@ impl CommWorld {
 ///
 /// Dropping a not-yet-completed borrowed-send request *blocks* until the
 /// receiver has consumed the message (the buffer must not be freed under
-/// it); dropping an unwaited receive request cancels it.
+/// it) — unless the world is poisoned or gone, in which case the payload is
+/// withdrawn from the destination queue instead; dropping an unwaited
+/// receive request cancels it.
+#[must_use = "requests must be completed with wait/waitall (or explicitly dropped)"]
 pub struct Request<'buf> {
     kind: ReqKind,
     _buf: PhantomData<&'buf mut [u8]>,
@@ -259,7 +750,15 @@ enum ReqKind {
     /// Buffered sends complete at post time (eager protocol).
     SendDone,
     /// Borrowed (rendezvous) send: complete once the receiver copied out.
-    SendBorrowed { token: Arc<SendToken> },
+    /// Carries enough routing state to withdraw the payload from the
+    /// destination queue if the world is poisoned before consumption.
+    SendBorrowed {
+        token: Arc<SendToken>,
+        world: Weak<WorldShared>,
+        src: usize,
+        dst: usize,
+        tag: Tag,
+    },
     Recv {
         src: usize,
         tag: Tag,
@@ -276,9 +775,41 @@ unsafe impl Send for Request<'_> {}
 impl Drop for Request<'_> {
     fn drop(&mut self) {
         // A borrowed send pins the sender's buffer; never let it be freed
-        // (or mutated) before the receiver has copied the bytes out.
-        if let ReqKind::SendBorrowed { token } = &self.kind {
-            token.wait_consumed();
+        // (or mutated) before the receiver has copied the bytes out — or
+        // before the payload has provably left the mailbox.
+        if let ReqKind::SendBorrowed {
+            token,
+            world,
+            src,
+            dst,
+            tag,
+        } = &self.kind
+        {
+            if token.is_consumed() {
+                return;
+            }
+            let Some(shared) = world.upgrade() else {
+                // the world (and with it the queued payload) is gone:
+                // nothing can read the buffer anymore
+                return;
+            };
+            if shared.watchdog.is_none() {
+                token.wait_consumed();
+                return;
+            }
+            loop {
+                if token.wait_consumed_for(WAIT_SLICE) {
+                    return;
+                }
+                if shared.is_poisoned() {
+                    if shared.cancel_borrowed(*dst, *src, *tag, token) {
+                        return;
+                    }
+                    // popped already: consumption is imminent
+                    token.wait_consumed();
+                    return;
+                }
+            }
         }
     }
 }
@@ -323,35 +854,88 @@ impl Comm {
         );
     }
 
+    /// Per-operation health gate: fails fast on a poisoned world and runs
+    /// the caller through the fault plan's stall/kill schedule. The
+    /// scheduling counts *operations* (sends, completed receives,
+    /// barriers), so a plan's `after_ops` is deterministic.
+    fn op_gate(&self) -> Result<(), CommError> {
+        if self.shared.is_poisoned() {
+            return Err(self.shared.poison_error());
+        }
+        let Some(chaos) = &self.shared.chaos else {
+            return Ok(());
+        };
+        match chaos.op_fate(self.rank) {
+            OpFate::Normal => Ok(()),
+            OpFate::Dead => Err(CommError::PeerDead { peer: self.rank }),
+            OpFate::Stall => Err(self.shared.park_stalled(self.rank)),
+        }
+    }
+
+    /// Fails when the fault plan has killed `peer`.
+    fn peer_alive(&self, peer: usize) -> Result<(), CommError> {
+        match &self.shared.chaos {
+            Some(chaos) if chaos.is_dead(peer) => Err(CommError::PeerDead { peer }),
+            _ => Ok(()),
+        }
+    }
+
+    fn panic_on<T>(result: Result<T, CommError>) -> T {
+        result.unwrap_or_else(|e| panic!("{e}"))
+    }
+
     // -- point-to-point -----------------------------------------------------
 
     pub(crate) fn isend_internal<T: Pod>(&self, dst: usize, tag: Tag, data: &[T]) {
         self.assert_peer(dst);
-        let payload = as_bytes(data).to_vec();
+        Self::panic_on(self.op_gate().and_then(|()| self.peer_alive(dst)));
         self.shared
-            .stats
-            .record_message(payload.len(), self.shared.is_inter_node(self.rank, dst));
-        self.shared.mailboxes[dst].deposit(self.rank, tag, Payload::Owned(payload));
+            .send_payload(self.rank, dst, tag, Payload::Owned(as_bytes(data).to_vec()));
     }
 
     pub(crate) fn recv_vec_internal<T: Pod>(&self, src: usize, tag: Tag) -> Vec<T> {
+        Self::panic_on(self.try_recv_vec_internal(src, tag, None))
+    }
+
+    fn try_recv_vec_internal<T: Pod>(
+        &self,
+        src: usize,
+        tag: Tag,
+        timeout: Option<Duration>,
+    ) -> Result<Vec<T>, CommError> {
         self.assert_peer(src);
-        let bytes = self.shared.mailboxes[self.rank]
-            .pop_blocking(src, tag)
-            .consume_vec();
-        from_bytes_vec(&bytes)
+        self.op_gate()?;
+        let payload = self
+            .shared
+            .pop_blocking_checked(self.rank, src, tag, timeout, None)?;
+        Ok(from_bytes_vec(&payload.consume_vec()))
     }
 
     /// Nonblocking send. The payload is copied out immediately (eager,
     /// buffered — like small-message MPI), so the returned request is
     /// already complete and the slice may be reused right away.
     pub fn isend<T: Pod>(&self, dst: usize, tag: Tag, data: &[T]) -> Request<'static> {
+        Self::panic_on(self.try_isend(dst, tag, data))
+    }
+
+    /// Checked [`Comm::isend`]: fails instead of panicking when the world
+    /// is poisoned or the destination (or this rank) has been killed.
+    pub fn try_isend<T: Pod>(
+        &self,
+        dst: usize,
+        tag: Tag,
+        data: &[T],
+    ) -> Result<Request<'static>, CommError> {
         Self::assert_user_tag(tag);
-        self.isend_internal(dst, tag, data);
-        Request {
+        self.assert_peer(dst);
+        self.op_gate()?;
+        self.peer_alive(dst)?;
+        self.shared
+            .send_payload(self.rank, dst, tag, Payload::Owned(as_bytes(data).to_vec()));
+        Ok(Request {
             kind: ReqKind::SendDone,
             _buf: PhantomData,
-        }
+        })
     }
 
     /// Nonblocking send *without* the eager payload copy (rendezvous,
@@ -368,16 +952,30 @@ impl Comm {
     /// immediately — so `isend_ref` is as deadlock-free as `isend` provided
     /// the sender does not wait on the request before posting everything the
     /// receiver needs to make progress.
+    ///
+    /// Under an active fault plan the payload is copied eagerly after all
+    /// (held/duplicated messages must not pin the caller's buffer), so the
+    /// request completes at post time.
     pub fn isend_ref<'buf, T: Pod>(&self, dst: usize, tag: Tag, data: &'buf [T]) -> Request<'buf> {
+        Self::panic_on(self.try_isend_ref(dst, tag, data))
+    }
+
+    /// Checked [`Comm::isend_ref`].
+    pub fn try_isend_ref<'buf, T: Pod>(
+        &self,
+        dst: usize,
+        tag: Tag,
+        data: &'buf [T],
+    ) -> Result<Request<'buf>, CommError> {
         Self::assert_user_tag(tag);
         self.assert_peer(dst);
+        self.op_gate()?;
+        self.peer_alive(dst)?;
         let bytes = as_bytes(data);
-        self.shared
-            .stats
-            .record_message(bytes.len(), self.shared.is_inter_node(self.rank, dst));
         let token = Arc::new(SendToken::new());
-        self.shared.mailboxes[dst].deposit(
+        self.shared.send_payload(
             self.rank,
+            dst,
             tag,
             Payload::Borrowed {
                 ptr: bytes.as_ptr(),
@@ -385,16 +983,27 @@ impl Comm {
                 token: Arc::clone(&token),
             },
         );
-        Request {
-            kind: ReqKind::SendBorrowed { token },
+        Ok(Request {
+            kind: ReqKind::SendBorrowed {
+                token,
+                world: Arc::downgrade(&self.shared),
+                src: self.rank,
+                dst,
+                tag,
+            },
             _buf: PhantomData,
-        }
+        })
     }
 
     /// Blocking send (same delivery semantics as [`Comm::isend`]).
     pub fn send<T: Pod>(&self, dst: usize, tag: Tag, data: &[T]) {
         let req = self.isend(dst, tag, data);
         self.wait(req);
+    }
+
+    /// Checked [`Comm::send`].
+    pub fn try_send<T: Pod>(&self, dst: usize, tag: Tag, data: &[T]) -> Result<(), CommError> {
+        self.try_isend(dst, tag, data).map(|_req| ())
     }
 
     /// Nonblocking receive into `buf`. The message is matched and copied
@@ -422,38 +1031,107 @@ impl Comm {
         self.wait(req);
     }
 
+    /// Checked [`Comm::recv`]: blocking, but fails (instead of panicking or
+    /// hanging forever) on truncation, poison, or a dead peer.
+    pub fn try_recv<T: Pod>(&self, src: usize, tag: Tag, buf: &mut [T]) -> Result<(), CommError> {
+        let req = self.irecv(src, tag, buf);
+        self.try_wait(req)
+    }
+
+    /// Bounded blocking receive: [`CommError::Timeout`] if no matching
+    /// message arrives within `timeout` (the receive is then cancelled).
+    pub fn recv_timeout<T: Pod>(
+        &self,
+        src: usize,
+        tag: Tag,
+        buf: &mut [T],
+        timeout: Duration,
+    ) -> Result<(), CommError> {
+        let req = self.irecv(src, tag, buf);
+        self.wait_timeout(req, timeout)
+    }
+
     /// Blocking receive of a message of unknown length.
     pub fn recv_vec<T: Pod>(&self, src: usize, tag: Tag) -> Vec<T> {
         Self::assert_user_tag(tag);
         self.recv_vec_internal(src, tag)
     }
 
-    /// Completes one request (blocking).
-    pub fn wait(&self, mut req: Request<'_>) {
+    /// Checked [`Comm::recv_vec`].
+    pub fn try_recv_vec<T: Pod>(&self, src: usize, tag: Tag) -> Result<Vec<T>, CommError> {
+        Self::assert_user_tag(tag);
+        self.try_recv_vec_internal(src, tag, None)
+    }
+
+    /// Bounded [`Comm::recv_vec`].
+    pub fn recv_vec_timeout<T: Pod>(
+        &self,
+        src: usize,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<Vec<T>, CommError> {
+        Self::assert_user_tag(tag);
+        self.try_recv_vec_internal(src, tag, Some(timeout))
+    }
+
+    fn wait_inner(
+        &self,
+        req: &mut Request<'_>,
+        timeout: Option<Duration>,
+    ) -> Result<(), CommError> {
         // Leave `SendDone` behind so the Drop impl sees a completed request.
         match std::mem::replace(&mut req.kind, ReqKind::SendDone) {
-            ReqKind::SendDone => {}
-            ReqKind::SendBorrowed { token } => token.wait_consumed(),
+            ReqKind::SendDone => Ok(()),
+            ReqKind::SendBorrowed {
+                token, dst, tag, ..
+            } => self
+                .shared
+                .wait_send_checked(self.rank, dst, tag, &token, timeout),
             ReqKind::Recv {
                 src,
                 tag,
                 dst,
                 bytes,
             } => {
-                let payload = self.shared.mailboxes[self.rank].pop_blocking(src, tag);
-                assert_eq!(
-                    payload.len(),
-                    bytes,
-                    "message from rank {src} (tag {tag}) has {} bytes, buffer holds {bytes}",
-                    payload.len()
-                );
+                self.op_gate()?;
+                let payload =
+                    self.shared
+                        .pop_blocking_checked(self.rank, src, tag, timeout, Some(bytes))?;
+                if payload.len() != bytes {
+                    let got = payload.len();
+                    drop(payload.consume_vec()); // releases a borrowed sender
+                    return Err(CommError::Truncated {
+                        src,
+                        tag,
+                        expected: bytes,
+                        got,
+                    });
+                }
                 // Safety: `dst` points to a live exclusive buffer of `bytes`
                 // bytes (borrow held by the request), lengths checked above.
                 unsafe {
                     payload.consume_into(dst);
                 }
+                Ok(())
             }
         }
+    }
+
+    /// Completes one request (blocking).
+    pub fn wait(&self, mut req: Request<'_>) {
+        Self::panic_on(self.wait_inner(&mut req, None));
+    }
+
+    /// Checked [`Comm::wait`].
+    pub fn try_wait(&self, mut req: Request<'_>) -> Result<(), CommError> {
+        self.wait_inner(&mut req, None)
+    }
+
+    /// Bounded [`Comm::wait`]: [`CommError::Timeout`] if the request does
+    /// not complete within `timeout` (the operation is then cancelled —
+    /// a pending receive is dropped, a pending borrowed send withdrawn).
+    pub fn wait_timeout(&self, mut req: Request<'_>, timeout: Duration) -> Result<(), CommError> {
+        self.wait_inner(&mut req, Some(timeout))
     }
 
     /// Completes all requests (blocking, in order — the set is completed
@@ -464,12 +1142,25 @@ impl Comm {
         }
     }
 
+    /// Checked [`Comm::waitall`]: stops at the first failure; the remaining
+    /// requests are dropped (receives cancelled, borrowed sends settled by
+    /// the poison-aware Drop).
+    pub fn try_waitall<'a>(
+        &self,
+        reqs: impl IntoIterator<Item = Request<'a>>,
+    ) -> Result<(), CommError> {
+        for r in reqs {
+            self.try_wait(r)?;
+        }
+        Ok(())
+    }
+
     /// Attempts to complete one request without blocking. Returns the
     /// request back if it is not ready.
     pub fn test<'a>(&self, mut req: Request<'a>) -> Result<(), Request<'a>> {
         match &req.kind {
             ReqKind::SendDone => Ok(()),
-            ReqKind::SendBorrowed { token } => {
+            ReqKind::SendBorrowed { token, .. } => {
                 if token.is_consumed() {
                     req.kind = ReqKind::SendDone;
                     Ok(())
@@ -484,6 +1175,7 @@ impl Comm {
                 bytes,
             } => {
                 let (src, tag, dst, bytes) = (*src, *tag, *dst, *bytes);
+                self.shared.pump();
                 match self.shared.mailboxes[self.rank].try_pop(src, tag) {
                     Some(payload) => {
                         assert_eq!(payload.len(), bytes, "message size mismatch in test");
@@ -492,6 +1184,7 @@ impl Comm {
                         unsafe {
                             payload.consume_into(dst);
                         }
+                        self.shared.bump_progress();
                         req.kind = ReqKind::SendDone;
                         Ok(())
                     }
@@ -523,6 +1216,7 @@ impl Comm {
     pub fn iprobe(&self, src: usize, tag: Tag) -> Option<usize> {
         Self::assert_user_tag(tag);
         self.assert_peer(src);
+        self.shared.pump();
         self.shared.mailboxes[self.rank].peek_len(src, tag)
     }
 
@@ -530,19 +1224,82 @@ impl Comm {
 
     /// World barrier: returns when all ranks have entered.
     pub fn barrier(&self) {
+        Self::panic_on(self.try_barrier());
+    }
+
+    /// Checked [`Comm::barrier`]: fails fast when the world is poisoned.
+    pub fn try_barrier(&self) -> Result<(), CommError> {
+        self.op_gate()?;
         let shared = &self.shared;
+        shared.enter_pending(self.rank, PendingKind::Barrier, None, None, None);
+        let sliced = shared.needs_slices();
         let mut st = shared.barrier_lock.lock().unwrap();
         let gen = st.generation;
         st.count += 1;
-        if st.count == shared.size {
+        shared.bump_progress();
+        let result = if st.count == shared.size {
             st.count = 0;
             st.generation += 1;
             shared.barrier_cv.notify_all();
+            Ok(())
         } else {
-            while st.generation == gen {
-                st = shared.barrier_cv.wait(st).unwrap();
+            loop {
+                if st.generation != gen {
+                    break Ok(());
+                }
+                if shared.is_poisoned() {
+                    st.count -= 1; // withdraw: the barrier will never open
+                    break Err(shared.poison_error());
+                }
+                st = if sliced {
+                    shared.barrier_cv.wait_timeout(st, WAIT_SLICE).unwrap().0
+                } else {
+                    shared.barrier_cv.wait(st).unwrap()
+                };
             }
+        };
+        drop(st);
+        shared.clear_pending(self.rank);
+        result
+    }
+
+    // -- resilience hooks ----------------------------------------------------
+
+    /// One failure-detector poll, for solver iteration boundaries. `true`
+    /// exactly when the fault plan injects a failure at this poll index
+    /// (see `FaultPlan::fail_rank_at_poll`); always `false` without a plan.
+    /// Purely local — agreement across ranks is the caller's job (e.g. an
+    /// `allreduce` max).
+    pub fn poll_failure(&self) -> bool {
+        match &self.shared.chaos {
+            Some(chaos) => chaos.poll_failure(self.rank),
+            None => false,
         }
+    }
+
+    /// Whether the fault plan flags `rank` as a degraded node leader
+    /// (advisory health signal consumed by the engine's degraded-mode
+    /// policy; never set without a plan).
+    pub fn is_degraded(&self, rank: usize) -> bool {
+        match &self.shared.chaos {
+            Some(chaos) => chaos.is_degraded(rank),
+            None => false,
+        }
+    }
+
+    /// Counters of injected faults, when a plan is attached.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.shared.chaos.as_ref().map(|c| c.stats())
+    }
+
+    /// Whether the watchdog has declared this world dead.
+    pub fn is_poisoned(&self) -> bool {
+        self.shared.is_poisoned()
+    }
+
+    /// The watchdog's stall report, once the world is poisoned.
+    pub fn stall_report(&self) -> Option<Arc<StallReport>> {
+        self.shared.poison_report.lock().unwrap().clone()
     }
 }
 
@@ -554,7 +1311,13 @@ mod tests {
     where
         F: Fn(Comm) + Send + Sync + Copy + 'static,
     {
-        let comms = CommWorld::create(size);
+        run_comms(CommWorld::create(size), f);
+    }
+
+    fn run_comms<F>(comms: Vec<Comm>, f: F)
+    where
+        F: Fn(Comm) + Send + Sync + Copy + 'static,
+    {
         let handles: Vec<_> = comms
             .into_iter()
             .map(|c| std::thread::spawn(move || f(c)))
@@ -717,14 +1480,14 @@ mod tests {
     #[should_panic(expected = "reserved")]
     fn reserved_tags_rejected() {
         let comms = CommWorld::create(1);
-        comms[0].isend(0, RESERVED_TAG_BASE, &[0u8]);
+        let _ = comms[0].isend(0, RESERVED_TAG_BASE, &[0u8]);
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn bad_peer_rejected() {
         let comms = CommWorld::create(2);
-        comms[0].isend(5, 0, &[0u8]);
+        let _ = comms[0].isend(5, 0, &[0u8]);
     }
 
     #[test]
@@ -736,6 +1499,24 @@ mod tests {
         let req = c.irecv(0, 1, &mut small);
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| c.wait(req)));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn size_mismatch_is_typed_on_try_wait() {
+        let comms = CommWorld::create(1);
+        let c = &comms[0];
+        c.send(0, 1, &[1.0f64, 2.0]);
+        let mut small = [0.0f64; 1];
+        let err = c.try_recv(0, 1, &mut small).unwrap_err();
+        assert_eq!(
+            err,
+            CommError::Truncated {
+                src: 0,
+                tag: 1,
+                expected: 8,
+                got: 16
+            }
+        );
     }
 
     #[test]
@@ -901,5 +1682,126 @@ mod tests {
                 assert_eq!(c.iprobe(0, 6), None, "probe after consume");
             }
         });
+    }
+
+    // -- resilience ---------------------------------------------------------
+
+    #[test]
+    fn recv_timeout_expires_without_sender() {
+        let comms = CommWorld::create(2);
+        let mut buf = [0u8; 4];
+        let err = comms[0]
+            .recv_timeout(1, 5, &mut buf, Duration::from_millis(20))
+            .unwrap_err();
+        match err {
+            CommError::Timeout { rank, src, tag, .. } => {
+                assert_eq!((rank, src, tag), (0, 1, 5));
+            }
+            other => panic!("expected Timeout, got {other}"),
+        }
+        // a late message must still be receivable after the cancel
+        comms[1].send(0, 5, &[9u8, 9, 9, 9]);
+        comms[0].recv(1, 5, &mut buf);
+        assert_eq!(buf, [9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn chaos_preserves_fifo_order_per_flow() {
+        let plan = FaultPlan::new(1234)
+            .delay(0.2, 1)
+            .reorder(0.15)
+            .duplicate(0.15)
+            .drop_with_retransmit(0.15, 2);
+        let comms = CommWorld::builder(2).faults(plan).build();
+        run_comms(comms, |c| {
+            if c.rank() == 0 {
+                for i in 0..200u64 {
+                    c.send(1, 5, &[i]);
+                }
+                c.barrier();
+            } else {
+                for i in 0..200u64 {
+                    let mut buf = [0u64];
+                    c.recv(0, 5, &mut buf);
+                    assert_eq!(buf[0], i, "reassembly must restore FIFO order");
+                }
+                c.barrier();
+                let stats = c.fault_stats().expect("plan attached");
+                assert!(stats.total() > 0, "the plan must actually inject faults");
+            }
+        });
+    }
+
+    #[test]
+    fn chaos_completes_isend_ref_eagerly() {
+        let comms = CommWorld::builder(2)
+            .faults(FaultPlan::new(7).delay(0.5, 1))
+            .build();
+        run_comms(comms, |c| {
+            if c.rank() == 0 {
+                let data = vec![3.25f64; 32];
+                let req = c.isend_ref(1, 2, &data);
+                // under chaos the payload is copied at post time
+                c.wait(req);
+                c.barrier();
+            } else {
+                let v: Vec<f64> = c.recv_vec(0, 2);
+                assert_eq!(v, vec![3.25f64; 32]);
+                c.barrier();
+            }
+        });
+    }
+
+    #[test]
+    fn watchdog_poisons_quiesced_world() {
+        let comms = CommWorld::builder(2)
+            .watchdog(Duration::from_millis(50))
+            .build();
+        run_comms(comms, |c| {
+            // both ranks wait for messages nobody sends: a guaranteed stall
+            let err = c.try_recv_vec::<u8>(1 - c.rank(), 3).unwrap_err();
+            let CommError::Poisoned { report } = err else {
+                panic!("expected Poisoned");
+            };
+            assert_eq!(report.ranks.len(), 2);
+            assert_eq!(report.blocked_ranks(), 2);
+            let text = report.to_string();
+            assert!(text.contains("rank 0: recv on rank 1 tag 3"), "{text}");
+            assert!(c.is_poisoned());
+        });
+    }
+
+    #[test]
+    fn killed_rank_fails_its_own_ops_and_its_peers() {
+        let comms = CommWorld::builder(2)
+            .faults(FaultPlan::new(5).kill_rank(1, 2))
+            .build();
+        run_comms(comms, |c| {
+            if c.rank() == 1 {
+                // two ops succeed, the third hits the kill switch
+                c.try_send(0, 4, &[1u8]).unwrap();
+                c.try_send(0, 4, &[2u8]).unwrap();
+                let err = c.try_send(0, 4, &[3u8]).unwrap_err();
+                assert_eq!(err, CommError::PeerDead { peer: 1 });
+            } else {
+                // in-flight messages remain receivable after the death
+                let mut b = [0u8];
+                c.recv(1, 4, &mut b);
+                assert_eq!(b[0], 1);
+                c.recv(1, 4, &mut b);
+                assert_eq!(b[0], 2);
+                // the third was never sent — and never will be
+                let err = c.try_recv(1, 4, &mut b).unwrap_err();
+                assert_eq!(err, CommError::PeerDead { peer: 1 });
+            }
+        });
+    }
+
+    #[test]
+    fn disabled_injector_reports_no_stats() {
+        let comms = CommWorld::create(1);
+        assert!(comms[0].fault_stats().is_none());
+        assert!(!comms[0].poll_failure());
+        assert!(!comms[0].is_degraded(0));
     }
 }

@@ -34,12 +34,13 @@ use crate::plan::{
     build_node_aware_distributed, build_plan_distributed, CommTraffic, NodeAwarePlan, RankPlan,
 };
 use crate::split::SplitMatrix;
-use spmv_comm::{Comm, Request, Tag};
+use spmv_comm::{Comm, CommError, Request, Tag};
 use spmv_machine::RankNodeMap;
 use spmv_matrix::CsrMatrix;
 use spmv_smp::workshare::balanced_chunks;
 use spmv_smp::ThreadTeam;
 use std::ops::Range;
+use std::sync::Mutex;
 
 /// Tag used for direct halo-exchange messages.
 const TAG_HALO: Tag = 17;
@@ -110,6 +111,21 @@ impl CommStrategy {
     }
 }
 
+/// What the engine does when the fault plan marks a node-aware leader
+/// rank as degraded (injected dead) before construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradedPolicy {
+    /// Keep the configured strategy; a dead leader will surface as
+    /// [`CommError::PeerDead`] on the checked paths (or a panic on the
+    /// infallible ones).
+    #[default]
+    Strict,
+    /// Fall back to the flat exchange when any leader rank is degraded.
+    /// The decision is a pure function of the fault plan, so every rank
+    /// takes the same branch and the engines stay collectively consistent.
+    FallbackToFlat,
+}
+
 /// Threading configuration of one rank.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
@@ -127,6 +143,8 @@ pub struct EngineConfig {
     /// aggregation). Defaults to the `SPMV_COMM_STRATEGY` environment
     /// variable when set (see [`CommStrategy::from_env`]), flat otherwise.
     pub comm_strategy: CommStrategy,
+    /// Reaction to a degraded (injected-dead) node-aware leader rank.
+    pub degraded: DegradedPolicy,
 }
 
 impl Default for EngineConfig {
@@ -136,6 +154,7 @@ impl Default for EngineConfig {
             comm_thread: false,
             kernel: KernelKind::CsrScalar,
             comm_strategy: CommStrategy::from_env().unwrap_or(CommStrategy::Flat),
+            degraded: DegradedPolicy::Strict,
         }
     }
 }
@@ -176,6 +195,11 @@ impl EngineConfig {
             comm_strategy,
             ..self
         }
+    }
+
+    /// Returns the config with a different degraded-leader policy.
+    pub fn with_degraded_policy(self, degraded: DegradedPolicy) -> Self {
+        Self { degraded, ..self }
     }
 }
 
@@ -286,8 +310,24 @@ impl RankEngine {
     /// with their own row block (global column indices) and the shared
     /// partition. Exchanges the communication plan, splits the matrix, and
     /// spawns the thread team.
-    pub fn new(comm: Comm, block: &CsrMatrix, partition: &RowPartition, cfg: EngineConfig) -> Self {
+    pub fn new(
+        comm: Comm,
+        block: &CsrMatrix,
+        partition: &RowPartition,
+        mut cfg: EngineConfig,
+    ) -> Self {
         assert!(cfg.compute_threads >= 1, "need at least one compute thread");
+        // Degraded-leader fallback: when the fault plan marks a would-be
+        // node leader dead and the policy allows it, build the flat
+        // exchange instead. The check reads only the (identical) plan, so
+        // every rank demotes — or none does — keeping construction
+        // collective.
+        if matches!(cfg.comm_strategy, CommStrategy::NodeAware { .. })
+            && cfg.degraded == DegradedPolicy::FallbackToFlat
+            && Self::any_leader_degraded(&comm, cfg.comm_strategy)
+        {
+            cfg.comm_strategy = CommStrategy::Flat;
+        }
         let plan = build_plan_distributed(&comm, block, partition);
         let mats = SplitMatrix::build(block, &plan);
         let nloc = plan.local_len;
@@ -356,6 +396,46 @@ impl RankEngine {
         }
     }
 
+    /// True when the fault plan degrades any leader rank the strategy's
+    /// node map would elect (the first rank of each node).
+    fn any_leader_degraded(comm: &Comm, strategy: CommStrategy) -> bool {
+        let map = strategy.rank_node_map(comm.size());
+        let mut prev_node = None;
+        (0..comm.size()).any(|r| {
+            let node = map.node_of(r);
+            let is_leader = prev_node != Some(node);
+            prev_node = Some(node);
+            is_leader && comm.is_degraded(r)
+        })
+    }
+
+    /// The halo-exchange strategy actually in effect — differs from the
+    /// requested one after a degraded-leader fallback or
+    /// [`Self::demote_to_flat`].
+    pub fn active_strategy(&self) -> CommStrategy {
+        self.cfg.comm_strategy
+    }
+
+    /// Collectively demotes a node-aware engine to the flat exchange
+    /// mid-run (all ranks must call this at the same point; the call
+    /// itself performs no communication). The flat gather order is a
+    /// permutation of the node-aware one, so the persistent send buffer
+    /// is reused as-is. No-op on an already-flat engine.
+    pub fn demote_to_flat(&mut self) {
+        if matches!(self.exchange, Exchange::Flat) {
+            return;
+        }
+        let mut gather_indices = Vec::with_capacity(self.plan.send_len());
+        for n in &self.plan.send {
+            gather_indices.extend_from_slice(&n.indices);
+        }
+        debug_assert_eq!(gather_indices.len(), self.send_buf.len());
+        self.gather_prog = GatherProgram::compile(&gather_indices);
+        self.gather_chunks = self.gather_prog.thread_run_ranges(self.cfg.compute_threads);
+        self.exchange = Exchange::Flat;
+        self.cfg.comm_strategy = CommStrategy::Flat;
+    }
+
     /// Number of locally owned rows.
     pub fn local_len(&self) -> usize {
         self.plan.local_len
@@ -414,7 +494,22 @@ impl RankEngine {
 
     /// Executes one distributed SpMV `y = A x` in the given mode. All ranks
     /// must call this collectively with the same mode.
+    ///
+    /// # Panics
+    /// Panics on a communication fault — use [`Self::spmv_checked`] to get
+    /// the typed [`CommError`] instead.
     pub fn spmv(&mut self, mode: KernelMode) {
+        if let Err(e) = self.spmv_checked(mode) {
+            panic!("spmv: {e}");
+        }
+    }
+
+    /// Fallible twin of [`Self::spmv`]: the same collective SpMV, but a
+    /// communication fault (peer killed, world poisoned by the watchdog,
+    /// truncated message) surfaces as `Err(CommError)` instead of a panic.
+    /// On error the result vector is unspecified; the engine itself stays
+    /// structurally valid and can retry once the fault clears.
+    pub fn spmv_checked(&mut self, mode: KernelMode) -> Result<(), CommError> {
         if mode.needs_comm_thread() {
             assert!(
                 self.cfg.comm_thread,
@@ -432,11 +527,24 @@ impl RankEngine {
     /// Convenience wrapper copying `x` in and `y` out (costs two extra
     /// vector copies; iterative solvers should use the in-place API).
     pub fn apply(&mut self, x: &[f64], y: &mut [f64], mode: KernelMode) {
+        if let Err(e) = self.apply_checked(x, y, mode) {
+            panic!("apply: {e}");
+        }
+    }
+
+    /// Fallible twin of [`Self::apply`].
+    pub fn apply_checked(
+        &mut self,
+        x: &[f64],
+        y: &mut [f64],
+        mode: KernelMode,
+    ) -> Result<(), CommError> {
         assert_eq!(x.len(), self.plan.local_len);
         assert_eq!(y.len(), self.plan.local_len);
         self.x_local_mut().copy_from_slice(x);
-        self.spmv(mode);
+        self.spmv_checked(mode)?;
         y.copy_from_slice(&self.y);
+        Ok(())
     }
 
     // -- gather + exchange ---------------------------------------------------
@@ -465,19 +573,21 @@ impl RankEngine {
 
     /// Issues all halo sends, borrowing the persistent send buffer
     /// (rendezvous, no payload copy). The returned requests must be waited
-    /// *after* the matching receives have been waited somewhere.
+    /// *after* the matching receives have been waited somewhere. On error
+    /// the already-posted requests are dropped (their cleanup is
+    /// poison-aware).
     fn post_sends<'a>(
         comm: &Comm,
         plan: &RankPlan,
         send_offsets: &[usize],
         send_buf: &'a [f64],
-    ) -> Vec<Request<'a>> {
+    ) -> Result<Vec<Request<'a>>, CommError> {
         let mut reqs = Vec::with_capacity(plan.send.len());
         for (k, n) in plan.send.iter().enumerate() {
             let seg = &send_buf[send_offsets[k]..send_offsets[k + 1]];
-            reqs.push(comm.isend_ref(n.peer, TAG_HALO, seg));
+            reqs.push(comm.try_isend_ref(n.peer, TAG_HALO, seg)?);
         }
-        reqs
+        Ok(reqs)
     }
 
     /// Runs the compiled gather program into the send buffer (parallel when
@@ -507,15 +617,23 @@ impl RankEngine {
 
     /// Phase 1 of the node-aware exchange: direct intra-node sends plus the
     /// non-leader's single shipment to its leader.
-    fn na_begin<'a>(comm: &Comm, na: &NodeAwarePlan, send_buf: &'a [f64]) -> Vec<Request<'a>> {
+    fn na_begin<'a>(
+        comm: &Comm,
+        na: &NodeAwarePlan,
+        send_buf: &'a [f64],
+    ) -> Result<Vec<Request<'a>>, CommError> {
         let mut reqs = Vec::with_capacity(na.intra_send.len() + 1);
         for (peer, r) in &na.intra_send {
-            reqs.push(comm.isend_ref(*peer, TAG_HALO, &send_buf[r.clone()]));
+            reqs.push(comm.try_isend_ref(*peer, TAG_HALO, &send_buf[r.clone()])?);
         }
         if !na.is_leader() && !na.ship_range.is_empty() {
-            reqs.push(comm.isend_ref(na.leader_rank, TAG_SHIP, &send_buf[na.ship_range.clone()]));
+            reqs.push(comm.try_isend_ref(
+                na.leader_rank,
+                TAG_SHIP,
+                &send_buf[na.ship_range.clone()],
+            )?);
         }
-        reqs
+        Ok(reqs)
     }
 
     /// Phases 2–3 of the node-aware exchange. Leaders collect member
@@ -536,13 +654,13 @@ impl RankEngine {
         send_buf: &'a [f64],
         halo: &mut [f64],
         mut reqs: Vec<Request<'a>>,
-    ) {
+    ) -> Result<(), CommError> {
         if let Some(lp) = &na.leader {
             let my_slot = na.flat.rank - lp.members[0];
             // collect member shipments (their sends are already posted)
             for (slot, &member) in lp.members.iter().enumerate() {
                 if slot != my_slot && lp.ship_lens[slot] > 0 {
-                    comm.recv(member, TAG_SHIP, &mut ship_bufs[slot]);
+                    comm.try_recv(member, TAG_SHIP, &mut ship_bufs[slot])?;
                 }
             }
             // assemble one wire message per destination node; the leader's
@@ -563,11 +681,11 @@ impl RankEngine {
             }
             let wob: &'a [Vec<f64>] = wire_out_bufs;
             for (w, buf) in lp.wire_out.iter().zip(wob) {
-                reqs.push(comm.isend_ref(w.dest_leader, TAG_WIRE, buf));
+                reqs.push(comm.try_isend_ref(w.dest_leader, TAG_WIRE, buf)?);
             }
             // receive the aggregated wires from peer leaders
             for (w, buf) in lp.wire_in.iter().zip(wire_in_bufs.iter_mut()) {
-                comm.recv(w.src_leader, TAG_WIRE, buf);
+                comm.try_recv(w.src_leader, TAG_WIRE, buf)?;
             }
             // cut each wire into contiguous per-member slices and forward;
             // the leader's own slice lands directly in its halo
@@ -590,7 +708,7 @@ impl RankEngine {
                         halo[r].copy_from_slice(seg);
                     } else {
                         let tag = TAG_FWD_BASE + w.node as Tag;
-                        reqs.push(comm.isend_ref(lp.members[slot], tag, seg));
+                        reqs.push(comm.try_isend_ref(lp.members[slot], tag, seg)?);
                     }
                     off += len;
                 }
@@ -599,19 +717,19 @@ impl RankEngine {
         }
         // every rank: direct intra-node segments
         for (peer, r) in &na.intra_recv {
-            comm.recv(*peer, TAG_HALO, &mut halo[r.clone()]);
+            comm.try_recv(*peer, TAG_HALO, &mut halo[r.clone()])?;
         }
         // non-leaders: one forwarded slice per remote source node
         if !na.is_leader() {
             for (node, r) in &na.recv_node_segments {
-                comm.recv(
+                comm.try_recv(
                     na.leader_rank,
                     TAG_FWD_BASE + *node as Tag,
                     &mut halo[r.clone()],
-                );
+                )?;
             }
         }
-        comm.waitall(reqs);
+        comm.try_waitall(reqs)
     }
 
     /// One kernel phase over disjoint per-thread row chunks (or the whole
@@ -678,7 +796,18 @@ impl RankEngine {
     /// Runs the gather + halo exchange alone (no SpMV). Collective — used
     /// by the communication benchmarks to time the exchange in isolation,
     /// and by [`Self::vector_no_overlap`] as its communication step.
+    ///
+    /// # Panics
+    /// Panics on a communication fault — use
+    /// [`Self::halo_exchange_checked`] for the typed error.
     pub fn halo_exchange(&mut self) {
+        if let Err(e) = self.halo_exchange_checked() {
+            panic!("halo exchange: {e}");
+        }
+    }
+
+    /// Fallible twin of [`Self::halo_exchange`].
+    pub fn halo_exchange_checked(&mut self) -> Result<(), CommError> {
         let nloc = self.plan.local_len;
         let (x_loc, halo) = self.x_ext.split_at_mut(nloc);
         let x_loc = &*x_loc;
@@ -694,13 +823,13 @@ impl RankEngine {
             Exchange::Flat => {
                 let rreqs = Self::post_receives(&self.comm, &self.plan, &self.halo_offsets, halo);
                 let sreqs =
-                    Self::post_sends(&self.comm, &self.plan, &self.send_offsets, &self.send_buf);
+                    Self::post_sends(&self.comm, &self.plan, &self.send_offsets, &self.send_buf)?;
                 // all halo data lands here (progress inside the call)
-                self.comm.waitall(rreqs);
-                self.comm.waitall(sreqs);
+                self.comm.try_waitall(rreqs)?;
+                self.comm.try_waitall(sreqs)
             }
             Exchange::NodeAware(st) => {
-                let reqs = Self::na_begin(&self.comm, &st.plan, &self.send_buf);
+                let reqs = Self::na_begin(&self.comm, &st.plan, &self.send_buf)?;
                 Self::na_finish(
                     &self.comm,
                     &st.plan,
@@ -710,7 +839,7 @@ impl RankEngine {
                     &self.send_buf,
                     halo,
                     reqs,
-                );
+                )
             }
         }
     }
@@ -718,8 +847,8 @@ impl RankEngine {
     // -- kernels ---------------------------------------------------------------
 
     /// Fig. 4a: Irecv → gather → Isend → Waitall → full SpMV.
-    fn vector_no_overlap(&mut self) {
-        self.halo_exchange();
+    fn vector_no_overlap(&mut self) -> Result<(), CommError> {
+        self.halo_exchange_checked()?;
         // full SpMV over the extended vector
         Self::run_kernel_phase(
             &self.team,
@@ -731,13 +860,14 @@ impl RankEngine {
             &mut self.y,
             false,
         );
+        Ok(())
     }
 
     /// Fig. 4b: Irecv → gather → Isend → local SpMV → Waitall → non-local
     /// SpMV. The nonblocking calls *could* overlap the local compute, but
     /// the substrate (like standard MPI) only progresses messages inside
     /// communication calls, so the transfer really happens in `Waitall`.
-    fn vector_naive_overlap(&mut self) {
+    fn vector_naive_overlap(&mut self) -> Result<(), CommError> {
         let nloc = self.plan.local_len;
         let c = self.cfg.compute_threads;
         let (x_loc, halo) = self.x_ext.split_at_mut(nloc);
@@ -754,7 +884,7 @@ impl RankEngine {
             Exchange::Flat => {
                 let rreqs = Self::post_receives(&self.comm, &self.plan, &self.halo_offsets, halo);
                 let sreqs =
-                    Self::post_sends(&self.comm, &self.plan, &self.send_offsets, &self.send_buf);
+                    Self::post_sends(&self.comm, &self.plan, &self.send_offsets, &self.send_buf)?;
                 // local SpMV (communication does NOT progress meanwhile)
                 Self::run_kernel_phase(
                     &self.team,
@@ -767,11 +897,11 @@ impl RankEngine {
                     false,
                 );
                 // the transfers actually complete here
-                self.comm.waitall(rreqs);
-                self.comm.waitall(sreqs);
+                self.comm.try_waitall(rreqs)?;
+                self.comm.try_waitall(sreqs)?;
             }
             Exchange::NodeAware(st) => {
-                let reqs = Self::na_begin(&self.comm, &st.plan, &self.send_buf);
+                let reqs = Self::na_begin(&self.comm, &st.plan, &self.send_buf)?;
                 Self::run_kernel_phase(
                     &self.team,
                     c,
@@ -791,7 +921,7 @@ impl RankEngine {
                     &self.send_buf,
                     halo,
                     reqs,
-                );
+                )?;
             }
         }
 
@@ -807,6 +937,7 @@ impl RankEngine {
             &mut self.y,
             true,
         );
+        Ok(())
     }
 
     /// Fig. 4c: one team region; thread 0 executes MPI calls only, the rest
@@ -817,7 +948,11 @@ impl RankEngine {
     ///   run the local SpMV: *explicit overlap*.
     /// * **B2** — communication complete and local SpMV done; afterwards
     ///   compute threads run the non-local SpMV.
-    fn task_mode(&mut self) {
+    ///
+    /// On a communication fault the comm thread records the first error in
+    /// a shared slot and still reaches both barriers, so the compute
+    /// threads never deadlock; the error is returned after the region.
+    fn task_mode(&mut self) -> Result<(), CommError> {
         let team = self
             .team
             .as_ref()
@@ -845,6 +980,10 @@ impl RankEngine {
         let kern_local = &self.kern_local;
         let kern_nonlocal = &self.kern_nonlocal;
         let ex_ptr = ExchangePtr(&mut self.exchange);
+        // First communication fault seen by the comm thread; read back
+        // after the region. The comm thread reaches B1/B2 regardless.
+        let comm_err: Mutex<Option<CommError>> = Mutex::new(None);
+        let comm_err = &comm_err;
 
         team.run(|ctx| {
             if ctx.tid == 0 {
@@ -856,32 +995,38 @@ impl RankEngine {
                 let halo: &mut [f64] =
                     unsafe { std::slice::from_raw_parts_mut(halo_ptr.raw(), halo_len) };
                 let exchange: &mut Exchange = unsafe { &mut *ex_ptr.raw() };
-                match exchange {
+                let res = match exchange {
                     Exchange::Flat => {
                         let rreqs = Self::post_receives(comm, plan, halo_offsets, halo);
                         ctx.barrier(); // B1: gather finished
                         let send_buf: &[f64] =
                             unsafe { std::slice::from_raw_parts(sp.raw(), send_buf_len) };
-                        let sreqs = Self::post_sends(comm, plan, send_offsets, send_buf);
-                        comm.waitall(rreqs); // progress here, overlapping compute
-                        comm.waitall(sreqs);
+                        Self::post_sends(comm, plan, send_offsets, send_buf).and_then(|sreqs| {
+                            // progress here, overlapping compute
+                            comm.try_waitall(rreqs)?;
+                            comm.try_waitall(sreqs)
+                        })
                     }
                     Exchange::NodeAware(st) => {
                         ctx.barrier(); // B1: gather finished
                         let send_buf: &[f64] =
                             unsafe { std::slice::from_raw_parts(sp.raw(), send_buf_len) };
-                        let reqs = Self::na_begin(comm, &st.plan, send_buf);
-                        Self::na_finish(
-                            comm,
-                            &st.plan,
-                            &mut st.ship_bufs,
-                            &mut st.wire_out_bufs,
-                            &mut st.wire_in_bufs,
-                            send_buf,
-                            halo,
-                            reqs,
-                        );
+                        Self::na_begin(comm, &st.plan, send_buf).and_then(|reqs| {
+                            Self::na_finish(
+                                comm,
+                                &st.plan,
+                                &mut st.ship_bufs,
+                                &mut st.wire_out_bufs,
+                                &mut st.wire_in_bufs,
+                                send_buf,
+                                halo,
+                                reqs,
+                            )
+                        })
                     }
+                };
+                if let Err(e) = res {
+                    *comm_err.lock().unwrap() = Some(e);
                 }
                 ctx.barrier(); // B2: comm done & local SpMV done
                                // non-local phase: nothing to do for the comm thread
@@ -915,6 +1060,11 @@ impl RankEngine {
                 };
             }
         });
+        let first_err = comm_err.lock().unwrap().take();
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 }
 
@@ -1305,5 +1455,75 @@ mod tests {
         assert_eq!(eng.plan().halo_len(), 0);
         assert_eq!(eng.matrices().nonlocal_nnz(), 0);
         assert_eq!(eng.comm().size(), 1);
+    }
+
+    #[test]
+    fn demote_to_flat_midrun_matches_reference() {
+        let n = 400;
+        let m = synthetic::random_banded_symmetric(n, 60, 6.0, 21);
+        let x = vecops::random_vec(n, 9);
+        let mut y_ref = vec![0.0; n];
+        m.spmv(&x, &mut y_ref);
+        let cfg = EngineConfig::task_mode(2)
+            .with_comm_strategy(CommStrategy::NodeAware { ranks_per_node: 4 });
+        let ys = crate::runner::run_spmd(&m, 8, cfg, |eng| {
+            let range = eng.row_start()..eng.row_start() + eng.local_len();
+            eng.x_local_mut().copy_from_slice(&x[range]);
+            eng.spmv(KernelMode::VectorNoOverlap);
+            let y_na = eng.y_local().to_vec();
+            assert_eq!(eng.active_strategy().label(), "node-aware");
+            eng.demote_to_flat();
+            assert_eq!(eng.active_strategy(), CommStrategy::Flat);
+            // same mode → same summation order → bit-identical result
+            eng.spmv(KernelMode::VectorNoOverlap);
+            assert_eq!(y_na, eng.y_local(), "demotion changed the result");
+            eng.spmv(KernelMode::TaskMode); // flat task mode still healthy
+            (eng.row_start(), eng.y_local().to_vec())
+        });
+        for (start, part) in ys {
+            let err = vecops::max_abs_diff(&part, &y_ref[start..start + part.len()]);
+            assert!(err < 1e-11, "flat-demoted result off by {err}");
+        }
+    }
+
+    #[test]
+    fn degraded_leader_triggers_flat_fallback() {
+        use spmv_comm::{CommWorld, FaultPlan};
+        let m = synthetic::random_banded_symmetric(300, 40, 5.0, 3);
+        let p = RowPartition::by_nnz(&m, 8);
+        let na = CommStrategy::NodeAware { ranks_per_node: 4 };
+        // rank 4 leads the second node; plan-degrading it must flip
+        // FallbackToFlat engines to the flat exchange on every rank
+        let comms = CommWorld::builder(8)
+            .node_map((0..8).map(|r| r / 4).collect())
+            .faults(FaultPlan::new(7).degrade_leader(4))
+            .build();
+        let strategies = crate::runner::run_spmd_on_world(
+            comms,
+            &m,
+            &p,
+            EngineConfig::hybrid(2)
+                .with_comm_strategy(na)
+                .with_degraded_policy(DegradedPolicy::FallbackToFlat),
+            |eng| {
+                eng.x_local_mut().fill(1.0);
+                eng.spmv(KernelMode::VectorNaiveOverlap);
+                eng.active_strategy()
+            },
+        );
+        assert!(strategies.iter().all(|s| *s == CommStrategy::Flat));
+        // Strict engines keep the requested routing
+        let comms = CommWorld::builder(8)
+            .node_map((0..8).map(|r| r / 4).collect())
+            .faults(FaultPlan::new(7).degrade_leader(4))
+            .build();
+        let strategies = crate::runner::run_spmd_on_world(
+            comms,
+            &m,
+            &p,
+            EngineConfig::hybrid(2).with_comm_strategy(na),
+            |eng| eng.active_strategy(),
+        );
+        assert!(strategies.iter().all(|s| *s == na));
     }
 }

@@ -40,13 +40,13 @@ pub mod split;
 pub mod symmetric;
 pub mod workload;
 
-pub use engine::{CommStrategy, EngineConfig, RankEngine};
+pub use engine::{CommStrategy, DegradedPolicy, EngineConfig, RankEngine};
 pub use gather::{GatherProgram, GatherRun};
 pub use kernels::{prepare_kernel, KernelKind, SpmvKernel};
 pub use modes::KernelMode;
 pub use partition::RowPartition;
 pub use plan::{CommTraffic, NodeAwarePlan, RankPlan};
-pub use runner::distributed_spmv;
+pub use runner::{distributed_spmv, run_spmd, run_spmd_on_world, run_spmd_with_partition};
 pub use split::SplitMatrix;
 pub use symmetric::{parallel_symmetric_spmv, SymmetricWorkspace};
 pub use workload::RankWorkload;

@@ -39,8 +39,17 @@ where
     run_spmd_with_partition(matrix, &RowPartition::by_nnz(matrix, ranks), cfg, f)
 }
 
-/// [`run_spmd`] with an explicit partition.
-pub fn run_spmd_with_partition<F, R>(
+/// [`run_spmd`] on a pre-built communication world — the entry point for
+/// fault-injection runs, where the world carries a `FaultPlan` or watchdog
+/// attached via [`spmv_comm::WorldBuilder`]. `comms` must hold one handle
+/// per partition part, in rank order.
+///
+/// # Panics
+/// Propagates panics from rank threads (including infallible-API panics
+/// triggered by injected faults; use the engine's `*_checked` methods in
+/// `f` to observe faults as values instead).
+pub fn run_spmd_on_world<F, R>(
+    comms: Vec<Comm>,
     matrix: &CsrMatrix,
     partition: &RowPartition,
     cfg: EngineConfig,
@@ -55,8 +64,11 @@ where
         partition.nrows(),
         "partition must cover the matrix"
     );
-    let ranks = partition.parts();
-    let comms = create_world(ranks, &cfg);
+    assert_eq!(
+        comms.len(),
+        partition.parts(),
+        "world size must match the partition"
+    );
     let f = &f;
     std::thread::scope(|scope| {
         let handles: Vec<_> = comms
@@ -74,6 +86,21 @@ where
             .map(|h| h.join().expect("rank thread panicked"))
             .collect()
     })
+}
+
+/// [`run_spmd`] with an explicit partition.
+pub fn run_spmd_with_partition<F, R>(
+    matrix: &CsrMatrix,
+    partition: &RowPartition,
+    cfg: EngineConfig,
+    f: F,
+) -> Vec<R>
+where
+    F: Fn(&mut RankEngine) -> R + Send + Sync,
+    R: Send,
+{
+    let comms = create_world(partition.parts(), &cfg);
+    run_spmd_on_world(comms, matrix, partition, cfg, f)
 }
 
 /// One-shot distributed SpMV: computes `y = A x` with `ranks` MPI ranks in

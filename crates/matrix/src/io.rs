@@ -25,12 +25,25 @@ enum Symmetry {
     SkewSymmetric,
 }
 
+/// Builds a line-positioned parse error (1-based line numbers, the
+/// convention every text editor uses).
+fn err_at(line: usize, msg: impl Into<String>) -> MatrixError {
+    MatrixError::ParseAt {
+        line,
+        msg: msg.into(),
+    }
+}
+
 /// Reads a matrix in Matrix Market coordinate format.
+///
+/// Errors carry the 1-based line number of the offending record
+/// ([`MatrixError::ParseAt`]); the resulting matrix has passed the full
+/// CSR invariant validation of [`CsrMatrix::try_new`].
 pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CsrMatrix> {
-    let mut lines = reader.lines();
+    let mut lines = reader.lines().enumerate();
     let header = match lines.next() {
-        Some(Ok(l)) => l,
-        Some(Err(e)) => return Err(MatrixError::Parse(e.to_string())),
+        Some((_, Ok(l))) => l,
+        Some((_, Err(e))) => return Err(err_at(1, e.to_string())),
         None => return Err(MatrixError::Parse("empty input".into())),
     };
     let h: Vec<String> = header
@@ -38,81 +51,71 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CsrMatrix> {
         .map(|t| t.to_ascii_lowercase())
         .collect();
     if h.len() < 5 || h[0] != "%%matrixmarket" || h[1] != "matrix" {
-        return Err(MatrixError::Parse(format!("bad header: {header}")));
+        return Err(err_at(1, format!("bad header: {header}")));
     }
     if h[2] != "coordinate" {
-        return Err(MatrixError::Parse(format!(
-            "unsupported container: {}",
-            h[2]
-        )));
+        return Err(err_at(1, format!("unsupported container: {}", h[2])));
     }
     let field = match h[3].as_str() {
         "real" => Field::Real,
         "integer" => Field::Integer,
         "pattern" => Field::Pattern,
-        other => return Err(MatrixError::Parse(format!("unsupported field: {other}"))),
+        other => return Err(err_at(1, format!("unsupported field: {other}"))),
     };
     let symmetry = match h[4].as_str() {
         "general" => Symmetry::General,
         "symmetric" => Symmetry::Symmetric,
         "skew-symmetric" => Symmetry::SkewSymmetric,
-        other => return Err(MatrixError::Parse(format!("unsupported symmetry: {other}"))),
+        other => return Err(err_at(1, format!("unsupported symmetry: {other}"))),
     };
 
     // size line: first non-comment, non-empty line
     let mut size_line = None;
-    for line in lines.by_ref() {
-        let line = line.map_err(|e| MatrixError::Parse(e.to_string()))?;
+    let mut size_line_no = 1;
+    for (idx, line) in lines.by_ref() {
+        let line = line.map_err(|e| err_at(idx + 1, e.to_string()))?;
         let t = line.trim();
         if t.is_empty() || t.starts_with('%') {
             continue;
         }
         size_line = Some(t.to_string());
+        size_line_no = idx + 1;
         break;
     }
     let size_line = size_line.ok_or_else(|| MatrixError::Parse("missing size line".into()))?;
     let parts: Vec<&str> = size_line.split_whitespace().collect();
     if parts.len() != 3 {
-        return Err(MatrixError::Parse(format!("bad size line: {size_line}")));
+        return Err(err_at(size_line_no, format!("bad size line: {size_line}")));
     }
-    let parse_usize = |s: &str| {
+    let parse_usize = |line: usize, s: &str| {
         s.parse::<usize>()
-            .map_err(|_| MatrixError::Parse(format!("bad integer: {s}")))
+            .map_err(|_| err_at(line, format!("bad integer: {s}")))
     };
-    let nrows = parse_usize(parts[0])?;
-    let ncols = parse_usize(parts[1])?;
-    let nnz = parse_usize(parts[2])?;
+    let nrows = parse_usize(size_line_no, parts[0])?;
+    let ncols = parse_usize(size_line_no, parts[1])?;
+    let nnz = parse_usize(size_line_no, parts[2])?;
 
     let mut coo = CooMatrix::new(nrows, ncols);
     let mut read = 0usize;
-    for line in lines {
-        let line = line.map_err(|e| MatrixError::Parse(e.to_string()))?;
+    for (idx, line) in lines {
+        let ln = idx + 1;
+        let line = line.map_err(|e| err_at(ln, e.to_string()))?;
         let t = line.trim();
         if t.is_empty() || t.starts_with('%') {
             continue;
         }
         let mut it = t.split_whitespace();
-        let i = parse_usize(
-            it.next()
-                .ok_or_else(|| MatrixError::Parse("short entry".into()))?,
-        )?;
-        let j = parse_usize(
-            it.next()
-                .ok_or_else(|| MatrixError::Parse("short entry".into()))?,
-        )?;
+        let i = parse_usize(ln, it.next().ok_or_else(|| err_at(ln, "short entry"))?)?;
+        let j = parse_usize(ln, it.next().ok_or_else(|| err_at(ln, "short entry"))?)?;
         if i == 0 || j == 0 || i > nrows || j > ncols {
-            return Err(MatrixError::Parse(format!(
-                "coordinate out of range: {i} {j}"
-            )));
+            return Err(err_at(ln, format!("coordinate out of range: {i} {j}")));
         }
         let v = match field {
             Field::Pattern => 1.0,
             Field::Real | Field::Integer => {
-                let s = it
-                    .next()
-                    .ok_or_else(|| MatrixError::Parse("missing value".into()))?;
+                let s = it.next().ok_or_else(|| err_at(ln, "missing value"))?;
                 s.parse::<f64>()
-                    .map_err(|_| MatrixError::Parse(format!("bad value: {s}")))?
+                    .map_err(|_| err_at(ln, format!("bad value: {s}")))?
             }
         };
         let (i, j) = (i - 1, j - 1);
@@ -174,49 +177,73 @@ pub fn write_binary<W: Write>(m: &CsrMatrix, mut w: W) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Byte-counting reader: every failed `read_exact` is reported as a
+/// [`MatrixError::BinaryAt`] carrying the offset where the read started.
+struct BinReader<R> {
+    r: R,
+    offset: u64,
+}
+
+impl<R: std::io::Read> BinReader<R> {
+    fn read_exact(&mut self, buf: &mut [u8]) -> Result<()> {
+        self.r.read_exact(buf).map_err(|e| MatrixError::BinaryAt {
+            offset: self.offset,
+            msg: e.to_string(),
+        })?;
+        self.offset += buf.len() as u64;
+        Ok(())
+    }
+
+    fn read_u64(&mut self) -> Result<u64> {
+        let mut b = [0u8; 8];
+        self.read_exact(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+}
+
 /// Reads a matrix written by [`write_binary`], validating the CRS
 /// invariants.
-pub fn read_binary<R: std::io::Read>(mut r: R) -> Result<CsrMatrix> {
+///
+/// I/O failures are reported as [`MatrixError::BinaryAt`] with the byte
+/// offset (from the start of the stream) of the read that failed; the
+/// assembled arrays then pass through [`CsrMatrix::try_new`], so a file
+/// with corrupted structure is rejected rather than producing a matrix
+/// that violates the CSR invariants.
+pub fn read_binary<R: std::io::Read>(r: R) -> Result<CsrMatrix> {
+    let mut r = BinReader { r, offset: 0 };
     let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)
-        .map_err(|e| MatrixError::Parse(e.to_string()))?;
+    r.read_exact(&mut magic)?;
     if &magic != BINARY_MAGIC {
-        return Err(MatrixError::Parse("bad magic: not a SPMVCSR1 file".into()));
+        return Err(MatrixError::BinaryAt {
+            offset: 0,
+            msg: "bad magic: not a SPMVCSR1 file".into(),
+        });
     }
-    let mut u64buf = [0u8; 8];
-    let mut read_u64 = |r: &mut R| -> Result<u64> {
-        r.read_exact(&mut u64buf)
-            .map_err(|e| MatrixError::Parse(e.to_string()))?;
-        Ok(u64::from_le_bytes(u64buf))
-    };
-    let nrows = read_u64(&mut r)? as usize;
-    let ncols = read_u64(&mut r)? as usize;
-    let nnz = read_u64(&mut r)? as usize;
+    let header_off = r.offset;
+    let nrows = r.read_u64()? as usize;
+    let ncols = r.read_u64()? as usize;
+    let nnz = r.read_u64()? as usize;
     // sanity cap: refuse absurd headers before allocating
     if nrows > (1 << 40) || ncols > u32::MAX as usize || nnz > (1 << 40) {
-        return Err(MatrixError::Parse(
-            "implausible dimensions in header".into(),
-        ));
+        return Err(MatrixError::BinaryAt {
+            offset: header_off,
+            msg: "implausible dimensions in header".into(),
+        });
     }
     let mut row_ptr = Vec::with_capacity(nrows + 1);
     for _ in 0..=nrows {
-        let mut b = [0u8; 8];
-        r.read_exact(&mut b)
-            .map_err(|e| MatrixError::Parse(e.to_string()))?;
-        row_ptr.push(u64::from_le_bytes(b) as usize);
+        row_ptr.push(r.read_u64()? as usize);
     }
     let mut col_idx = Vec::with_capacity(nnz);
     for _ in 0..nnz {
         let mut b = [0u8; 4];
-        r.read_exact(&mut b)
-            .map_err(|e| MatrixError::Parse(e.to_string()))?;
+        r.read_exact(&mut b)?;
         col_idx.push(u32::from_le_bytes(b));
     }
     let mut values = Vec::with_capacity(nnz);
     for _ in 0..nnz {
         let mut b = [0u8; 8];
-        r.read_exact(&mut b)
-            .map_err(|e| MatrixError::Parse(e.to_string()))?;
+        r.read_exact(&mut b)?;
         values.push(f64::from_le_bytes(b));
     }
     CsrMatrix::try_new(nrows, ncols, row_ptr, col_idx, values)
@@ -342,6 +369,66 @@ mod tests {
         // corrupt a row_ptr entry (bytes 8+24 .. : first row_ptr word)
         buf[8 + 24] = 0xFF;
         assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        // bad value on the 4th physical line (header, comment, size, entry)
+        let err = parse(
+            "%%MatrixMarket matrix coordinate real general\n\
+             % comment\n\
+             2 2 2\n\
+             1 1 abc\n",
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            MatrixError::ParseAt {
+                line: 4,
+                msg: "bad value: abc".into()
+            }
+        );
+
+        // out-of-range coordinate on line 3 (no comment this time)
+        let err =
+            parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n").unwrap_err();
+        assert!(matches!(err, MatrixError::ParseAt { line: 3, .. }), "{err}");
+
+        // malformed size line position is reported even behind comments
+        let err = parse("%%MatrixMarket matrix coordinate real general\n%\n%\n2 2\n").unwrap_err();
+        assert!(matches!(err, MatrixError::ParseAt { line: 4, .. }), "{err}");
+
+        // header problems always point at line 1
+        let err = parse("%%MatrixMarket matrix array real general\n1 1\n1.0\n").unwrap_err();
+        assert!(matches!(err, MatrixError::ParseAt { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn binary_errors_carry_byte_offsets() {
+        let err = read_binary(&b"NOTACSR0"[..]).unwrap_err();
+        assert!(
+            matches!(err, MatrixError::BinaryAt { offset: 0, .. }),
+            "{err}"
+        );
+
+        // truncated mid-header: magic(8) + one full u64 read ok, second fails
+        let m = crate::CsrMatrix::identity(4);
+        let mut buf = Vec::new();
+        write_binary(&m, &mut buf).unwrap();
+        let err = read_binary(&buf[..20]).unwrap_err();
+        assert!(
+            matches!(err, MatrixError::BinaryAt { offset: 16, .. }),
+            "{err}"
+        );
+
+        // truncated in the value section: the offset identifies the read
+        // that failed — the last f64, which starts 8 bytes before the end
+        let err = read_binary(&buf[..buf.len() - 3]).unwrap_err();
+        let expect = (buf.len() - 8) as u64;
+        assert!(
+            matches!(err, MatrixError::BinaryAt { offset, .. } if offset == expect),
+            "{err}"
+        );
     }
 
     #[test]

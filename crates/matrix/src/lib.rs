@@ -69,6 +69,12 @@ pub enum MatrixError {
     DimensionTooLarge { ncols: usize },
     /// Input file / stream could not be parsed (Matrix Market, binary dumps).
     Parse(String),
+    /// A text input failed to parse at a specific line (1-based), so the
+    /// user can jump straight to the offending record.
+    ParseAt { line: usize, msg: String },
+    /// The binary container failed at a specific byte offset from the
+    /// start of the stream.
+    BinaryAt { offset: u64, msg: String },
     /// A permutation vector is not a bijection on `0..n`.
     InvalidPermutation { n: usize, detail: &'static str },
 }
@@ -96,6 +102,12 @@ impl std::fmt::Display for MatrixError {
                 write!(f, "ncols = {ncols} exceeds 32-bit column index space")
             }
             MatrixError::Parse(msg) => write!(f, "parse error: {msg}"),
+            MatrixError::ParseAt { line, msg } => {
+                write!(f, "parse error at line {line}: {msg}")
+            }
+            MatrixError::BinaryAt { offset, msg } => {
+                write!(f, "binary read error at byte offset {offset}: {msg}")
+            }
             MatrixError::InvalidPermutation { n, detail } => {
                 write!(f, "invalid permutation of length {n}: {detail}")
             }

@@ -3,17 +3,21 @@
 
 use crate::operator::LinOp;
 use crate::ops::GlobalOps;
+use crate::status::SolveStatus;
 use spmv_matrix::vecops;
 
 /// Outcome of a CG solve.
 #[derive(Debug, Clone)]
+#[must_use = "a CgResult carries the convergence status and must be inspected"]
 pub struct CgResult {
     /// Iterations performed.
     pub iterations: usize,
     /// Final relative residual `‖b - Ax‖ / ‖b‖`.
     pub rel_residual: f64,
-    /// Whether the tolerance was reached.
+    /// Whether the tolerance was reached (`status == Converged`).
     pub converged: bool,
+    /// Why the solve stopped.
+    pub status: SolveStatus,
     /// Residual norm after each iteration.
     pub history: Vec<f64>,
 }
@@ -49,18 +53,28 @@ pub fn cg_solve<O: LinOp, G: GlobalOps>(
     let mut history = Vec::new();
     let mut converged = rr.sqrt() / b_norm <= tol;
     let mut iterations = 0;
+    let mut status = None;
 
     while !converged && iterations < max_iter {
         op.apply(&p, &mut ap);
         let pap = ops.dot(&p, &ap);
+        if !pap.is_finite() {
+            status = Some(SolveStatus::Diverged);
+            break;
+        }
         if pap <= 0.0 {
             // matrix not SPD (or breakdown); stop with what we have
+            status = Some(SolveStatus::Breakdown);
             break;
         }
         let alpha = rr / pap;
         vecops::axpy(alpha, &p, x);
         vecops::axpy(-alpha, &ap, &mut r);
         let rr_new = ops.dot(&r, &r);
+        if !rr_new.is_finite() {
+            status = Some(SolveStatus::Diverged);
+            break;
+        }
         let beta = rr_new / rr;
         for i in 0..n {
             p[i] = r[i] + beta * p[i];
@@ -76,6 +90,11 @@ pub fn cg_solve<O: LinOp, G: GlobalOps>(
         iterations,
         rel_residual: rr.sqrt() / b_norm,
         converged,
+        status: status.unwrap_or(if converged {
+            SolveStatus::Converged
+        } else {
+            SolveStatus::MaxIterations
+        }),
         history,
     }
 }
@@ -120,11 +139,17 @@ pub fn pcg_solve_jacobi<O: LinOp, G: GlobalOps>(
     let mut history = Vec::new();
     let mut converged = ops.norm2(&r) / b_norm <= tol;
     let mut iterations = 0;
+    let mut status = None;
 
     while !converged && iterations < max_iter {
         op.apply(&p, &mut ap);
         let pap = ops.dot(&p, &ap);
+        if !pap.is_finite() {
+            status = Some(SolveStatus::Diverged);
+            break;
+        }
         if pap <= 0.0 {
+            status = Some(SolveStatus::Breakdown);
             break;
         }
         let alpha = rz / pap;
@@ -134,6 +159,10 @@ pub fn pcg_solve_jacobi<O: LinOp, G: GlobalOps>(
             z[i] = r[i] / diag[i];
         }
         let rz_new = ops.dot(&r, &z);
+        if !rz_new.is_finite() {
+            status = Some(SolveStatus::Diverged);
+            break;
+        }
         let beta = rz_new / rz;
         for i in 0..n {
             p[i] = z[i] + beta * p[i];
@@ -149,6 +178,11 @@ pub fn pcg_solve_jacobi<O: LinOp, G: GlobalOps>(
         iterations,
         rel_residual: ops.norm2(&r) / b_norm,
         converged,
+        status: status.unwrap_or(if converged {
+            SolveStatus::Converged
+        } else {
+            SolveStatus::MaxIterations
+        }),
         history,
     }
 }
@@ -227,6 +261,41 @@ mod tests {
         let r = cg_solve(&mut SerialOp::new(&m), &SerialOps, &b, &mut x, 1e-16, 3);
         assert!(!r.converged);
         assert_eq!(r.iterations, 3);
+        assert_eq!(r.status, crate::status::SolveStatus::MaxIterations);
+        assert!(r.status.iterate_usable());
+    }
+
+    #[test]
+    fn indefinite_matrix_reports_breakdown() {
+        // -I is negative definite: pᵀAp < 0 on the first step
+        let m = spmv_matrix::CsrMatrix::from_diagonal(&[-1.0; 10]);
+        let b = vec![1.0; 10];
+        let mut x = vec![0.0; 10];
+        let r = cg_solve(&mut SerialOp::new(&m), &SerialOps, &b, &mut x, 1e-12, 50);
+        assert_eq!(r.status, crate::status::SolveStatus::Breakdown);
+        assert!(!r.status.iterate_usable());
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn non_finite_rhs_reports_diverged() {
+        let m = synthetic::tridiagonal(10, 2.0, -1.0);
+        let mut b = vec![1.0; 10];
+        b[3] = f64::NAN;
+        let mut x = vec![0.0; 10];
+        let r = cg_solve(&mut SerialOp::new(&m), &SerialOps, &b, &mut x, 1e-12, 50);
+        assert_eq!(r.status, crate::status::SolveStatus::Diverged);
+        assert!(!r.converged);
+        let rp = pcg_solve_jacobi(
+            &mut SerialOp::new(&m),
+            &SerialOps,
+            &[2.0; 10],
+            &b,
+            &mut x,
+            1e-12,
+            50,
+        );
+        assert_eq!(rp.status, crate::status::SolveStatus::Diverged);
     }
 
     #[test]

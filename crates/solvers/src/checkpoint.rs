@@ -1,0 +1,496 @@
+//! Checkpoint/restart drivers for CG and Lanczos.
+//!
+//! Long solves on faulty machines need a recovery story: the drivers here
+//! snapshot the full recurrence state every `every` iterations and, when a
+//! health probe reports a fault, roll every rank back to the last snapshot
+//! and re-iterate. Because the solvers are deterministic (fixed reduction
+//! order, see `spmv-comm`'s reduction-order guarantee), the recovered run
+//! reproduces the fault-free trajectory *bit for bit* — the recomputed
+//! iterations are indistinguishable from ones that never failed.
+//!
+//! The failure probe is polled once per iteration, at the loop head, and
+//! agreed on collectively (a max-reduction of the local verdicts), so all
+//! ranks roll back together — detection never happens mid-exchange where
+//! ranks could disagree about the iteration count. With
+//! [`spmv_comm::FaultPlan::fail_rank_at_poll`] the probe is simply
+//! `|| comm.poll_failure()`.
+
+use crate::cg::CgResult;
+use crate::lanczos::{LanczosOptions, LanczosResult};
+use crate::operator::LinOp;
+use crate::ops::GlobalOps;
+use crate::status::SolveStatus;
+use crate::tridiag;
+use spmv_matrix::vecops;
+
+/// Full CG recurrence state at a snapshot point. Plain data — callers can
+/// serialize it, keep several generations, or ship it off-node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgCheckpoint {
+    /// Iterations completed when the snapshot was taken.
+    pub iteration: usize,
+    /// Local part of the iterate.
+    pub x: Vec<f64>,
+    /// Local part of the residual.
+    pub r: Vec<f64>,
+    /// Local part of the search direction.
+    pub p: Vec<f64>,
+    /// Global `rᵀr` at the snapshot.
+    pub rr: f64,
+    /// Residual history up to the snapshot.
+    pub history: Vec<f64>,
+}
+
+/// [`crate::cg::cg_solve`] with periodic checkpoints and collective
+/// rollback-on-failure. `every >= 1` is the snapshot period in iterations;
+/// `failed` is the local health probe (true = this rank saw a fault since
+/// the last poll). Returns the result plus the number of rollbacks.
+///
+/// Identical arithmetic to the plain solver: a run with zero failures — and
+/// a recovered run, once re-iterated past the failure point — produces a
+/// bit-identical iterate and history.
+#[allow(clippy::too_many_arguments)]
+pub fn cg_solve_checkpointed<O: LinOp, G: GlobalOps, H: FnMut() -> bool>(
+    op: &mut O,
+    ops: &G,
+    b: &[f64],
+    x: &mut [f64],
+    tol: f64,
+    max_iter: usize,
+    every: usize,
+    mut failed: H,
+) -> (CgResult, usize) {
+    assert!(every >= 1, "checkpoint period must be at least 1");
+    assert_eq!(b.len(), op.len());
+    assert_eq!(x.len(), op.len());
+    let n = op.len();
+    let mut r = vec![0.0; n];
+    let mut p = vec![0.0; n];
+    let mut ap = vec![0.0; n];
+
+    op.apply(x, &mut r);
+    for i in 0..n {
+        r[i] = b[i] - r[i];
+    }
+    p.copy_from_slice(&r);
+
+    let b_norm = ops.norm2(b).max(f64::MIN_POSITIVE);
+    let mut rr = ops.dot(&r, &r);
+    let mut history = Vec::new();
+    let mut converged = rr.sqrt() / b_norm <= tol;
+    let mut iterations = 0;
+    let mut status = None;
+    let mut restarts = 0usize;
+    let mut ckpt = CgCheckpoint {
+        iteration: 0,
+        x: x.to_vec(),
+        r: r.clone(),
+        p: p.clone(),
+        rr,
+        history: Vec::new(),
+    };
+
+    while !converged && iterations < max_iter {
+        // collective failure agreement: if any rank saw a fault, every
+        // rank rolls back to the last snapshot and re-iterates
+        if ops.max(if failed() { 1.0 } else { 0.0 }) > 0.0 {
+            x.copy_from_slice(&ckpt.x);
+            r.copy_from_slice(&ckpt.r);
+            p.copy_from_slice(&ckpt.p);
+            rr = ckpt.rr;
+            history.clone_from(&ckpt.history);
+            iterations = ckpt.iteration;
+            restarts += 1;
+            continue;
+        }
+        op.apply(&p, &mut ap);
+        let pap = ops.dot(&p, &ap);
+        if !pap.is_finite() {
+            status = Some(SolveStatus::Diverged);
+            break;
+        }
+        if pap <= 0.0 {
+            status = Some(SolveStatus::Breakdown);
+            break;
+        }
+        let alpha = rr / pap;
+        vecops::axpy(alpha, &p, x);
+        vecops::axpy(-alpha, &ap, &mut r);
+        let rr_new = ops.dot(&r, &r);
+        if !rr_new.is_finite() {
+            status = Some(SolveStatus::Diverged);
+            break;
+        }
+        let beta = rr_new / rr;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        rr = rr_new;
+        iterations += 1;
+        let rel = rr.sqrt() / b_norm;
+        history.push(rel);
+        converged = rel <= tol;
+        if !converged && iterations % every == 0 {
+            ckpt = CgCheckpoint {
+                iteration: iterations,
+                x: x.to_vec(),
+                r: r.clone(),
+                p: p.clone(),
+                rr,
+                history: history.clone(),
+            };
+        }
+    }
+
+    (
+        CgResult {
+            iterations,
+            rel_residual: rr.sqrt() / b_norm,
+            converged,
+            status: status.unwrap_or(if converged {
+                SolveStatus::Converged
+            } else {
+                SolveStatus::MaxIterations
+            }),
+            history,
+        },
+        restarts,
+    )
+}
+
+/// Full Lanczos recurrence state at a snapshot point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LanczosCheckpoint {
+    /// Completed steps (`alphas.len()`) at the snapshot.
+    pub step: usize,
+    /// Current basis vector `v_k` (local part).
+    pub v: Vec<f64>,
+    /// Previous basis vector `v_{k-1}` (local part).
+    pub v_prev: Vec<f64>,
+    /// `β_{k-1}` feeding the next three-term step.
+    pub beta_prev: f64,
+    /// Recurrence diagonal so far.
+    pub alphas: Vec<f64>,
+    /// Recurrence off-diagonal so far.
+    pub betas: Vec<f64>,
+    /// Stored basis (full-reorthogonalization runs only).
+    pub basis: Vec<Vec<f64>>,
+}
+
+/// [`crate::lanczos::lanczos`] with periodic checkpoints and collective
+/// rollback-on-failure; same contract as [`cg_solve_checkpointed`].
+/// Returns the result plus the number of rollbacks.
+pub fn lanczos_checkpointed<O: LinOp, G: GlobalOps, H: FnMut() -> bool>(
+    op: &mut O,
+    ops: &G,
+    v0: &[f64],
+    opts: LanczosOptions,
+    every: usize,
+    mut failed: H,
+) -> (LanczosResult, usize) {
+    assert!(every >= 1, "checkpoint period must be at least 1");
+    let n = op.len();
+    assert_eq!(v0.len(), n);
+    assert!(opts.max_steps >= 1);
+
+    let mut v = v0.to_vec();
+    let norm = ops.norm2(&v);
+    assert!(norm > 0.0, "start vector must be nonzero");
+    vecops::scale(1.0 / norm, &mut v);
+
+    let mut v_prev = vec![0.0; n];
+    let mut w = vec![0.0; n];
+    let mut alphas: Vec<f64> = Vec::new();
+    let mut betas: Vec<f64> = Vec::new();
+    let mut basis: Vec<Vec<f64>> = if opts.full_reorthogonalization {
+        vec![v.clone()]
+    } else {
+        Vec::new()
+    };
+    let mut beta_prev = 0.0f64;
+    let mut restarts = 0usize;
+    let mut ckpt = LanczosCheckpoint {
+        step: 0,
+        v: v.clone(),
+        v_prev: v_prev.clone(),
+        beta_prev,
+        alphas: Vec::new(),
+        betas: Vec::new(),
+        basis: basis.clone(),
+    };
+
+    while alphas.len() < opts.max_steps {
+        if ops.max(if failed() { 1.0 } else { 0.0 }) > 0.0 {
+            v.clone_from(&ckpt.v);
+            v_prev.clone_from(&ckpt.v_prev);
+            beta_prev = ckpt.beta_prev;
+            alphas.clone_from(&ckpt.alphas);
+            betas.clone_from(&ckpt.betas);
+            basis.clone_from(&ckpt.basis);
+            restarts += 1;
+            continue;
+        }
+        // one three-term step, identical to the plain recurrence
+        op.apply(&v, &mut w);
+        if beta_prev != 0.0 {
+            vecops::axpy(-beta_prev, &v_prev, &mut w);
+        }
+        let alpha = ops.dot(&w, &v);
+        vecops::axpy(-alpha, &v, &mut w);
+        alphas.push(alpha);
+
+        if opts.full_reorthogonalization {
+            for b in &basis {
+                let c = ops.dot(&w, b);
+                vecops::axpy(-c, b, &mut w);
+            }
+        }
+
+        let beta = ops.norm2(&w);
+        if beta <= opts.breakdown_tol || alphas.len() == opts.max_steps {
+            break;
+        }
+        betas.push(beta);
+        std::mem::swap(&mut v_prev, &mut v);
+        for i in 0..n {
+            v[i] = w[i] / beta;
+        }
+        if opts.full_reorthogonalization {
+            basis.push(v.clone());
+        }
+        beta_prev = beta;
+        if alphas.len().is_multiple_of(every) {
+            ckpt = LanczosCheckpoint {
+                step: alphas.len(),
+                v: v.clone(),
+                v_prev: v_prev.clone(),
+                beta_prev,
+                alphas: alphas.clone(),
+                betas: betas.clone(),
+                basis: basis.clone(),
+            };
+        }
+    }
+
+    let (lo, hi) = tridiag::extreme_eigenvalues(&alphas, &betas, 1e-12);
+    (
+        LanczosResult {
+            iterations: alphas.len(),
+            alphas,
+            betas,
+            eigenvalue_min: lo,
+            eigenvalue_max: hi,
+        },
+        restarts,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cg::cg_solve;
+    use crate::lanczos::lanczos;
+    use crate::operator::SerialOp;
+    use crate::ops::SerialOps;
+    use spmv_matrix::{synthetic, vecops};
+
+    /// A probe that reports one failure at the k-th poll.
+    fn fail_at(k: usize) -> impl FnMut() -> bool {
+        let mut polls = 0usize;
+        move || {
+            polls += 1;
+            polls == k
+        }
+    }
+
+    #[test]
+    fn fault_free_run_matches_plain_cg_bitwise() {
+        let m = synthetic::tridiagonal(150, 2.0, -1.0);
+        let b = vecops::random_vec(150, 3);
+        let mut x_plain = vec![0.0; 150];
+        let plain = cg_solve(
+            &mut SerialOp::new(&m),
+            &SerialOps,
+            &b,
+            &mut x_plain,
+            1e-10,
+            300,
+        );
+        let mut x_ck = vec![0.0; 150];
+        let (ck, restarts) = cg_solve_checkpointed(
+            &mut SerialOp::new(&m),
+            &SerialOps,
+            &b,
+            &mut x_ck,
+            1e-10,
+            300,
+            5,
+            || false,
+        );
+        assert_eq!(restarts, 0);
+        assert_eq!(ck.iterations, plain.iterations);
+        assert_eq!(x_ck, x_plain, "checkpointing must not perturb the math");
+        assert_eq!(ck.history, plain.history);
+        assert!(ck.status.is_converged());
+    }
+
+    #[test]
+    fn cg_recovers_bit_identically_after_injected_failure() {
+        let m = synthetic::tridiagonal(200, 2.0, -1.0);
+        let b = vecops::random_vec(200, 7);
+        let mut x_plain = vec![0.0; 200];
+        let plain = cg_solve(
+            &mut SerialOp::new(&m),
+            &SerialOps,
+            &b,
+            &mut x_plain,
+            1e-10,
+            400,
+        );
+        assert!(plain.converged);
+        let mut x_ck = vec![0.0; 200];
+        let (ck, restarts) = cg_solve_checkpointed(
+            &mut SerialOp::new(&m),
+            &SerialOps,
+            &b,
+            &mut x_ck,
+            1e-10,
+            400,
+            4,
+            fail_at(11),
+        );
+        assert_eq!(restarts, 1);
+        assert!(ck.converged);
+        assert_eq!(
+            x_ck, x_plain,
+            "recovered solve must reproduce the answer bitwise"
+        );
+        assert_eq!(ck.history, plain.history);
+        assert_eq!(ck.iterations, plain.iterations);
+    }
+
+    #[test]
+    fn cg_failure_before_first_checkpoint_restarts_from_scratch() {
+        let m = synthetic::tridiagonal(80, 2.0, -1.0);
+        let b = vecops::random_vec(80, 5);
+        let mut x_plain = vec![0.0; 80];
+        let plain = cg_solve(
+            &mut SerialOp::new(&m),
+            &SerialOps,
+            &b,
+            &mut x_plain,
+            1e-10,
+            200,
+        );
+        let mut x_ck = vec![0.0; 80];
+        let (ck, restarts) = cg_solve_checkpointed(
+            &mut SerialOp::new(&m),
+            &SerialOps,
+            &b,
+            &mut x_ck,
+            1e-10,
+            200,
+            50, // period longer than the failure point
+            fail_at(2),
+        );
+        assert_eq!(restarts, 1);
+        assert_eq!(x_ck, x_plain);
+        assert_eq!(ck.history, plain.history);
+    }
+
+    #[test]
+    fn lanczos_recovers_bit_identically_after_injected_failure() {
+        let m = synthetic::random_banded_symmetric(180, 12, 5.0, 9);
+        let v0 = vecops::random_vec(180, 2);
+        let opts = LanczosOptions {
+            max_steps: 40,
+            ..Default::default()
+        };
+        let plain = lanczos(&mut SerialOp::new(&m), &SerialOps, &v0, opts);
+        let (ck, restarts) = lanczos_checkpointed(
+            &mut SerialOp::new(&m),
+            &SerialOps,
+            &v0,
+            opts,
+            5,
+            fail_at(17),
+        );
+        assert_eq!(restarts, 1);
+        assert_eq!(
+            ck.alphas, plain.alphas,
+            "recovered recurrence must match bitwise"
+        );
+        assert_eq!(ck.betas, plain.betas);
+        assert_eq!(ck.eigenvalue_min.to_bits(), plain.eigenvalue_min.to_bits());
+        assert_eq!(ck.eigenvalue_max.to_bits(), plain.eigenvalue_max.to_bits());
+    }
+
+    #[test]
+    fn lanczos_reorthogonalized_checkpoint_keeps_basis() {
+        let m = spmv_matrix::CsrMatrix::from_diagonal(&[-3.0, 1.0, 0.5, 9.0, 2.0]);
+        let v0 = vec![1.0; 5];
+        let opts = LanczosOptions {
+            max_steps: 5,
+            full_reorthogonalization: true,
+            ..Default::default()
+        };
+        let plain = lanczos(&mut SerialOp::new(&m), &SerialOps, &v0, opts);
+        let (ck, restarts) =
+            lanczos_checkpointed(&mut SerialOp::new(&m), &SerialOps, &v0, opts, 2, fail_at(4));
+        assert_eq!(restarts, 1);
+        assert_eq!(ck.alphas, plain.alphas);
+        assert!((ck.eigenvalue_min + 3.0).abs() < 1e-8);
+        assert!((ck.eigenvalue_max - 9.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn repeated_failures_still_converge() {
+        let m = synthetic::tridiagonal(120, 2.0, -1.0);
+        let b = vecops::random_vec(120, 1);
+        let mut x_plain = vec![0.0; 120];
+        let plain = cg_solve(
+            &mut SerialOp::new(&m),
+            &SerialOps,
+            &b,
+            &mut x_plain,
+            1e-10,
+            300,
+        );
+        assert!(plain.converged);
+        let mut polls = 0usize;
+        let mut x_ck = vec![0.0; 120];
+        let (ck, restarts) = cg_solve_checkpointed(
+            &mut SerialOp::new(&m),
+            &SerialOps,
+            &b,
+            &mut x_ck,
+            1e-10,
+            300,
+            3,
+            move || {
+                polls += 1;
+                polls.is_multiple_of(20) && polls < 100
+            },
+        );
+        assert!(restarts >= 2);
+        assert!(ck.converged);
+        assert_eq!(x_ck, x_plain);
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint period")]
+    fn zero_period_rejected() {
+        let m = spmv_matrix::CsrMatrix::identity(4);
+        let mut x = vec![0.0; 4];
+        let _ = cg_solve_checkpointed(
+            &mut SerialOp::new(&m),
+            &SerialOps,
+            &[1.0; 4],
+            &mut x,
+            1e-10,
+            10,
+            0,
+            || false,
+        );
+    }
+}

@@ -25,17 +25,23 @@
 
 pub mod cg;
 pub mod chebyshev;
+pub mod checkpoint;
 pub mod kpm;
 pub mod lanczos;
 pub mod operator;
 pub mod ops;
 pub mod power;
+pub mod status;
 pub mod tridiag;
 
 pub use cg::{cg_solve, pcg_solve_jacobi, CgResult};
 pub use chebyshev::{bessel_jn, evolve, ChebyshevOptions, ComplexVec};
+pub use checkpoint::{
+    cg_solve_checkpointed, lanczos_checkpointed, CgCheckpoint, LanczosCheckpoint,
+};
 pub use kpm::{kpm_dos, KpmResult};
 pub use lanczos::{lanczos, lanczos_ground_state, LanczosResult};
 pub use operator::{DistOp, LinOp, SerialOp};
 pub use ops::{DistOps, GlobalOps, SerialOps};
 pub use power::{power_iteration, PowerResult};
+pub use status::SolveStatus;

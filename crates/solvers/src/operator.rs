@@ -17,6 +17,14 @@ pub trait LinOp {
     /// implementations do their halo exchange internally).
     fn apply(&mut self, x: &[f64], y: &mut [f64]);
 
+    /// Fallible apply: a distributed implementation surfaces communication
+    /// faults as a typed error instead of panicking. Serial operators
+    /// cannot fail; the default simply delegates to [`LinOp::apply`].
+    fn try_apply(&mut self, x: &[f64], y: &mut [f64]) -> Result<(), spmv_comm::CommError> {
+        self.apply(x, y);
+        Ok(())
+    }
+
     /// Number of operator applications so far (the SpMV count that
     /// dominates run time in all of the paper's applications).
     fn applications(&self) -> u64;
@@ -77,6 +85,10 @@ impl LinOp for DistOp<'_> {
 
     fn apply(&mut self, x: &[f64], y: &mut [f64]) {
         self.engine.apply(x, y, self.mode);
+    }
+
+    fn try_apply(&mut self, x: &[f64], y: &mut [f64]) -> Result<(), spmv_comm::CommError> {
+        self.engine.apply_checked(x, y, self.mode)
     }
 
     fn applications(&self) -> u64 {

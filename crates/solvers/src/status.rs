@@ -1,0 +1,75 @@
+//! Typed solve outcomes.
+//!
+//! Iterative solvers historically signalled trouble implicitly (a `false`
+//! `converged` flag, or silently propagating NaN). [`SolveStatus`] makes
+//! the distinction explicit so resilient drivers can tell "ran out of
+//! iterations" from "the arithmetic broke down" from "a fault corrupted
+//! the state".
+
+use std::fmt;
+
+/// Why an iterative solve stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a SolveStatus distinguishes convergence from breakdown and must be inspected"]
+pub enum SolveStatus {
+    /// The requested tolerance was reached.
+    Converged,
+    /// The iteration limit was hit before the tolerance.
+    MaxIterations,
+    /// The recurrence broke down (e.g. CG met a non-positive `pᵀAp`:
+    /// the operator is not SPD, or rounding destroyed conjugacy).
+    Breakdown,
+    /// A reduction produced NaN or infinity — the iterate is corrupt and
+    /// must not be used (typically a fault or severe ill-conditioning).
+    Diverged,
+}
+
+impl SolveStatus {
+    /// True only for [`SolveStatus::Converged`].
+    #[must_use]
+    pub fn is_converged(self) -> bool {
+        self == SolveStatus::Converged
+    }
+
+    /// True when the iterate is still meaningful (converged or simply out
+    /// of iterations) as opposed to corrupt or broken down.
+    #[must_use]
+    pub fn iterate_usable(self) -> bool {
+        matches!(self, SolveStatus::Converged | SolveStatus::MaxIterations)
+    }
+}
+
+impl fmt::Display for SolveStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SolveStatus::Converged => "converged",
+            SolveStatus::MaxIterations => "max iterations reached",
+            SolveStatus::Breakdown => "breakdown",
+            SolveStatus::Diverged => "diverged (non-finite reduction)",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates_partition_the_variants() {
+        assert!(SolveStatus::Converged.is_converged());
+        assert!(SolveStatus::Converged.iterate_usable());
+        assert!(!SolveStatus::MaxIterations.is_converged());
+        assert!(SolveStatus::MaxIterations.iterate_usable());
+        assert!(!SolveStatus::Breakdown.iterate_usable());
+        assert!(!SolveStatus::Diverged.iterate_usable());
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(
+            SolveStatus::Diverged.to_string(),
+            "diverged (non-finite reduction)"
+        );
+    }
+}
