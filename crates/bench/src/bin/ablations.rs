@@ -11,9 +11,10 @@
 //!   counts from the actual plans, priced by the hierarchical cost model.
 //!
 //! `cargo run --release -p spmv-bench --bin ablations [-- <which>] [--scale ...]
-//!  [--kernel <kind>]` (runs all ablations when no selector is given; the
-//! `--kernel` choice feeds the functional-engine rows of the `kernel`
-//! ablation)
+//!  [--kernel <kind>] [--trace <path>]` (runs all ablations when no selector
+//! is given; the `--kernel` choice feeds the functional-engine rows of the
+//! `kernel` ablation; `--trace` additionally writes a measured task-mode
+//! chrome://tracing JSON of the HMeP matrix to `<path>`)
 
 use spmv_bench::microbench::Bench;
 use spmv_bench::{header, hmep, Scale};
@@ -28,6 +29,7 @@ use spmv_sim::{simulate_job, simulate_spmv, ProgressModel, SimConfig};
 fn main() {
     let scale = Scale::from_args();
     let mut kernel = KernelKind::Auto;
+    let mut trace_path: Option<String> = None;
     let mut which: Vec<String> = Vec::new();
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut it = raw.iter();
@@ -40,6 +42,9 @@ fn main() {
                 let v = it.next().expect("--kernel needs a value");
                 kernel = KernelKind::parse(v)
                     .unwrap_or_else(|| panic!("unknown kernel '{v}' (try csr-scalar, sell, auto)"));
+            }
+            "--trace" => {
+                trace_path = Some(it.next().expect("--trace needs a path").clone());
             }
             other if !other.starts_with("--") => which.push(other.to_string()),
             other => panic!("unknown flag '{other}'"),
@@ -308,5 +313,36 @@ fn main() {
             );
             assert!(err < 1e-9, "engine must match the serial kernel");
         }
+    }
+
+    if let Some(out) = &trace_path {
+        use spmv_obs::{chrome_trace_json, validate_json, RunTrace};
+        let x = spmv_matrix::vecops::random_vec(m.nrows(), 23);
+        let traces = spmv_core::runner::run_spmd(
+            &m,
+            4,
+            EngineConfig::task_mode(2)
+                .with_kernel(kernel)
+                .with_tracing(true),
+            |eng| {
+                let lo = eng.row_start();
+                let n = eng.local_len();
+                let x_local = x[lo..lo + n].to_vec();
+                let mut y = vec![0.0; n];
+                for _ in 0..3 {
+                    eng.apply(&x_local, &mut y, KernelMode::TaskMode);
+                }
+                eng.take_trace().expect("tracing enabled")
+            },
+        );
+        let run = RunTrace::from_ranks(traces);
+        let doc = chrome_trace_json(&run);
+        validate_json(&doc).unwrap_or_else(|e| panic!("chrome trace is not valid JSON: {e}"));
+        std::fs::write(out, &doc).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+        println!(
+            "\nwrote measured task-mode trace ({} spans, overlap eff {:.3}) to {out}",
+            run.events.len(),
+            run.mean_overlap_efficiency()
+        );
     }
 }

@@ -12,7 +12,7 @@
 //! comparable. `--json` emits one machine-readable object per run — the
 //! format consumed by EXPERIMENTS.md bookkeeping and the CI artifact.
 
-use spmv_bench::{header, hmep, samg, Scale};
+use spmv_bench::{header, hmep, samg, usize_flag, Json, Scale};
 use spmv_core::{CommStrategy, EngineConfig, RankEngine, RowPartition};
 use spmv_machine::{presets, RankNodeMap};
 use spmv_matrix::{synthetic, CsrMatrix};
@@ -56,15 +56,10 @@ fn bench_strategy(
                     for (i, v) in eng.x_local_mut().iter_mut().enumerate() {
                         *v = (i % 97) as f64 * 0.013 + 1.0;
                     }
-                    // one counted exchange. The counters are world-global,
-                    // so both snapshots sit between message-free barriers —
-                    // no rank can race traffic into another's delta.
-                    eng.comm().barrier(); // construction traffic recorded
-                    let base = eng.comm().stats().snapshot();
-                    eng.comm().barrier(); // nobody exchanges before snapshots
-                    eng.halo_exchange();
-                    eng.comm().barrier(); // all exchange sends recorded
-                    let one = eng.comm().stats().snapshot().since(&base);
+                    // one counted exchange: phase_delta brackets the work
+                    // in barriers so no rank races traffic into the
+                    // world-global delta
+                    let (_, one) = eng.phase_delta(|e| e.halo_exchange());
                     eng.comm().barrier(); // snapshots done before timing
                     let t0 = Instant::now();
                     for _ in 0..iters {
@@ -113,13 +108,6 @@ fn bench_strategy(
     }
 }
 
-fn usize_flag(args: &[String], name: &str, default: usize) -> usize {
-    args.windows(2)
-        .find(|w| w[0] == name)
-        .map(|w| w[1].parse().unwrap_or_else(|_| panic!("{name} wants N")))
-        .unwrap_or(default)
-}
-
 fn main() {
     let scale = Scale::from_args();
     let args: Vec<String> = std::env::args().collect();
@@ -156,32 +144,30 @@ fn main() {
     }
 
     if json {
-        println!("{{");
-        println!("  \"scale\": \"{}\",", scale.label());
-        println!("  \"ranks\": {ranks},");
-        println!("  \"ranks_per_node\": {rpn},");
-        println!("  \"results\": [");
-        let n = results.len();
-        for (i, (mat, r)) in results.iter().enumerate() {
-            let comma = if i + 1 < n { "," } else { "" };
-            println!(
-                "    {{\"matrix\": \"{mat}\", \"strategy\": \"{}\", \
-                 \"intra_messages\": {}, \"intra_bytes\": {}, \
-                 \"inter_messages\": {}, \"inter_bytes\": {}, \
-                 \"seconds_per_exchange\": {:.6e}, \"model_seconds\": {:.6e}, \
-                 \"gather_avg_run_len\": {:.2}}}{comma}",
-                r.strategy,
-                r.intra_messages,
-                r.intra_bytes,
-                r.inter_messages,
-                r.inter_bytes,
-                r.secs_per_exchange,
-                r.model_secs,
-                r.gather_avg_run_len
-            );
-        }
-        println!("  ]");
-        println!("}}");
+        let rows = results
+            .iter()
+            .map(|(mat, r)| {
+                Json::obj()
+                    .field("matrix", Json::str(*mat))
+                    .field("strategy", Json::str(r.strategy))
+                    .field("intra_messages", Json::UInt(r.intra_messages))
+                    .field("intra_bytes", Json::UInt(r.intra_bytes))
+                    .field("inter_messages", Json::UInt(r.inter_messages))
+                    .field("inter_bytes", Json::UInt(r.inter_bytes))
+                    .field("seconds_per_exchange", Json::sci(r.secs_per_exchange, 6))
+                    .field("model_seconds", Json::sci(r.model_secs, 6))
+                    .field("gather_avg_run_len", Json::fixed(r.gather_avg_run_len, 2))
+            })
+            .collect();
+        print!(
+            "{}",
+            Json::obj()
+                .field("scale", Json::str(scale.label()))
+                .field("ranks", Json::UInt(ranks as u64))
+                .field("ranks_per_node", Json::UInt(rpn as u64))
+                .field("results", Json::Arr(rows))
+                .render()
+        );
         return;
     }
 

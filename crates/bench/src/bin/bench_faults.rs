@@ -19,7 +19,7 @@
 //! from `baseline`: the reported overhead should sit inside run-to-run
 //! noise (target < 1%). `enabled` quantifies what chaos testing costs.
 
-use spmv_bench::{header, hmep, Scale};
+use spmv_bench::{header, hmep, usize_flag, Json, Scale};
 use spmv_comm::{CommWorld, FaultPlan, FaultStats};
 use spmv_core::{run_spmd_on_world, CommStrategy, EngineConfig, RowPartition};
 use spmv_matrix::CsrMatrix;
@@ -70,13 +70,6 @@ fn bench_world<W: Fn() -> Vec<spmv_comm::Comm>>(
         secs_per_exchange: medians[medians.len() / 2],
         faults,
     }
-}
-
-fn usize_flag(args: &[String], name: &str, default: usize) -> usize {
-    args.windows(2)
-        .find(|w| w[0] == name)
-        .map(|w| w[1].parse().unwrap_or_else(|_| panic!("{name} wants N")))
-        .unwrap_or(default)
 }
 
 fn main() {
@@ -144,33 +137,35 @@ fn main() {
     let overhead_pct = |r: &FaultRun| (r.secs_per_exchange - base) / base * 100.0;
 
     if json {
-        println!("{{");
-        println!("  \"scale\": \"{}\",", scale.label());
-        println!("  \"ranks\": {ranks},");
-        println!("  \"ranks_per_node\": {rpn},");
-        println!("  \"iters\": {iters},");
-        println!("  \"reps\": {reps},");
-        println!("  \"results\": [");
-        let n = runs.len();
-        for (i, r) in runs.iter().enumerate() {
-            let comma = if i + 1 < n { "," } else { "" };
-            println!(
-                "    {{\"world\": \"{}\", \"seconds_per_exchange\": {:.6e}, \
-                 \"overhead_vs_baseline_pct\": {:.2}, \
-                 \"faults\": {{\"delayed\": {}, \"reordered\": {}, \
-                 \"duplicated\": {}, \"dropped\": {}, \"truncated\": {}}}}}{comma}",
-                r.world,
-                r.secs_per_exchange,
-                overhead_pct(r),
-                r.faults.delayed,
-                r.faults.reordered,
-                r.faults.duplicated,
-                r.faults.dropped,
-                r.faults.truncated,
-            );
-        }
-        println!("  ]");
-        println!("}}");
+        let rows = runs
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .field("world", Json::str(r.world))
+                    .field("seconds_per_exchange", Json::sci(r.secs_per_exchange, 6))
+                    .field("overhead_vs_baseline_pct", Json::fixed(overhead_pct(r), 2))
+                    .field(
+                        "faults",
+                        Json::obj()
+                            .field("delayed", Json::UInt(r.faults.delayed))
+                            .field("reordered", Json::UInt(r.faults.reordered))
+                            .field("duplicated", Json::UInt(r.faults.duplicated))
+                            .field("dropped", Json::UInt(r.faults.dropped))
+                            .field("truncated", Json::UInt(r.faults.truncated)),
+                    )
+            })
+            .collect();
+        print!(
+            "{}",
+            Json::obj()
+                .field("scale", Json::str(scale.label()))
+                .field("ranks", Json::UInt(ranks as u64))
+                .field("ranks_per_node", Json::UInt(rpn as u64))
+                .field("iters", Json::UInt(iters as u64))
+                .field("reps", Json::UInt(reps as u64))
+                .field("results", Json::Arr(rows))
+                .render()
+        );
         return;
     }
 

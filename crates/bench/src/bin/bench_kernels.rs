@@ -11,7 +11,7 @@
 //! format consumed by EXPERIMENTS.md bookkeeping.
 
 use spmv_bench::microbench::Bench;
-use spmv_bench::{gf, header, hmep, samg, Scale};
+use spmv_bench::{gf, header, hmep, samg, Json, Scale};
 use spmv_core::{prepare_kernel, KernelKind};
 use spmv_matrix::{synthetic, vecops, CsrMatrix, SellMatrix};
 
@@ -83,27 +83,28 @@ fn main() {
     }
 
     if json {
-        println!("{{");
-        println!("  \"scale\": \"{}\",", scale.label());
-        println!("  \"results\": [");
-        let n = rows.len();
-        for (i, r) in rows.iter().enumerate() {
-            let comma = if i + 1 < n { "," } else { "" };
-            if r.gflops.is_nan() {
-                println!(
-                    "    {{\"matrix\": \"{}\", \"kernel\": \"{}\"}}{comma}",
-                    r.matrix, r.kernel
-                );
-            } else {
-                println!(
-                    "    {{\"matrix\": \"{}\", \"kernel\": \"{}\", \"gflops\": {:.4}, \
-                     \"seconds_per_spmv\": {:.6e}, \"padding_factor\": {:.4}}}{comma}",
-                    r.matrix, r.kernel, r.gflops, r.min_s, r.padding_factor
-                );
-            }
-        }
-        println!("  ]");
-        println!("}}");
+        let results = rows
+            .iter()
+            .map(|r| {
+                let base = Json::obj()
+                    .field("matrix", Json::str(r.matrix))
+                    .field("kernel", Json::str(&r.kernel));
+                if r.gflops.is_nan() {
+                    base
+                } else {
+                    base.field("gflops", Json::fixed(r.gflops, 4))
+                        .field("seconds_per_spmv", Json::sci(r.min_s, 6))
+                        .field("padding_factor", Json::fixed(r.padding_factor, 4))
+                }
+            })
+            .collect();
+        print!(
+            "{}",
+            Json::obj()
+                .field("scale", Json::str(scale.label()))
+                .field("results", Json::Arr(results))
+                .render()
+        );
         return;
     }
 

@@ -5,29 +5,176 @@
 //! ```text
 //! cargo run --release -p spmv-bench --bin spmv_file -- <matrix.mtx> [ranks] [threads] \
 //!     [--kernel csr-scalar|csr-unrolled4|csr-sliced|sell[-C-σ]|auto] \
-//!     [--comm-strategy flat|node-aware] [--ranks-per-node N]
+//!     [--comm-strategy flat|node-aware] [--ranks-per-node N] [--trace <path>]
 //! ```
+//!
+//! The matrix argument also accepts the built-in pseudo-paths
+//! `holstein:<scale>` and `samg:<scale>` (`test|medium|paper`) so the
+//! pipeline can run without a Matrix Market file on disk — the form CI
+//! uses for its trace smoke job.
 //!
 //! Reports: sparsity statistics, the cache-model κ, the code-balance
 //! prediction for a Westmere socket, per-layout communication summaries,
 //! functional validation of all three kernel modes (real threads) through
 //! the selected node-level kernel, and the simulated strong-scaling
 //! ranking at 8 nodes.
+//!
+//! `--trace <path>` (or the `SPMV_TRACE=<path>` environment override,
+//! mirroring `SPMV_COMM_STRATEGY`) re-runs the three kernel modes with
+//! measured-time tracing enabled, writes the merged chrome://tracing JSON
+//! to `<path>`, self-validates it (the JSON must parse and carry the
+//! expected phase vocabulary — a failed check aborts with nonzero exit),
+//! and prints measured-vs-model drift.
 
-use spmv_bench::header;
+use spmv_bench::{header, holstein_params, samg_params, Scale};
 use spmv_core::engine::{CommStrategy, EngineConfig};
-use spmv_core::runner::distributed_spmv;
+use spmv_core::runner::{distributed_spmv, run_spmd};
 use spmv_core::{workload, KernelKind, KernelMode, RowPartition};
 use spmv_machine::{presets, HybridLayout};
+use spmv_matrix::CsrMatrix;
 use spmv_model::{code_balance_crs, estimate_kappa, predicted_gflops};
+use spmv_obs::{chrome_trace_json, validate_json, ModelDrift, RunTrace, TraceMetrics};
 use spmv_sim::scaling::simulate_modes;
 use spmv_sim::SimConfig;
 use std::io::BufReader;
+
+/// Loads the matrix argument: `holstein:<scale>` and `samg:<scale>` build
+/// the paper's application matrices in-process, anything else is read as a
+/// Matrix Market file.
+fn load_matrix(path: &str) -> CsrMatrix {
+    let scale = |name: &str| match name {
+        "test" => Scale::Test,
+        "medium" => Scale::Medium,
+        "paper" => Scale::Paper,
+        other => {
+            eprintln!("unknown scale '{other}' (use test|medium|paper)");
+            std::process::exit(2);
+        }
+    };
+    if let Some(s) = path.strip_prefix("holstein:") {
+        return spmv_matrix::holstein::hamiltonian(&holstein_params(
+            scale(s),
+            spmv_matrix::holstein::HolsteinOrdering::ElectronContiguous,
+        ));
+    }
+    if let Some(s) = path.strip_prefix("samg:") {
+        return spmv_matrix::samg::poisson(&samg_params(scale(s)));
+    }
+    let file = std::fs::File::open(path).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        std::process::exit(1);
+    });
+    spmv_matrix::io::read_matrix_market(BufReader::new(file)).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// The phase vocabulary a three-mode traced run must exhibit; missing
+/// labels mean an instrumentation site regressed.
+const EXPECTED_LABELS: [&str; 8] = [
+    "gather",
+    "post recvs",
+    "send",
+    "waitall",
+    "spmv(local)",
+    "spmv(nonlocal)",
+    "spmv(full)",
+    "barrier",
+];
+
+/// Re-runs every kernel mode with tracing on, writes the merged chrome
+/// trace to `out`, and self-validates the export — the trace smoke job's
+/// contract. Panics (nonzero exit) when the JSON or the phase vocabulary
+/// is broken.
+#[allow(clippy::too_many_arguments)]
+fn traced_runs(
+    m: &CsrMatrix,
+    x: &[f64],
+    ranks: usize,
+    threads: usize,
+    kernel: KernelKind,
+    comm_strategy: CommStrategy,
+    predicted: f64,
+    out: &str,
+) {
+    println!("\nmeasured-time trace ({ranks} ranks x {threads} threads, 3 SpMVs per mode):");
+    let mut parts = Vec::new();
+    let mut task_gflops = None;
+    for mode in KernelMode::ALL {
+        let cfg = if mode.needs_comm_thread() {
+            EngineConfig::task_mode(threads)
+        } else {
+            EngineConfig::hybrid(threads)
+        }
+        .with_kernel(kernel)
+        .with_comm_strategy(comm_strategy)
+        .with_tracing(true);
+        let traces = run_spmd(m, ranks, cfg, |eng| {
+            let lo = eng.row_start();
+            let n = eng.local_len();
+            let x_local = x[lo..lo + n].to_vec();
+            let mut y = vec![0.0; n];
+            for _ in 0..3 {
+                eng.apply(&x_local, &mut y, mode);
+            }
+            eng.take_trace().expect("tracing enabled")
+        });
+        let run = RunTrace::from_ranks(traces.iter().cloned());
+        let metrics = TraceMetrics::from_trace(&run);
+        println!(
+            "  {:<22} overlap eff {:.3}, measured {:.2} GFlop/s, {} spans",
+            mode.label(),
+            run.mean_overlap_efficiency(),
+            metrics.mean_gflops(),
+            run.events.len()
+        );
+        if mode == KernelMode::TaskMode {
+            task_gflops = Some(metrics.mean_gflops());
+        }
+        parts.extend(traces);
+    }
+
+    let merged = RunTrace::from_ranks(parts);
+    assert!(!merged.events.is_empty(), "traced run produced no spans");
+    let labels = merged.phase_labels();
+    for want in EXPECTED_LABELS {
+        assert!(
+            labels.contains(want),
+            "trace lacks phase '{want}' — an instrumentation site regressed \
+             (labels present: {labels:?})"
+        );
+    }
+    let doc = chrome_trace_json(&merged);
+    validate_json(&doc).unwrap_or_else(|e| panic!("chrome trace export is not valid JSON: {e}"));
+    std::fs::write(out, &doc).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!(
+        "  wrote {} spans to {out} (chrome://tracing JSON, validated, \
+     all {} expected phase labels present)",
+        merged.events.len(),
+        EXPECTED_LABELS.len()
+    );
+
+    // model drift: the socket-level roofline prediction vs what this host
+    // measured through the full distributed engine. In-process ranks share
+    // one memory bus, so "slower than model" is the expected verdict — the
+    // point of the check is catching silent order-of-magnitude regressions.
+    let drift = ModelDrift::new(predicted, task_gflops.unwrap_or(0.0));
+    println!(
+        "  model drift (task mode): predicted {:.2} GFlop/s, measured {:.2} GFlop/s \
+         ({:+.1}%, {:?})",
+        drift.predicted_gflops,
+        drift.measured_gflops,
+        drift.drift_pct(),
+        drift.verdict(2.0)
+    );
+}
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut kernel = KernelKind::CsrScalar;
     let mut strategy_arg: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut ranks_per_node = 4usize;
     let mut positional = Vec::new();
     let mut it = raw.iter();
@@ -48,8 +195,16 @@ fn main() {
                     .parse()
                     .expect("ranks per node");
             }
+            "--trace" => {
+                trace_path = Some(it.next().expect("--trace needs a path").clone());
+            }
             _ => positional.push(a.clone()),
         }
+    }
+    // SPMV_TRACE mirrors SPMV_COMM_STRATEGY: the env var carries the
+    // output path and the flag wins when both are given
+    if trace_path.is_none() {
+        trace_path = std::env::var("SPMV_TRACE").ok().filter(|v| !v.is_empty());
     }
     let comm_strategy = match &strategy_arg {
         Some(v) => CommStrategy::parse(v, ranks_per_node)
@@ -58,8 +213,9 @@ fn main() {
     };
     let Some(path) = positional.first() else {
         eprintln!(
-            "usage: spmv_file <matrix.mtx> [ranks] [threads] [--kernel <kind>] \
-             [--comm-strategy flat|node-aware] [--ranks-per-node N]"
+            "usage: spmv_file <matrix.mtx|holstein:<scale>|samg:<scale>> [ranks] [threads] \
+             [--kernel <kind>] [--comm-strategy flat|node-aware] [--ranks-per-node N] \
+             [--trace <path>]"
         );
         std::process::exit(2);
     };
@@ -72,14 +228,7 @@ fn main() {
         .map(|s| s.parse().expect("threads"))
         .unwrap_or(2);
 
-    let file = std::fs::File::open(path).unwrap_or_else(|e| {
-        eprintln!("cannot open {path}: {e}");
-        std::process::exit(1);
-    });
-    let m = spmv_matrix::io::read_matrix_market(BufReader::new(file)).unwrap_or_else(|e| {
-        eprintln!("cannot parse {path}: {e}");
-        std::process::exit(1);
-    });
+    let m = load_matrix(path);
 
     header(&format!("hybrid-spmv analysis of {path}"));
 
@@ -177,5 +326,18 @@ fn main() {
                 None => println!("  {:<22} (not realizable)", mode.label()),
             }
         }
+    }
+
+    if let Some(out) = &trace_path {
+        traced_runs(
+            &m,
+            &x,
+            ranks,
+            threads,
+            kernel,
+            comm_strategy,
+            predicted_gflops(ld.spmv_saturated_gbs(), balance),
+            out,
+        );
     }
 }

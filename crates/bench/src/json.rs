@@ -1,0 +1,179 @@
+//! Machine-readable `--json` output shared by the bench binaries.
+//!
+//! Each binary used to carry its own hand-rolled `println!` block with
+//! manual comma bookkeeping; this module replaces them with one small
+//! value tree and a deterministic pretty-printer. Number formatting stays
+//! under caller control ([`Json::fixed`] / [`Json::sci`]) so the emitted
+//! documents keep the precision the EXPERIMENTS.md bookkeeping expects.
+
+/// A JSON value. Object keys keep insertion order — the output is
+/// deterministic and diffs cleanly between runs.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// Literal `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Integer, printed as-is.
+    Int(i64),
+    /// Unsigned integer, printed as-is.
+    UInt(u64),
+    /// Pre-formatted number token (see [`Json::fixed`], [`Json::sci`]).
+    Num(String),
+    /// String, escaped on output.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object (ordered key/value pairs).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// A float in fixed-point notation with `prec` decimals (`{:.prec$}`).
+    /// Non-finite values become `null` (JSON has no NaN/Inf).
+    pub fn fixed(v: f64, prec: usize) -> Json {
+        if v.is_finite() {
+            Json::Num(format!("{v:.prec$}"))
+        } else {
+            Json::Null
+        }
+    }
+
+    /// A float in scientific notation with `prec` decimals (`{:.prec$e}`).
+    pub fn sci(v: f64, prec: usize) -> Json {
+        if v.is_finite() {
+            Json::Num(format!("{v:.prec$e}"))
+        } else {
+            Json::Null
+        }
+    }
+
+    /// An empty object to push fields onto with [`Json::field`].
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Appends a field to an object (builder style). Panics on non-objects.
+    pub fn field(mut self, key: &str, value: Json) -> Json {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.to_string(), value)),
+            _ => panic!("Json::field on a non-object"),
+        }
+        self
+    }
+
+    /// Pretty-prints with two-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(v) => out.push_str(&v.to_string()),
+            Json::UInt(v) => out.push_str(&v.to_string()),
+            Json::Num(tok) => out.push_str(tok),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_valid_json() {
+        let doc = Json::obj()
+            .field("scale", Json::str("test"))
+            .field("ranks", Json::UInt(8))
+            .field("nan_becomes_null", Json::fixed(f64::NAN, 4))
+            .field(
+                "results",
+                Json::Arr(vec![
+                    Json::obj()
+                        .field("gflops", Json::fixed(12.34567, 4))
+                        .field("seconds", Json::sci(1.5e-6, 6)),
+                    Json::obj(),
+                ]),
+            )
+            .field("empty", Json::Arr(vec![]))
+            .field("note", Json::str("quotes \" and \\ and\nnewline"));
+        let text = doc.render();
+        spmv_obs::validate_json(&text).expect("renderer must emit valid JSON");
+        assert!(text.contains("\"gflops\": 12.3457"));
+        assert!(text.contains("1.500000e-6"));
+        assert!(text.contains("\"nan_becomes_null\": null"));
+    }
+
+    #[test]
+    fn number_tokens_keep_caller_precision() {
+        assert!(matches!(Json::fixed(1.0, 2), Json::Num(t) if t == "1.00"));
+        assert!(matches!(Json::sci(0.000123, 3), Json::Num(t) if t == "1.230e-4"));
+    }
+}

@@ -200,6 +200,38 @@ impl FaultStats {
     }
 }
 
+/// The kind of an injected per-message fault, as recorded in the event
+/// log (the observer-facing mirror of the internal `FaultAction`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    Delay,
+    Reorder,
+    Duplicate,
+    Drop,
+    Truncate,
+}
+
+/// One injected fault, with enough context to stamp it onto a measured
+/// timeline: the flow it hit, its sequence number, the payload size and
+/// the moment the injector fired. Snapshot via `Comm::fault_events`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    pub kind: FaultKind,
+    pub src: usize,
+    pub dst: usize,
+    pub tag: Tag,
+    pub seq: u64,
+    /// Payload bytes of the affected message.
+    pub bytes: usize,
+    /// When the injector decided the fault (monotonic).
+    pub at: Instant,
+}
+
+/// Event-log bound: counters stay exact forever, but per-event context
+/// stops accumulating past this point so a long chaos soak cannot grow
+/// memory without bound.
+const FAULT_LOG_CAP: usize = 65_536;
+
 /// What the injector decided for one message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum FaultAction {
@@ -253,6 +285,8 @@ pub(crate) struct ChaosState {
     /// its flow successor. Flushed by the pump if no successor shows up.
     reorder: Mutex<HashMap<(usize, usize, Tag), HeldMsg>>,
     counters: Counters,
+    /// Per-fault context log (bounded; see [`FAULT_LOG_CAP`]).
+    events: Mutex<Vec<FaultEvent>>,
     /// Completed communication operations per rank (drives stall/kill).
     rank_ops: Vec<AtomicU64>,
     /// `poll_failure` calls per rank (drives `FailSpec`).
@@ -278,6 +312,7 @@ impl ChaosState {
             held: Mutex::new(Vec::new()),
             reorder: Mutex::new(HashMap::new()),
             counters: Counters::default(),
+            events: Mutex::new(Vec::new()),
             rank_ops: (0..size).map(|_| AtomicU64::new(0)).collect(),
             polls: (0..size).map(|_| AtomicU64::new(0)).collect(),
             dead: (0..size).map(|_| AtomicBool::new(false)).collect(),
@@ -332,17 +367,44 @@ impl ChaosState {
         FaultAction::Deliver
     }
 
-    pub fn count(&self, action: FaultAction) {
+    /// Counts a fired fault and appends it to the bounded event log.
+    pub fn record(
+        &self,
+        action: FaultAction,
+        src: usize,
+        dst: usize,
+        tag: Tag,
+        seq: u64,
+        bytes: usize,
+    ) {
         let c = &self.counters;
-        let ctr = match action {
+        let (ctr, kind) = match action {
             FaultAction::Deliver => return,
-            FaultAction::Delay => &c.delayed,
-            FaultAction::Reorder => &c.reordered,
-            FaultAction::Duplicate => &c.duplicated,
-            FaultAction::DropRetransmit => &c.dropped,
-            FaultAction::Truncate => &c.truncated,
+            FaultAction::Delay => (&c.delayed, FaultKind::Delay),
+            FaultAction::Reorder => (&c.reordered, FaultKind::Reorder),
+            FaultAction::Duplicate => (&c.duplicated, FaultKind::Duplicate),
+            FaultAction::DropRetransmit => (&c.dropped, FaultKind::Drop),
+            FaultAction::Truncate => (&c.truncated, FaultKind::Truncate),
         };
         ctr.fetch_add(1, Ordering::Relaxed);
+        let mut log = self.events.lock().unwrap();
+        if log.len() < FAULT_LOG_CAP {
+            log.push(FaultEvent {
+                kind,
+                src,
+                dst,
+                tag,
+                seq,
+                bytes,
+                at: Instant::now(),
+            });
+        }
+    }
+
+    /// Snapshot of the fault event log (world-global; every rank sees the
+    /// same sequence).
+    pub fn events(&self) -> Vec<FaultEvent> {
+        self.events.lock().unwrap().clone()
     }
 
     pub fn stats(&self) -> FaultStats {
@@ -495,6 +557,26 @@ mod tests {
         assert_eq!(st.next_seq(0, 1, 17), 1);
         assert_eq!(st.next_seq(1, 0, 17), 0);
         assert_eq!(st.next_seq(0, 1, 18), 0);
+    }
+
+    #[test]
+    fn record_logs_context_and_counts() {
+        let st = ChaosState::new(FaultPlan::new(1).delay(1.0, 1), 4);
+        st.record(FaultAction::Deliver, 0, 1, 17, 0, 8); // not a fault
+        st.record(FaultAction::Delay, 0, 1, 17, 1, 80);
+        st.record(FaultAction::Truncate, 2, 3, 19, 5, 160);
+        assert_eq!(st.stats().delayed, 1);
+        assert_eq!(st.stats().truncated, 1);
+        let evs = st.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].kind, FaultKind::Delay);
+        assert_eq!(
+            (evs[0].src, evs[0].dst, evs[0].tag, evs[0].seq),
+            (0, 1, 17, 1)
+        );
+        assert_eq!(evs[0].bytes, 80);
+        assert_eq!(evs[1].kind, FaultKind::Truncate);
+        assert!(evs[1].at >= evs[0].at);
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod stats;
 pub mod world;
 
 pub use error::{CommError, PendingKind, PendingOp, StallReport};
-pub use fault::{FaultPlan, FaultStats};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultStats};
 pub use pod::Pod;
 pub use stats::{CommStats, WorldStats};
 pub use world::{Comm, CommWorld, RecvRequest, Request, Tag, WorldBuilder};

@@ -131,6 +131,15 @@ impl WorldStats {
         }
     }
 
+    /// Counter deltas accumulated since `baseline` — the snapshot-diffing
+    /// idiom (`stats().snapshot()` before, `phase_delta` after) every
+    /// bench used to hand-roll. Meaningful only when both ends sit
+    /// outside in-flight traffic, e.g. bracketed by barriers; the
+    /// engine's `RankEngine::phase_delta` wraps exactly that dance.
+    pub fn phase_delta(&self, baseline: &CommStats) -> CommStats {
+        self.snapshot().since(baseline)
+    }
+
     /// Resets all counters (e.g. after warm-up iterations).
     pub fn reset(&self) {
         self.messages.store(0, Ordering::Relaxed);
@@ -174,6 +183,19 @@ mod tests {
         assert_eq!(delta.intra_bytes, 30);
         assert_eq!(delta.inter_messages, 1);
         assert_eq!(delta.inter_bytes, 70);
+    }
+
+    #[test]
+    fn phase_delta_matches_snapshot_since() {
+        let s = WorldStats::default();
+        s.record_message(40, true);
+        let base = s.snapshot();
+        s.record_message(60, false);
+        let delta = s.phase_delta(&base);
+        assert_eq!(delta, s.snapshot().since(&base));
+        assert_eq!(delta.messages, 1);
+        assert_eq!(delta.bytes, 60);
+        assert_eq!(delta.intra_messages, 1);
     }
 
     #[test]

@@ -379,7 +379,7 @@ impl WorldShared {
             // the internal collective protocol and off empty messages
             action = FaultAction::Deliver;
         }
-        chaos.count(action);
+        chaos.record(action, src, dst, tag, seq, bytes.len());
         let now = Instant::now();
         // a message stashed for reorder on this flow is delivered *after*
         // the current one — that is the injected inversion
@@ -1290,6 +1290,17 @@ impl Comm {
     /// Counters of injected faults, when a plan is attached.
     pub fn fault_stats(&self) -> Option<FaultStats> {
         self.shared.chaos.as_ref().map(|c| c.stats())
+    }
+
+    /// The per-fault event log (empty without a plan). World-global and
+    /// identical on every rank; consumers filter by `src` when stamping
+    /// faults onto per-rank timelines.
+    pub fn fault_events(&self) -> Vec<crate::fault::FaultEvent> {
+        self.shared
+            .chaos
+            .as_ref()
+            .map(|c| c.events())
+            .unwrap_or_default()
     }
 
     /// Whether the watchdog has declared this world dead.

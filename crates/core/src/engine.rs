@@ -34,9 +34,10 @@ use crate::plan::{
     build_node_aware_distributed, build_plan_distributed, CommTraffic, NodeAwarePlan, RankPlan,
 };
 use crate::split::SplitMatrix;
-use spmv_comm::{Comm, CommError, Request, Tag};
+use spmv_comm::{Comm, CommError, CommStats, Request, Tag};
 use spmv_machine::RankNodeMap;
 use spmv_matrix::CsrMatrix;
+use spmv_obs::{Phase, RankTrace, TraceSink};
 use spmv_smp::workshare::balanced_chunks;
 use spmv_smp::ThreadTeam;
 use std::ops::Range;
@@ -145,6 +146,12 @@ pub struct EngineConfig {
     pub comm_strategy: CommStrategy,
     /// Reaction to a degraded (injected-dead) node-aware leader rank.
     pub degraded: DegradedPolicy,
+    /// Measured-time tracing (see `spmv-obs`). Zero-cost when false: the
+    /// engine carries no recorder and every instrumentation site is a
+    /// branch on a missing `Option` (the fault injector's contract,
+    /// measured by `bench_trace`). Defaults to on when the `SPMV_TRACE`
+    /// environment variable is set, mirroring `SPMV_COMM_STRATEGY`.
+    pub tracing: bool,
 }
 
 impl Default for EngineConfig {
@@ -155,6 +162,7 @@ impl Default for EngineConfig {
             kernel: KernelKind::CsrScalar,
             comm_strategy: CommStrategy::from_env().unwrap_or(CommStrategy::Flat),
             degraded: DegradedPolicy::Strict,
+            tracing: std::env::var_os("SPMV_TRACE").is_some(),
         }
     }
 }
@@ -201,6 +209,11 @@ impl EngineConfig {
     pub fn with_degraded_policy(self, degraded: DegradedPolicy) -> Self {
         Self { degraded, ..self }
     }
+
+    /// Returns the config with measured-time tracing switched on or off.
+    pub fn with_tracing(self, tracing: bool) -> Self {
+        Self { tracing, ..self }
+    }
 }
 
 /// Raw pointer wrapper for disjoint multi-threaded writes.
@@ -228,6 +241,31 @@ impl ExchangePtr {
     fn raw(&self) -> *mut Exchange {
         self.0
     }
+}
+
+/// Timestamp for a phase about to run — free when tracing is off (the
+/// clock is only read when a recorder exists).
+#[inline]
+fn tnow(trace: Option<&TraceSink>) -> f64 {
+    match trace {
+        Some(ts) => ts.now(),
+        None => 0.0,
+    }
+}
+
+/// Closes a span opened at `t0` (via [`tnow`]) and records it; a no-op
+/// without a recorder.
+#[inline]
+fn rec(trace: Option<&TraceSink>, lane: usize, phase: Phase, t0: f64, bytes: u64, nnz: u64) {
+    if let Some(ts) = trace {
+        ts.record(lane, phase, t0, ts.now(), bytes, nnz);
+    }
+}
+
+/// Nonzeros of a contiguous row chunk (for kernel-span annotations).
+#[inline]
+fn chunk_nnz(mat: &CsrMatrix, r: &Range<usize>) -> u64 {
+    (mat.row_ptr()[r.end] - mat.row_ptr()[r.start]) as u64
 }
 
 /// Per-strategy runtime state of the halo exchange.
@@ -303,6 +341,8 @@ pub struct RankEngine {
     kern_nonlocal: Box<dyn SpmvKernel>,
     // counters
     spmv_calls: u64,
+    // measured-time recorder (None unless cfg.tracing; see spmv-obs)
+    trace: Option<Box<TraceSink>>,
 }
 
 impl RankEngine {
@@ -372,7 +412,11 @@ impl RankEngine {
         let kern_nonlocal = prepare_kernel(resolved, &mats.nonlocal);
 
         let c = cfg.compute_threads;
+        let trace = cfg
+            .tracing
+            .then(|| Box::new(TraceSink::new(comm.rank(), c)));
         Self {
+            trace,
             kern_full,
             kern_local,
             kern_nonlocal,
@@ -490,6 +534,43 @@ impl RankEngine {
     /// Number of SpMV calls executed so far.
     pub fn spmv_calls(&self) -> u64 {
         self.spmv_calls
+    }
+
+    /// The measured-time trace sink, when tracing is enabled (solvers use
+    /// it to add iteration spans on the dedicated solver lane).
+    pub fn trace_sink(&self) -> Option<&TraceSink> {
+        self.trace.as_deref()
+    }
+
+    /// Drains the recorder into this rank's measured trace, stamping the
+    /// injected faults that originated here and this rank's entry of any
+    /// watchdog stall report as typed events. Returns `None` when tracing
+    /// is disabled; the recorder is reset, so traces of successive
+    /// measured regions don't bleed into each other.
+    pub fn take_trace(&mut self) -> Option<RankTrace> {
+        let ts = self.trace.as_deref()?;
+        let mut rt = ts.drain();
+        rt.stamp_faults(&self.comm.fault_events());
+        if let Some(report) = self.comm.stall_report() {
+            rt.stamp_stall(&report);
+        }
+        Some(rt)
+    }
+
+    /// Collective snapshot-diffing helper: runs `f` bracketed by barriers
+    /// and returns its result together with the world-global traffic delta
+    /// of exactly that phase. Encapsulates the barrier / snapshot /
+    /// barrier / work / barrier / diff dance the benches used to hand-roll
+    /// (the counters are world-global, so the barriers keep every rank's
+    /// traffic out of each other's phase).
+    pub fn phase_delta<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> (R, CommStats) {
+        self.comm.barrier();
+        let base = self.comm.stats().snapshot();
+        self.comm.barrier();
+        let r = f(self);
+        self.comm.barrier();
+        let delta = self.comm.stats().phase_delta(&base);
+        (r, delta)
     }
 
     /// Executes one distributed SpMV `y = A x` in the given mode. All ranks
@@ -809,8 +890,10 @@ impl RankEngine {
     /// Fallible twin of [`Self::halo_exchange`].
     pub fn halo_exchange_checked(&mut self) -> Result<(), CommError> {
         let nloc = self.plan.local_len;
+        let trace = self.trace.as_deref();
         let (x_loc, halo) = self.x_ext.split_at_mut(nloc);
         let x_loc = &*x_loc;
+        let t = tnow(trace);
         Self::gather_into(
             &self.team,
             self.cfg.compute_threads,
@@ -819,18 +902,40 @@ impl RankEngine {
             x_loc,
             &mut self.send_buf,
         );
+        rec(
+            trace,
+            1,
+            Phase::Gather,
+            t,
+            (self.send_buf.len() * 8) as u64,
+            0,
+        );
+        let halo_bytes = (halo.len() * 8) as u64;
+        let send_bytes = (self.send_buf.len() * 8) as u64;
         match &mut self.exchange {
             Exchange::Flat => {
+                let t = tnow(trace);
                 let rreqs = Self::post_receives(&self.comm, &self.plan, &self.halo_offsets, halo);
+                rec(trace, 0, Phase::PostRecvs, t, halo_bytes, 0);
+                let t = tnow(trace);
                 let sreqs =
                     Self::post_sends(&self.comm, &self.plan, &self.send_offsets, &self.send_buf)?;
+                rec(trace, 0, Phase::Send, t, send_bytes, 0);
                 // all halo data lands here (progress inside the call)
-                self.comm.try_waitall(rreqs)?;
-                self.comm.try_waitall(sreqs)
+                let t = tnow(trace);
+                let res = self
+                    .comm
+                    .try_waitall(rreqs)
+                    .and_then(|()| self.comm.try_waitall(sreqs));
+                rec(trace, 0, Phase::Waitall, t, halo_bytes, 0);
+                res
             }
             Exchange::NodeAware(st) => {
+                let t = tnow(trace);
                 let reqs = Self::na_begin(&self.comm, &st.plan, &self.send_buf)?;
-                Self::na_finish(
+                rec(trace, 0, Phase::Send, t, send_bytes, 0);
+                let t = tnow(trace);
+                let res = Self::na_finish(
                     &self.comm,
                     &st.plan,
                     &mut st.ship_bufs,
@@ -839,7 +944,9 @@ impl RankEngine {
                     &self.send_buf,
                     halo,
                     reqs,
-                )
+                );
+                rec(trace, 0, Phase::Waitall, t, halo_bytes, 0);
+                res
             }
         }
     }
@@ -850,6 +957,8 @@ impl RankEngine {
     fn vector_no_overlap(&mut self) -> Result<(), CommError> {
         self.halo_exchange_checked()?;
         // full SpMV over the extended vector
+        let trace = self.trace.as_deref();
+        let t = tnow(trace);
         Self::run_kernel_phase(
             &self.team,
             self.cfg.compute_threads,
@@ -860,6 +969,7 @@ impl RankEngine {
             &mut self.y,
             false,
         );
+        rec(trace, 1, Phase::SpmvFull, t, 0, self.mats.full.nnz() as u64);
         Ok(())
     }
 
@@ -870,8 +980,10 @@ impl RankEngine {
     fn vector_naive_overlap(&mut self) -> Result<(), CommError> {
         let nloc = self.plan.local_len;
         let c = self.cfg.compute_threads;
+        let trace = self.trace.as_deref();
         let (x_loc, halo) = self.x_ext.split_at_mut(nloc);
         let x_loc = &*x_loc;
+        let t = tnow(trace);
         Self::gather_into(
             &self.team,
             c,
@@ -880,12 +992,27 @@ impl RankEngine {
             x_loc,
             &mut self.send_buf,
         );
+        rec(
+            trace,
+            1,
+            Phase::Gather,
+            t,
+            (self.send_buf.len() * 8) as u64,
+            0,
+        );
+        let halo_bytes = (halo.len() * 8) as u64;
+        let send_bytes = (self.send_buf.len() * 8) as u64;
         match &mut self.exchange {
             Exchange::Flat => {
+                let t = tnow(trace);
                 let rreqs = Self::post_receives(&self.comm, &self.plan, &self.halo_offsets, halo);
+                rec(trace, 0, Phase::PostRecvs, t, halo_bytes, 0);
+                let t = tnow(trace);
                 let sreqs =
                     Self::post_sends(&self.comm, &self.plan, &self.send_offsets, &self.send_buf)?;
+                rec(trace, 0, Phase::Send, t, send_bytes, 0);
                 // local SpMV (communication does NOT progress meanwhile)
+                let t = tnow(trace);
                 Self::run_kernel_phase(
                     &self.team,
                     c,
@@ -895,13 +1022,29 @@ impl RankEngine {
                     x_loc,
                     &mut self.y,
                     false,
+                );
+                rec(
+                    trace,
+                    1,
+                    Phase::SpmvLocal,
+                    t,
+                    0,
+                    self.mats.local.nnz() as u64,
                 );
                 // the transfers actually complete here
-                self.comm.try_waitall(rreqs)?;
-                self.comm.try_waitall(sreqs)?;
+                let t = tnow(trace);
+                let res = self
+                    .comm
+                    .try_waitall(rreqs)
+                    .and_then(|()| self.comm.try_waitall(sreqs));
+                rec(trace, 0, Phase::Waitall, t, halo_bytes, 0);
+                res?;
             }
             Exchange::NodeAware(st) => {
+                let t = tnow(trace);
                 let reqs = Self::na_begin(&self.comm, &st.plan, &self.send_buf)?;
+                rec(trace, 0, Phase::Send, t, send_bytes, 0);
+                let t = tnow(trace);
                 Self::run_kernel_phase(
                     &self.team,
                     c,
@@ -912,7 +1055,16 @@ impl RankEngine {
                     &mut self.y,
                     false,
                 );
-                Self::na_finish(
+                rec(
+                    trace,
+                    1,
+                    Phase::SpmvLocal,
+                    t,
+                    0,
+                    self.mats.local.nnz() as u64,
+                );
+                let t = tnow(trace);
+                let res = Self::na_finish(
                     &self.comm,
                     &st.plan,
                     &mut st.ship_bufs,
@@ -921,12 +1073,15 @@ impl RankEngine {
                     &self.send_buf,
                     halo,
                     reqs,
-                )?;
+                );
+                rec(trace, 0, Phase::Waitall, t, halo_bytes, 0);
+                res?;
             }
         }
 
         // non-local part accumulates into y (second write — Eq. 2 traffic)
         let halo = &self.x_ext[nloc..];
+        let t = tnow(trace);
         Self::run_kernel_phase(
             &self.team,
             c,
@@ -936,6 +1091,14 @@ impl RankEngine {
             halo,
             &mut self.y,
             true,
+        );
+        rec(
+            trace,
+            1,
+            Phase::SpmvNonlocal,
+            t,
+            0,
+            self.mats.nonlocal.nnz() as u64,
         );
         Ok(())
     }
@@ -980,6 +1143,7 @@ impl RankEngine {
         let kern_local = &self.kern_local;
         let kern_nonlocal = &self.kern_nonlocal;
         let ex_ptr = ExchangePtr(&mut self.exchange);
+        let trace = self.trace.as_deref();
         // First communication fault seen by the comm thread; read back
         // after the region. The comm thread reaches B1/B2 regardless.
         let comm_err: Mutex<Option<CommError>> = Mutex::new(None);
@@ -987,7 +1151,7 @@ impl RankEngine {
 
         team.run(|ctx| {
             if ctx.tid == 0 {
-                // ---- dedicated communication thread ----
+                // ---- dedicated communication thread (trace lane 0) ----
                 // Safety: until B2 the halo region and the exchange state
                 // are exclusively owned by this thread (compute threads
                 // read only the local part, and the enclosing call blocks
@@ -995,23 +1159,37 @@ impl RankEngine {
                 let halo: &mut [f64] =
                     unsafe { std::slice::from_raw_parts_mut(halo_ptr.raw(), halo_len) };
                 let exchange: &mut Exchange = unsafe { &mut *ex_ptr.raw() };
+                let halo_bytes = (halo_len * 8) as u64;
                 let res = match exchange {
                     Exchange::Flat => {
+                        let t = tnow(trace);
                         let rreqs = Self::post_receives(comm, plan, halo_offsets, halo);
+                        rec(trace, 0, Phase::PostRecvs, t, halo_bytes, 0);
+                        let t = tnow(trace);
                         ctx.barrier(); // B1: gather finished
+                        rec(trace, 0, Phase::Barrier, t, 0, 0);
                         let send_buf: &[f64] =
                             unsafe { std::slice::from_raw_parts(sp.raw(), send_buf_len) };
-                        Self::post_sends(comm, plan, send_offsets, send_buf).and_then(|sreqs| {
-                            // progress here, overlapping compute
-                            comm.try_waitall(rreqs)?;
-                            comm.try_waitall(sreqs)
-                        })
+                        let t = tnow(trace);
+                        let res = Self::post_sends(comm, plan, send_offsets, send_buf).and_then(
+                            |sreqs| {
+                                // progress here, overlapping compute
+                                comm.try_waitall(rreqs)?;
+                                comm.try_waitall(sreqs)
+                            },
+                        );
+                        // one span for Isend + waits: the overlapped window
+                        rec(trace, 0, Phase::Waitall, t, halo_bytes, 0);
+                        res
                     }
                     Exchange::NodeAware(st) => {
+                        let t = tnow(trace);
                         ctx.barrier(); // B1: gather finished
+                        rec(trace, 0, Phase::Barrier, t, 0, 0);
                         let send_buf: &[f64] =
                             unsafe { std::slice::from_raw_parts(sp.raw(), send_buf_len) };
-                        Self::na_begin(comm, &st.plan, send_buf).and_then(|reqs| {
+                        let t = tnow(trace);
+                        let res = Self::na_begin(comm, &st.plan, send_buf).and_then(|reqs| {
                             Self::na_finish(
                                 comm,
                                 &st.plan,
@@ -1022,21 +1200,31 @@ impl RankEngine {
                                 halo,
                                 reqs,
                             )
-                        })
+                        });
+                        rec(trace, 0, Phase::Waitall, t, halo_bytes, 0);
+                        res
                     }
                 };
                 if let Err(e) = res {
                     *comm_err.lock().unwrap() = Some(e);
                 }
+                let t = tnow(trace);
                 ctx.barrier(); // B2: comm done & local SpMV done
-                               // non-local phase: nothing to do for the comm thread
+                rec(trace, 0, Phase::Barrier, t, 0, 0);
+                // non-local phase: nothing to do for the comm thread
             } else {
-                // ---- compute threads ----
+                // ---- compute threads (trace lanes 1..=C) ----
                 let ctid = ctx.tid - 1;
+                let lane = ctx.tid;
                 // gather into the send buffer (disjoint run ranges)
+                let t = tnow(trace);
                 unsafe { prog.execute_runs_raw(gather_chunks[ctid].clone(), x_loc, sp.raw()) };
+                rec(trace, lane, Phase::Gather, t, 0, 0);
+                let t = tnow(trace);
                 ctx.barrier(); // B1
-                               // local SpMV, one contiguous nonzero-balanced chunk each
+                rec(trace, lane, Phase::Barrier, t, 0, 0);
+                // local SpMV, one contiguous nonzero-balanced chunk each
+                let t = tnow(trace);
                 unsafe {
                     kern_local.spmv_rows_raw(
                         &mats.local,
@@ -1046,9 +1234,20 @@ impl RankEngine {
                         false,
                     )
                 };
+                rec(
+                    trace,
+                    lane,
+                    Phase::SpmvLocal,
+                    t,
+                    0,
+                    chunk_nnz(&mats.local, &local_chunks[ctid]),
+                );
+                let t = tnow(trace);
                 ctx.barrier(); // B2: halo data is now in place
-                               // non-local SpMV reads the halo (now immutable)
+                rec(trace, lane, Phase::Barrier, t, 0, 0);
+                // non-local SpMV reads the halo (now immutable)
                 let halo: &[f64] = unsafe { std::slice::from_raw_parts(halo_ptr.raw(), halo_len) };
+                let t = tnow(trace);
                 unsafe {
                     kern_nonlocal.spmv_rows_raw(
                         &mats.nonlocal,
@@ -1058,6 +1257,14 @@ impl RankEngine {
                         true,
                     )
                 };
+                rec(
+                    trace,
+                    lane,
+                    Phase::SpmvNonlocal,
+                    t,
+                    0,
+                    chunk_nnz(&mats.nonlocal, &nonlocal_chunks[ctid]),
+                );
             }
         });
         let first_err = comm_err.lock().unwrap().take();
@@ -1294,17 +1501,11 @@ mod tests {
                     scope.spawn(move || {
                         let block = matrix.row_block(partition.range(c.rank()));
                         let mut eng = RankEngine::new(c, &block, partition, cfg);
-                        // world-global counters: bracket both snapshots with
-                        // message-free barriers so no rank races traffic in
-                        eng.comm().barrier(); // plan-construction traffic done
-                        let base = eng.comm().stats().snapshot();
-                        eng.comm().barrier(); // all baselines taken
-                        eng.halo_exchange();
-                        eng.comm().barrier(); // all exchange traffic recorded
-                        (
-                            eng.comm().rank(),
-                            eng.comm().stats().snapshot().since(&base),
-                        )
+                        let rank = eng.comm().rank();
+                        // phase_delta brackets the exchange with the
+                        // message-free barriers the world-global counters need
+                        let (_, delta) = eng.phase_delta(|e| e.halo_exchange());
+                        (rank, delta)
                     })
                 })
                 .collect();
@@ -1484,6 +1685,64 @@ mod tests {
             let err = vecops::max_abs_diff(&part, &y_ref[start..start + part.len()]);
             assert!(err < 1e-11, "flat-demoted result off by {err}");
         }
+    }
+
+    #[test]
+    fn tracing_records_expected_phases_per_mode() {
+        use spmv_obs::RunTrace;
+        let m = synthetic::random_banded_symmetric(300, 40, 5.0, 3);
+        // pinned flat: "post recvs" only exists in the flat exchange (the
+        // node-aware finish receives inside its waitall window)
+        let cfg = EngineConfig::task_mode(2)
+            .with_comm_strategy(CommStrategy::Flat)
+            .with_tracing(true);
+        let parts = crate::runner::run_spmd(&m, 4, cfg, |eng| {
+            assert!(eng.trace_sink().is_some());
+            eng.x_local_mut().fill(1.0);
+            for mode in KernelMode::ALL {
+                eng.spmv(mode);
+            }
+            eng.take_trace().expect("tracing enabled")
+        });
+        let trace = RunTrace::from_ranks(parts);
+        assert_eq!(trace.ranks(), vec![0, 1, 2, 3]);
+        assert_eq!(trace.dropped, 0);
+        let labels = trace.phase_labels();
+        for expected in [
+            "gather",
+            "post recvs",
+            "send",
+            "waitall",
+            "spmv(full)",
+            "spmv(local)",
+            "spmv(nonlocal)",
+            "barrier",
+        ] {
+            assert!(labels.contains(expected), "missing {expected}: {labels:?}");
+        }
+        // every traced phase span carries a nonnegative duration on the
+        // shared clock
+        assert!(trace.events.iter().all(|e| e.t1 >= e.t0 && e.t0 >= 0.0));
+        // task mode's comm thread recorded on lane 0, compute on 1..=2
+        assert!(trace.events.iter().any(|e| e.lane == 0));
+        assert!(trace.events.iter().any(|e| e.lane == 2));
+    }
+
+    #[test]
+    fn disabled_tracing_carries_no_recorder() {
+        let m = synthetic::tridiagonal(40, 2.0, -1.0);
+        let p = RowPartition::by_nnz(&m, 1);
+        let comms = CommWorld::create(1);
+        let mut eng = RankEngine::new(
+            comms.into_iter().next().unwrap(),
+            &m,
+            &p,
+            EngineConfig::hybrid(2).with_tracing(false),
+        );
+        assert!(eng.trace_sink().is_none());
+        eng.x_local_mut().fill(1.0);
+        eng.spmv(KernelMode::VectorNoOverlap);
+        assert!(eng.take_trace().is_none());
     }
 
     #[test]

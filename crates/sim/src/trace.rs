@@ -25,6 +25,26 @@ pub struct Trace {
 }
 
 impl Trace {
+    /// A simulated-style trace built from a *measured* run
+    /// (`spmv_obs::RunTrace`): same event vocabulary, same queries, same
+    /// ASCII renderer — so the Fig. 4 schematic can be drawn from real
+    /// timings next to its simulated twin.
+    pub fn from_measured(run: &spmv_obs::RunTrace) -> Trace {
+        Trace {
+            events: run
+                .events
+                .iter()
+                .map(|e| TraceEvent {
+                    rank: e.rank,
+                    lane: e.lane,
+                    label: e.phase.label(),
+                    t0: e.t0,
+                    t1: e.t1,
+                })
+                .collect(),
+        }
+    }
+
     /// Events of one rank, sorted by start time.
     pub fn rank_events(&self, rank: usize) -> Vec<&TraceEvent> {
         let mut ev: Vec<&TraceEvent> = self.events.iter().filter(|e| e.rank == rank).collect();
@@ -33,11 +53,26 @@ impl Trace {
     }
 
     /// Total time rank `rank` spent in segments whose label contains
-    /// `pattern`.
+    /// `pattern`. Substring matching aggregates label families — e.g.
+    /// `"spmv"` sums `spmv(local)` + `spmv(nonlocal)` + `spmv(full)` —
+    /// which also means it silently conflates them: use
+    /// [`Trace::time_in_exact`] when you mean one specific phase.
     pub fn time_in(&self, rank: usize, pattern: &str) -> f64 {
         self.events
             .iter()
             .filter(|e| e.rank == rank && e.label.contains(pattern))
+            .map(|e| e.t1 - e.t0)
+            .sum()
+    }
+
+    /// Total time rank `rank` spent in segments labelled *exactly*
+    /// `label` — the single-phase twin of the substring-matching
+    /// [`Trace::time_in`] (querying `"spmv(local)"` here cannot pick up
+    /// `"spmv(nonlocal)"`, and `"spmv"` matches nothing).
+    pub fn time_in_exact(&self, rank: usize, label: &str) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| e.rank == rank && e.label == label)
             .map(|e| e.t1 - e.t0)
             .sum()
     }
@@ -164,6 +199,58 @@ mod tests {
         assert!((t.time_in(0, "spmv") - 0.7).abs() < 1e-12);
         assert!((t.time_in(0, "waitall") - 0.8).abs() < 1e-12);
         assert_eq!(t.time_in(1, "gather"), 0.0);
+    }
+
+    #[test]
+    fn time_in_exact_does_not_conflate_label_families() {
+        let t = sample();
+        // the substring query conflates the two spmv phases...
+        assert!((t.time_in(0, "spmv") - 0.7).abs() < 1e-12);
+        // ...the exact query separates them
+        assert!((t.time_in_exact(0, "spmv(local)") - 0.6).abs() < 1e-12);
+        assert!((t.time_in_exact(0, "spmv(nonlocal)") - 0.1).abs() < 1e-12);
+        assert_eq!(
+            t.time_in_exact(0, "spmv"),
+            0.0,
+            "no segment is labelled bare 'spmv'"
+        );
+        assert!((t.time_in_exact(0, "waitall") - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measured_trace_converts_to_sim_vocabulary() {
+        use spmv_obs::{Phase, RankTrace, RunTrace, SpanEvent};
+        let run = RunTrace::from_ranks([RankTrace {
+            rank: 0,
+            events: vec![
+                SpanEvent {
+                    phase: Phase::Waitall,
+                    rank: 0,
+                    lane: 0,
+                    t0: 0.0,
+                    t1: 0.4,
+                    bytes: 64,
+                    nnz: 0,
+                },
+                SpanEvent {
+                    phase: Phase::SpmvLocal,
+                    rank: 0,
+                    lane: 1,
+                    t0: 0.1,
+                    t1: 0.3,
+                    bytes: 0,
+                    nnz: 10,
+                },
+            ],
+            dropped: 0,
+        }]);
+        let t = Trace::from_measured(&run);
+        assert_eq!(t.events.len(), 2);
+        assert!((t.time_in_exact(0, "waitall") - 0.4).abs() < 1e-12);
+        assert!((t.time_in_exact(0, "spmv(local)") - 0.2).abs() < 1e-12);
+        // the renderer understands the shared labels
+        let art = t.render_rank_ascii(0, 20);
+        assert!(art.contains('w') && art.contains('L'));
     }
 
     #[test]

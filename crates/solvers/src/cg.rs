@@ -2,9 +2,11 @@
 //! canonical consumer of SpMV for the sAMG-type Poisson matrices.
 
 use crate::operator::LinOp;
+use crate::operator::{iter_start, record_iter};
 use crate::ops::GlobalOps;
 use crate::status::SolveStatus;
 use spmv_matrix::vecops;
+use spmv_obs::Phase;
 
 /// Outcome of a CG solve.
 #[derive(Debug, Clone)]
@@ -56,6 +58,7 @@ pub fn cg_solve<O: LinOp, G: GlobalOps>(
     let mut status = None;
 
     while !converged && iterations < max_iter {
+        let t0 = iter_start(op);
         op.apply(&p, &mut ap);
         let pap = ops.dot(&p, &ap);
         if !pap.is_finite() {
@@ -81,6 +84,7 @@ pub fn cg_solve<O: LinOp, G: GlobalOps>(
         }
         rr = rr_new;
         iterations += 1;
+        record_iter(op, Phase::CgIter, t0, iterations);
         let rel = rr.sqrt() / b_norm;
         history.push(rel);
         converged = rel <= tol;
@@ -142,6 +146,7 @@ pub fn pcg_solve_jacobi<O: LinOp, G: GlobalOps>(
     let mut status = None;
 
     while !converged && iterations < max_iter {
+        let t0 = iter_start(op);
         op.apply(&p, &mut ap);
         let pap = ops.dot(&p, &ap);
         if !pap.is_finite() {
@@ -169,6 +174,7 @@ pub fn pcg_solve_jacobi<O: LinOp, G: GlobalOps>(
         }
         rz = rz_new;
         iterations += 1;
+        record_iter(op, Phase::CgIter, t0, iterations);
         let rel = ops.norm2(&r) / b_norm;
         history.push(rel);
         converged = rel <= tol;

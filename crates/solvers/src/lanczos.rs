@@ -5,10 +5,11 @@
 //! Plain three-term recurrence with optional full reorthogonalization; Ritz
 //! values come from the Sturm-bisection tridiagonal eigensolver.
 
-use crate::operator::LinOp;
+use crate::operator::{iter_start, record_iter, LinOp};
 use crate::ops::GlobalOps;
 use crate::tridiag;
 use spmv_matrix::vecops;
+use spmv_obs::Phase;
 
 /// Result of a Lanczos run.
 #[derive(Debug, Clone)]
@@ -78,6 +79,7 @@ pub fn lanczos<O: LinOp, G: GlobalOps>(
     let mut beta_prev = 0.0f64;
 
     for _ in 0..opts.max_steps {
+        let t0 = iter_start(op);
         // w = A v - β_{k-1} v_{k-1}
         op.apply(&v, &mut w);
         if beta_prev != 0.0 {
@@ -95,6 +97,7 @@ pub fn lanczos<O: LinOp, G: GlobalOps>(
         }
 
         let beta = ops.norm2(&w);
+        record_iter(op, Phase::LanczosIter, t0, alphas.len());
         if beta <= opts.breakdown_tol || alphas.len() == opts.max_steps {
             break;
         }

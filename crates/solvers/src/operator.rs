@@ -28,6 +28,34 @@ pub trait LinOp {
     /// Number of operator applications so far (the SpMV count that
     /// dominates run time in all of the paper's applications).
     fn applications(&self) -> u64;
+
+    /// The trace recorder behind this operator, if measured-time tracing
+    /// is enabled. Solver loops use it to stamp per-iteration spans onto
+    /// the solver lane; serial operators have none.
+    fn trace_sink(&self) -> Option<&spmv_obs::TraceSink> {
+        None
+    }
+}
+
+/// Iteration-start timestamp, taken only when tracing is live.
+#[inline]
+pub(crate) fn iter_start<O: LinOp + ?Sized>(op: &O) -> Option<f64> {
+    op.trace_sink().map(|ts| ts.now())
+}
+
+/// Stamps one solver-lane iteration span if the operator carries a trace
+/// recorder. The sink borrow is taken after the iteration body, never held
+/// across `op.apply`.
+#[inline]
+pub(crate) fn record_iter<O: LinOp + ?Sized>(
+    op: &O,
+    phase: spmv_obs::Phase,
+    t0: Option<f64>,
+    iter: usize,
+) {
+    if let (Some(ts), Some(t0)) = (op.trace_sink(), t0) {
+        ts.record_solver(phase, t0, ts.now(), iter as u64);
+    }
 }
 
 /// Serial operator over a CSR matrix.
@@ -93,6 +121,10 @@ impl LinOp for DistOp<'_> {
 
     fn applications(&self) -> u64 {
         self.engine.spmv_calls()
+    }
+
+    fn trace_sink(&self) -> Option<&spmv_obs::TraceSink> {
+        self.engine.trace_sink()
     }
 }
 

@@ -40,6 +40,7 @@
 //! | [`machine`] | `spmv-machine` | node/cluster models (Westmere, Magny Cours, …) |
 //! | [`model`] | `spmv-model` | code balance (Eq. 1/2), κ estimation, roofline |
 //! | [`core`] | `spmv-core` | partitioning, halo plans, the three kernel modes |
+//! | [`obs`] | `spmv-obs` | measured-time tracing: phase spans, overlap metrics, chrome-trace export |
 //! | [`sim`] | `spmv-sim` | fluid-flow timing simulator (Figs. 4–6) |
 //! | [`solvers`] | `spmv-solvers` | Lanczos, CG, KPM, power iteration |
 
@@ -48,6 +49,7 @@ pub use spmv_core as core;
 pub use spmv_machine as machine;
 pub use spmv_matrix as matrix;
 pub use spmv_model as model;
+pub use spmv_obs as obs;
 pub use spmv_sim as sim;
 pub use spmv_smp as smp;
 pub use spmv_solvers as solvers;
@@ -65,6 +67,10 @@ pub mod prelude {
     pub use spmv_matrix::samg::{self, SamgParams};
     pub use spmv_matrix::{synthetic, vecops, CsrMatrix, EllMatrix, SellMatrix, SymmetricCsr};
     pub use spmv_model::{code_balance_crs, code_balance_sell, code_balance_split, estimate_kappa};
+    pub use spmv_obs::{
+        chrome_trace_json, metrics_json, text_timeline, ModelDrift, Phase, RunTrace, TraceMetrics,
+        TraceSink,
+    };
     pub use spmv_sim::{
         simulate_job, simulate_solver, strong_scaling, ProgressModel, SimConfig, SolverShape,
     };

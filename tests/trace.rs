@@ -1,0 +1,310 @@
+//! Measured-time tracing suite: the observability layer driven through the
+//! full distributed SpMV stack.
+//!
+//! The layer's contract has three sides. **Zero-cost when off**: an engine
+//! without a recorder must produce bit-identical results to a traced one —
+//! tracing can never perturb the arithmetic. **Faithful when on**: the
+//! per-thread recorders must capture every phase of every kernel mode, and
+//! the derived overlap-efficiency metric must reproduce the paper's
+//! central claim — task mode hides communication behind compute, vector
+//! modes cannot (standard MPI progresses only inside calls). **Typed chaos
+//! visibility**: injected faults and their delays must appear in the trace
+//! as first-class events, not vanish into anonymous waitall time.
+
+use spmv_comm::{CommWorld, FaultPlan};
+use spmv_core::{run_spmd_on_world, CommStrategy, EngineConfig, KernelMode, RowPartition};
+use spmv_matrix::{synthetic, CsrMatrix};
+use spmv_obs::{
+    chrome_trace_json, metrics_json, text_timeline, validate_json, Phase, RankTrace, RunTrace,
+    TraceMetrics, FAULT_LANE,
+};
+
+const RANKS: usize = 4;
+
+fn test_matrix() -> CsrMatrix {
+    synthetic::random_banded_symmetric(240, 9, 4.0, 5)
+}
+
+fn cfg_for(mode: KernelMode) -> EngineConfig {
+    if mode.needs_comm_thread() {
+        EngineConfig::task_mode(2)
+    } else {
+        EngineConfig::hybrid(2)
+    }
+}
+
+/// Runs `iters` SpMVs of `mode` on a fresh world (optionally with a fault
+/// plan), tracing enabled, and returns the merged trace plus each rank's
+/// result vector.
+fn traced_sweeps(
+    m: &CsrMatrix,
+    mode: KernelMode,
+    plan: Option<FaultPlan>,
+    iters: usize,
+) -> (RunTrace, Vec<Vec<f64>>) {
+    traced_sweeps_with(m, mode, plan, iters, None)
+}
+
+/// Like [`traced_sweeps`], but pins the halo-exchange strategy instead of
+/// honoring `SPMV_COMM_STRATEGY` — for assertions whose expectations are
+/// strategy-specific.
+fn traced_sweeps_with(
+    m: &CsrMatrix,
+    mode: KernelMode,
+    plan: Option<FaultPlan>,
+    iters: usize,
+    strategy: Option<CommStrategy>,
+) -> (RunTrace, Vec<Vec<f64>>) {
+    let partition = RowPartition::by_nnz(m, RANKS);
+    let mut builder = CommWorld::builder(RANKS);
+    if let Some(p) = plan {
+        builder = builder.faults(p);
+    }
+    let world = builder.build();
+    let mut cfg = cfg_for(mode).with_tracing(true);
+    if let Some(s) = strategy {
+        cfg = cfg.with_comm_strategy(s);
+    }
+    let per_rank = run_spmd_on_world(world, m, &partition, cfg, |eng| {
+        let lo = eng.row_start();
+        for (i, v) in eng.x_local_mut().iter_mut().enumerate() {
+            *v = ((lo + i) as f64).sin() + 1.5;
+        }
+        for _ in 0..iters {
+            eng.spmv(mode);
+        }
+        let trace = eng.take_trace().expect("tracing enabled");
+        (trace, eng.y_local().to_vec())
+    });
+    let (traces, ys): (Vec<RankTrace>, Vec<Vec<f64>>) = per_rank.into_iter().unzip();
+    (RunTrace::from_ranks(traces), ys)
+}
+
+/// Runs without a recorder and returns each rank's result vector.
+fn untraced_sweeps(m: &CsrMatrix, mode: KernelMode, iters: usize) -> Vec<Vec<f64>> {
+    let partition = RowPartition::by_nnz(m, RANKS);
+    let world = CommWorld::builder(RANKS).build();
+    let cfg = cfg_for(mode).with_tracing(false);
+    run_spmd_on_world(world, m, &partition, cfg, |eng| {
+        let lo = eng.row_start();
+        for (i, v) in eng.x_local_mut().iter_mut().enumerate() {
+            *v = ((lo + i) as f64).sin() + 1.5;
+        }
+        for _ in 0..iters {
+            eng.spmv(mode);
+        }
+        assert!(eng.trace_sink().is_none(), "recorder must not exist");
+        eng.y_local().to_vec()
+    })
+}
+
+/// Every message delayed: the exchange is communication-bound, so the
+/// waitall window is milliseconds wide while the local SpMV stays in the
+/// microseconds — the regime where overlap either pays or it doesn't.
+fn comm_bound_plan() -> FaultPlan {
+    FaultPlan::new(0xDE1A).delay(1.0, 4)
+}
+
+/// The paper's central claim, measured: the task-mode comm thread hides
+/// (part of) the delayed waitall behind the compute threads' local SpMV,
+/// while naive vector mode — one thread doing everything in program order
+/// — hides exactly nothing.
+#[test]
+fn task_mode_overlap_strictly_beats_naive_vector_mode() {
+    let m = test_matrix();
+    let (naive, _) = traced_sweeps(
+        &m,
+        KernelMode::VectorNaiveOverlap,
+        Some(comm_bound_plan()),
+        3,
+    );
+    let (task, _) = traced_sweeps(&m, KernelMode::TaskMode, Some(comm_bound_plan()), 3);
+
+    // the delay plan actually made the run comm-bound
+    for rank in 0..RANKS {
+        assert!(
+            task.time_in(rank, Phase::Waitall) > 1e-3,
+            "rank {rank}: delayed waitall must be milliseconds wide"
+        );
+    }
+
+    let eff_naive = naive.mean_overlap_efficiency();
+    let eff_task = task.mean_overlap_efficiency();
+    assert!(
+        eff_naive < 1e-9,
+        "single-threaded vector mode cannot overlap (got {eff_naive})"
+    );
+    assert!(
+        eff_task > eff_naive,
+        "task mode must hide communication: task {eff_task} vs naive {eff_naive}"
+    );
+    assert!(
+        eff_task > 0.0 && eff_task <= 1.0,
+        "overlap efficiency is a ratio (got {eff_task})"
+    );
+}
+
+/// Zero-cost contract: a recorder-free engine computes bit-identical
+/// results to a traced one, in every kernel mode.
+#[test]
+fn disabled_recorder_is_bit_identical() {
+    let m = test_matrix();
+    for mode in KernelMode::ALL {
+        let (_, traced) = traced_sweeps(&m, mode, None, 2);
+        let untraced = untraced_sweeps(&m, mode, 2);
+        for (rank, (a, b)) in traced.iter().zip(&untraced).enumerate() {
+            assert_eq!(a.len(), b.len());
+            for (i, (&ta, &ua)) in a.iter().zip(b).enumerate() {
+                assert_eq!(
+                    ta.to_bits(),
+                    ua.to_bits(),
+                    "{mode:?} rank {rank} y[{i}]: tracing perturbed the result"
+                );
+            }
+        }
+    }
+}
+
+/// Every kernel mode leaves its full phase vocabulary in the trace, under
+/// both halo-exchange strategies. The vocabularies differ: the flat
+/// exchange posts nonblocking receives up front ("post recvs"), while the
+/// node-aware ship/wire/forward exchange receives inside its blocking
+/// finish — so its receive time is waitall time, and no "post recvs" span
+/// exists to record. The strategy is pinned per case because the
+/// expectation is strategy-specific (the CI comm-strategy matrix sets
+/// `SPMV_COMM_STRATEGY` for the whole suite).
+#[test]
+fn all_modes_record_their_phases() {
+    let m = test_matrix();
+    let flat_expect: [(&KernelMode, &[&str]); 3] = [
+        (
+            &KernelMode::VectorNoOverlap,
+            &["gather", "post recvs", "send", "waitall", "spmv(full)"],
+        ),
+        (
+            &KernelMode::VectorNaiveOverlap,
+            &[
+                "gather",
+                "post recvs",
+                "send",
+                "waitall",
+                "spmv(local)",
+                "spmv(nonlocal)",
+            ],
+        ),
+        (
+            &KernelMode::TaskMode,
+            &[
+                "gather",
+                "post recvs",
+                "waitall",
+                "barrier",
+                "spmv(local)",
+                "spmv(nonlocal)",
+            ],
+        ),
+    ];
+    let na_expect: [(&KernelMode, &[&str]); 3] = [
+        (
+            &KernelMode::VectorNoOverlap,
+            &["gather", "send", "waitall", "spmv(full)"],
+        ),
+        (
+            &KernelMode::VectorNaiveOverlap,
+            &["gather", "send", "waitall", "spmv(local)", "spmv(nonlocal)"],
+        ),
+        (
+            &KernelMode::TaskMode,
+            &[
+                "gather",
+                "waitall",
+                "barrier",
+                "spmv(local)",
+                "spmv(nonlocal)",
+            ],
+        ),
+    ];
+    let cases = [
+        (CommStrategy::Flat, flat_expect),
+        (CommStrategy::NodeAware { ranks_per_node: 2 }, na_expect),
+    ];
+    for (strategy, expect) in cases {
+        for (&mode, labels) in expect {
+            let (trace, _) = traced_sweeps_with(&m, mode, None, 2, Some(strategy));
+            let present = trace.phase_labels();
+            for want in labels {
+                assert!(
+                    present.contains(want),
+                    "{mode:?} under {strategy:?}: phase '{want}' missing (present: {present:?})"
+                );
+            }
+            assert_eq!(
+                trace.dropped, 0,
+                "{mode:?} under {strategy:?}: ring buffers overflowed"
+            );
+            assert!(trace.makespan() > 0.0);
+        }
+    }
+}
+
+/// Chaos visibility: a seeded delay plan surfaces as typed `fault(delay)`
+/// events on the fault lane, stamped with the delayed bytes.
+#[test]
+fn injected_faults_appear_as_typed_trace_events() {
+    let m = test_matrix();
+    let (trace, _) = traced_sweeps(&m, KernelMode::TaskMode, Some(comm_bound_plan()), 3);
+    let faults: Vec<_> = trace
+        .events
+        .iter()
+        .filter(|e| e.phase == Phase::FaultDelay)
+        .collect();
+    assert!(
+        !faults.is_empty(),
+        "a delay-every-message plan must leave fault events in the trace"
+    );
+    for f in &faults {
+        assert_eq!(f.lane, FAULT_LANE, "fault markers live on the fault lane");
+        assert!(f.rank < RANKS);
+    }
+    // payload messages dominate the exchange: most fault events carry the
+    // affected message size (barriers legitimately delay 0-byte messages)
+    assert!(
+        faults.iter().any(|f| f.bytes > 0),
+        "halo payload delays must be stamped with their byte counts"
+    );
+    // fault events come from the sending rank's log: no duplicates when
+    // rank traces merge
+    let senders: std::collections::BTreeSet<usize> = faults.iter().map(|f| f.rank).collect();
+    assert!(senders.len() > 1, "several ranks send, several ranks log");
+}
+
+/// The exporters produce valid, non-trivial documents from a real run.
+#[test]
+fn exporters_round_trip_a_measured_run() {
+    let m = test_matrix();
+    let (trace, _) = traced_sweeps(&m, KernelMode::TaskMode, None, 2);
+
+    let chrome = chrome_trace_json(&trace);
+    validate_json(&chrome).expect("chrome trace must be valid JSON");
+    for want in [
+        "\"traceEvents\"",
+        "\"waitall\"",
+        "\"spmv(local)\"",
+        "\"pid\"",
+    ] {
+        assert!(chrome.contains(want), "chrome export lacks {want}");
+    }
+
+    let metrics = TraceMetrics::from_trace(&trace);
+    let mjson = metrics_json(&metrics);
+    validate_json(&mjson).expect("metrics summary must be valid JSON");
+    assert!(mjson.contains("overlap_efficiency"));
+
+    let text = text_timeline(&trace);
+    assert!(text.lines().count() > RANKS, "one line per span at least");
+
+    // the sim crate understands the measured vocabulary
+    let sim_view = spmv_sim::Trace::from_measured(&trace);
+    assert!(sim_view.time_in_exact(0, "waitall") > 0.0);
+    assert!(sim_view.render_rank_ascii(0, 60).contains("legend"));
+}
