@@ -25,11 +25,20 @@
 //! to `<path>`, self-validates it (the JSON must parse and carry the
 //! expected phase vocabulary — a failed check aborts with nonzero exit),
 //! and prints measured-vs-model drift.
+//!
+//! `--verify-plan` statically checks the communication plan for the chosen
+//! rank count and exchange strategy *before* any engine runs: every posted
+//! message must have a matching receive with identical byte count, tags
+//! must be unique per flow, gather programs may only index owned columns,
+//! and the blocking schedule must be deadlock-free. Violations print as
+//! typed diagnostics and exit nonzero; on success the run continues with
+//! construction-time verification forced on in every engine.
 
 use spmv_bench::{header, holstein_params, samg_params, Scale};
 use spmv_core::engine::{CommStrategy, EngineConfig};
+use spmv_core::plan::{build_node_aware_serial, build_plans_serial};
 use spmv_core::runner::{distributed_spmv, run_spmd};
-use spmv_core::{workload, KernelKind, KernelMode, RowPartition};
+use spmv_core::{verify_flat, verify_node_aware, workload, KernelKind, KernelMode, RowPartition};
 use spmv_machine::{presets, HybridLayout};
 use spmv_matrix::CsrMatrix;
 use spmv_model::{code_balance_crs, estimate_kappa, predicted_gflops};
@@ -176,6 +185,7 @@ fn main() {
     let mut strategy_arg: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut ranks_per_node = 4usize;
+    let mut verify_plan = false;
     let mut positional = Vec::new();
     let mut it = raw.iter();
     while let Some(a) = it.next() {
@@ -198,6 +208,7 @@ fn main() {
             "--trace" => {
                 trace_path = Some(it.next().expect("--trace needs a path").clone());
             }
+            "--verify-plan" => verify_plan = true,
             _ => positional.push(a.clone()),
         }
     }
@@ -215,7 +226,7 @@ fn main() {
         eprintln!(
             "usage: spmv_file <matrix.mtx|holstein:<scale>|samg:<scale>> [ranks] [threads] \
              [--kernel <kind>] [--comm-strategy flat|node-aware] [--ranks-per-node N] \
-             [--trace <path>]"
+             [--trace <path>] [--verify-plan]"
         );
         std::process::exit(2);
     };
@@ -283,6 +294,37 @@ fn main() {
         );
     }
 
+    // static plan verification: build the same plans the engines will use
+    // and prove the message graph sound before spending any compute
+    if verify_plan {
+        println!(
+            "\nstatic plan verification ({ranks} ranks, {} exchange):",
+            comm_strategy.label()
+        );
+        let p = RowPartition::by_nnz(&m, ranks);
+        let plans = build_plans_serial(&m, &p);
+        let res = match comm_strategy {
+            CommStrategy::Flat => verify_flat(&plans),
+            CommStrategy::NodeAware { .. } => {
+                let map = comm_strategy.rank_node_map(ranks);
+                verify_node_aware(&build_node_aware_serial(&plans, &map))
+            }
+        };
+        match res {
+            Ok(sum) => println!("  plan verified: {sum}"),
+            Err(violations) => {
+                eprintln!(
+                    "  plan verification FAILED ({} violation(s)):",
+                    violations.len()
+                );
+                for v in &violations {
+                    eprintln!("    {v}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+
     // functional validation with real threads
     println!(
         "\nfunctional check ({ranks} ranks x {threads} threads, real threads, kernel {kernel}, \
@@ -293,13 +335,18 @@ fn main() {
     let mut y_ref = vec![0.0; m.nrows()];
     m.spmv(&x, &mut y_ref);
     for mode in KernelMode::ALL {
-        let cfg = if mode.needs_comm_thread() {
+        let mut cfg = if mode.needs_comm_thread() {
             EngineConfig::task_mode(threads)
         } else {
             EngineConfig::hybrid(threads)
         }
         .with_kernel(kernel)
         .with_comm_strategy(comm_strategy);
+        if verify_plan {
+            // static check passed; also run the distributed verifier
+            // inside every engine at construction time
+            cfg = cfg.with_verification(true);
+        }
         let t0 = std::time::Instant::now();
         let y = distributed_spmv(&m, &x, ranks, cfg, mode);
         let dt = t0.elapsed().as_secs_f64();

@@ -321,7 +321,10 @@ impl ChaosState {
 
     /// Allocates the next sequence number on the (src, dst, tag) flow.
     pub fn next_seq(&self, src: usize, dst: usize, tag: Tag) -> u64 {
-        let mut flows = self.flows.lock().unwrap();
+        let mut flows = self
+            .flows
+            .lock()
+            .expect("mutex poisoned: a peer thread panicked");
         let seq = flows.entry((src, dst, tag)).or_insert(0);
         let s = *seq;
         *seq += 1;
@@ -387,7 +390,10 @@ impl ChaosState {
             FaultAction::Truncate => (&c.truncated, FaultKind::Truncate),
         };
         ctr.fetch_add(1, Ordering::Relaxed);
-        let mut log = self.events.lock().unwrap();
+        let mut log = self
+            .events
+            .lock()
+            .expect("mutex poisoned: a peer thread panicked");
         if log.len() < FAULT_LOG_CAP {
             log.push(FaultEvent {
                 kind,
@@ -404,7 +410,10 @@ impl ChaosState {
     /// Snapshot of the fault event log (world-global; every rank sees the
     /// same sequence).
     pub fn events(&self) -> Vec<FaultEvent> {
-        self.events.lock().unwrap().clone()
+        self.events
+            .lock()
+            .expect("mutex poisoned: a peer thread panicked")
+            .clone()
     }
 
     pub fn stats(&self) -> FaultStats {
@@ -456,7 +465,10 @@ impl ChaosState {
 
     /// Parks `msg` in the time-held store.
     pub fn hold(&self, msg: HeldMsg) {
-        self.held.lock().unwrap().push(msg);
+        self.held
+            .lock()
+            .expect("mutex poisoned: a peer thread panicked")
+            .push(msg);
     }
 
     /// Stashes `msg` for reorder, returning a previously stashed message
@@ -465,20 +477,26 @@ impl ChaosState {
     pub fn stash_reorder(&self, msg: HeldMsg) -> Option<HeldMsg> {
         self.reorder
             .lock()
-            .unwrap()
+            .expect("mutex poisoned: a peer thread panicked")
             .insert((msg.src, msg.dst, msg.tag), msg)
     }
 
     /// Removes and returns the reorder stash for a flow, if any.
     pub fn take_reorder(&self, src: usize, dst: usize, tag: Tag) -> Option<HeldMsg> {
-        self.reorder.lock().unwrap().remove(&(src, dst, tag))
+        self.reorder
+            .lock()
+            .expect("mutex poisoned: a peer thread panicked")
+            .remove(&(src, dst, tag))
     }
 
     /// Drains every held or stashed message that is due at `now`.
     pub fn take_due(&self, now: Instant) -> Vec<HeldMsg> {
         let mut due = Vec::new();
         {
-            let mut held = self.held.lock().unwrap();
+            let mut held = self
+                .held
+                .lock()
+                .expect("mutex poisoned: a peer thread panicked");
             let mut i = 0;
             while i < held.len() {
                 if held[i].due <= now {
@@ -489,7 +507,10 @@ impl ChaosState {
             }
         }
         {
-            let mut reorder = self.reorder.lock().unwrap();
+            let mut reorder = self
+                .reorder
+                .lock()
+                .expect("mutex poisoned: a peer thread panicked");
             let expired: Vec<_> = reorder
                 .iter()
                 .filter(|(_, m)| m.due <= now)
@@ -506,7 +527,16 @@ impl ChaosState {
 
     /// Whether any message is parked anywhere in the injector.
     pub fn has_parked(&self) -> bool {
-        !self.held.lock().unwrap().is_empty() || !self.reorder.lock().unwrap().is_empty()
+        !self
+            .held
+            .lock()
+            .expect("mutex poisoned: a peer thread panicked")
+            .is_empty()
+            || !self
+                .reorder
+                .lock()
+                .expect("mutex poisoned: a peer thread panicked")
+                .is_empty()
     }
 
     pub fn reorder_window(&self) -> Duration {

@@ -28,6 +28,8 @@
 /// the sealed numeric impls below have none.
 pub unsafe trait Pod: Copy + Send + 'static {}
 
+// SAFETY: all impls below are primitive numeric types — `Copy`, no drop
+// glue, no padding, and every bit pattern is a valid value.
 unsafe impl Pod for u8 {}
 unsafe impl Pod for u16 {}
 unsafe impl Pod for u32 {}
@@ -43,7 +45,7 @@ unsafe impl Pod for f64 {}
 
 /// Reinterprets a slice of `T` as bytes.
 pub(crate) fn as_bytes<T: Pod>(data: &[T]) -> &[u8] {
-    // Safety: Pod types are valid as raw bytes; lifetime and length are
+    // SAFETY: Pod types are valid as raw bytes; lifetime and length are
     // carried over from the input slice.
     unsafe { std::slice::from_raw_parts(data.as_ptr() as *const u8, std::mem::size_of_val(data)) }
 }
@@ -61,7 +63,7 @@ pub(crate) fn copy_to_typed<T: Pod>(bytes: &[u8], dst: &mut [T]) {
         bytes.len(),
         std::mem::size_of_val(dst)
     );
-    // Safety: lengths match and T is Pod.
+    // SAFETY: lengths match and T is Pod.
     unsafe {
         std::ptr::copy_nonoverlapping(bytes.as_ptr(), dst.as_mut_ptr() as *mut u8, bytes.len());
     }
@@ -82,7 +84,7 @@ pub(crate) fn from_bytes_vec<T: Pod>(bytes: &[u8]) -> Vec<T> {
     );
     let n = bytes.len() / sz;
     let mut out = Vec::<T>::with_capacity(n);
-    // Safety: capacity reserved; T is Pod; lengths match.
+    // SAFETY: capacity reserved; T is Pod; lengths match.
     unsafe {
         std::ptr::copy_nonoverlapping(bytes.as_ptr(), out.as_mut_ptr() as *mut u8, bytes.len());
         out.set_len(n);

@@ -60,33 +60,52 @@ impl SendToken {
     }
 
     fn mark_consumed(&self) {
-        *self.consumed.lock().unwrap() = true;
+        *self
+            .consumed
+            .lock()
+            .expect("mutex poisoned: a peer thread panicked") = true;
         self.cv.notify_all();
     }
 
     fn wait_consumed(&self) {
-        let mut g = self.consumed.lock().unwrap();
+        let mut g = self
+            .consumed
+            .lock()
+            .expect("mutex poisoned: a peer thread panicked");
         while !*g {
-            g = self.cv.wait(g).unwrap();
+            g = self
+                .cv
+                .wait(g)
+                .expect("condvar poisoned: a peer thread panicked");
         }
     }
 
     /// Bounded wait; true when the token was consumed within `dur`.
     fn wait_consumed_for(&self, dur: Duration) -> bool {
-        let mut g = self.consumed.lock().unwrap();
+        let mut g = self
+            .consumed
+            .lock()
+            .expect("mutex poisoned: a peer thread panicked");
         let deadline = Instant::now() + dur;
         while !*g {
             let now = Instant::now();
             if now >= deadline {
                 return false;
             }
-            g = self.cv.wait_timeout(g, deadline - now).unwrap().0;
+            g = self
+                .cv
+                .wait_timeout(g, deadline - now)
+                .expect("condvar poisoned: a peer thread panicked")
+                .0;
         }
         true
     }
 
     fn is_consumed(&self) -> bool {
-        *self.consumed.lock().unwrap()
+        *self
+            .consumed
+            .lock()
+            .expect("mutex poisoned: a peer thread panicked")
     }
 }
 
@@ -102,7 +121,7 @@ pub(crate) enum Payload {
     },
 }
 
-// Safety: the raw pointer targets the sender's buffer, which the sender
+// SAFETY: the raw pointer targets the sender's buffer, which the sender
 // keeps immutably borrowed (and alive) until `token` is marked consumed —
 // its `Request` blocks in wait/Drop otherwise. The single consumer reads it
 // exactly once, then releases the token.
@@ -135,7 +154,7 @@ impl Payload {
         match self {
             Payload::Owned(v) => v,
             Payload::Borrowed { ptr, len, token } => {
-                // Safety: see `Send` impl — the sender pins the buffer until
+                // SAFETY: see `Send` impl — the sender pins the buffer until
                 // the token is released below.
                 let v = unsafe { std::slice::from_raw_parts(ptr, len) }.to_vec();
                 token.mark_consumed();
@@ -175,13 +194,19 @@ impl RankMailbox {
 
     /// Non-blocking probe-and-pop.
     fn try_pop(&self, src: usize, tag: Tag) -> Option<Payload> {
-        let mut q = self.queues.lock().unwrap();
+        let mut q = self
+            .queues
+            .lock()
+            .expect("mutex poisoned: a peer thread panicked");
         q.get_mut(&(src, tag)).and_then(|ch| ch.ready.pop_front())
     }
 
     /// Non-destructive probe: byte length of the next queued message.
     fn peek_len(&self, src: usize, tag: Tag) -> Option<usize> {
-        let q = self.queues.lock().unwrap();
+        let q = self
+            .queues
+            .lock()
+            .expect("mutex poisoned: a peer thread panicked");
         q.get(&(src, tag))
             .and_then(|ch| ch.ready.front())
             .map(|m| m.len())
@@ -250,7 +275,11 @@ impl WorldShared {
     }
 
     fn poison_error(&self) -> CommError {
-        let report = self.poison_report.lock().unwrap().clone();
+        let report = self
+            .poison_report
+            .lock()
+            .expect("mutex poisoned: a peer thread panicked")
+            .clone();
         CommError::Poisoned {
             report: report.unwrap_or_else(|| {
                 Arc::new(StallReport {
@@ -265,13 +294,22 @@ impl WorldShared {
     /// Marks the world dead and wakes every blocked rank so it can observe
     /// the poison and fail fast instead of waiting forever.
     fn poison(&self, report: Arc<StallReport>) {
-        *self.poison_report.lock().unwrap() = Some(report);
+        *self
+            .poison_report
+            .lock()
+            .expect("mutex poisoned: a peer thread panicked") = Some(report);
         self.poisoned.store(true, Ordering::SeqCst);
         for mb in &self.mailboxes {
-            let _guard = mb.queues.lock().unwrap();
+            let _guard = mb
+                .queues
+                .lock()
+                .expect("mutex poisoned: a peer thread panicked");
             mb.cv.notify_all();
         }
-        let _guard = self.barrier_lock.lock().unwrap();
+        let _guard = self
+            .barrier_lock
+            .lock()
+            .expect("mutex poisoned: a peer thread panicked");
         self.barrier_cv.notify_all();
     }
 
@@ -286,7 +324,9 @@ impl WorldShared {
         if self.watchdog.is_none() {
             return;
         }
-        *self.pending[rank].lock().unwrap() = Some(PendingSlot {
+        *self.pending[rank]
+            .lock()
+            .expect("mutex poisoned: a peer thread panicked") = Some(PendingSlot {
             kind,
             peer,
             tag,
@@ -299,13 +339,19 @@ impl WorldShared {
         if self.watchdog.is_none() {
             return;
         }
-        *self.pending[rank].lock().unwrap() = None;
+        *self.pending[rank]
+            .lock()
+            .expect("mutex poisoned: a peer thread panicked") = None;
     }
 
     fn blocked_count(&self) -> usize {
         self.pending
             .iter()
-            .filter(|slot| slot.lock().unwrap().is_some())
+            .filter(|slot| {
+                slot.lock()
+                    .expect("mutex poisoned: a peer thread panicked")
+                    .is_some()
+            })
             .count()
     }
 
@@ -317,13 +363,16 @@ impl WorldShared {
                 .pending
                 .iter()
                 .map(|slot| {
-                    slot.lock().unwrap().as_ref().map(|s| PendingOp {
-                        kind: s.kind,
-                        peer: s.peer,
-                        tag: s.tag,
-                        bytes: s.bytes,
-                        blocked: s.since.elapsed(),
-                    })
+                    slot.lock()
+                        .expect("mutex poisoned: a peer thread panicked")
+                        .as_ref()
+                        .map(|s| PendingOp {
+                            kind: s.kind,
+                            peer: s.peer,
+                            tag: s.tag,
+                            bytes: s.bytes,
+                            blocked: s.since.elapsed(),
+                        })
                 })
                 .collect(),
         }
@@ -335,7 +384,10 @@ impl WorldShared {
         let mb = &self.mailboxes[dst];
         let mut released = false;
         {
-            let mut q = mb.queues.lock().unwrap();
+            let mut q = mb
+                .queues
+                .lock()
+                .expect("mutex poisoned: a peer thread panicked");
             let ch = q.entry((src, tag)).or_default();
             if seq < ch.next_seq || ch.ooo.contains_key(&seq) {
                 return; // duplicate: already delivered or already parked
@@ -361,7 +413,10 @@ impl WorldShared {
         let Some(chaos) = &self.chaos else {
             let mb = &self.mailboxes[dst];
             {
-                let mut q = mb.queues.lock().unwrap();
+                let mut q = mb
+                    .queues
+                    .lock()
+                    .expect("mutex poisoned: a peer thread panicked");
                 q.entry((src, tag)).or_default().ready.push_back(payload);
             }
             mb.cv.notify_all();
@@ -463,7 +518,10 @@ impl WorldShared {
             }
             self.pump();
             let mb = &self.mailboxes[rank];
-            let mut q = mb.queues.lock().unwrap();
+            let mut q = mb
+                .queues
+                .lock()
+                .expect("mutex poisoned: a peer thread panicked");
             if let Some(p) = q.get_mut(&(src, tag)).and_then(|ch| ch.ready.pop_front()) {
                 break Ok(p);
             }
@@ -486,9 +544,17 @@ impl WorldShared {
                 }
             }
             if sliced {
-                drop(mb.cv.wait_timeout(q, WAIT_SLICE).unwrap());
+                drop(
+                    mb.cv
+                        .wait_timeout(q, WAIT_SLICE)
+                        .expect("condvar poisoned: a peer thread panicked"),
+                );
             } else {
-                drop(mb.cv.wait(q).unwrap());
+                drop(
+                    mb.cv
+                        .wait(q)
+                        .expect("condvar poisoned: a peer thread panicked"),
+                );
             }
         };
         self.clear_pending(rank);
@@ -549,7 +615,10 @@ impl WorldShared {
     /// from `dst`'s mailbox and settles the token. False when the payload
     /// was already popped — the receiver owns it and will consume it.
     fn cancel_borrowed(&self, dst: usize, src: usize, tag: Tag, token: &Arc<SendToken>) -> bool {
-        let mut q = self.mailboxes[dst].queues.lock().unwrap();
+        let mut q = self.mailboxes[dst]
+            .queues
+            .lock()
+            .expect("mutex poisoned: a peer thread panicked");
         let Some(ch) = q.get_mut(&(src, tag)) else {
             return false;
         };
@@ -767,7 +836,7 @@ enum ReqKind {
     },
 }
 
-// Safety: the raw pointer targets a buffer whose exclusive borrow is held by
+// SAFETY: the raw pointer targets a buffer whose exclusive borrow is held by
 // the request itself (lifetime parameter), and completion writes happen on
 // whichever thread calls wait — never concurrently with user access.
 unsafe impl Send for Request<'_> {}
@@ -1107,7 +1176,7 @@ impl Comm {
                         got,
                     });
                 }
-                // Safety: `dst` points to a live exclusive buffer of `bytes`
+                // SAFETY: `dst` points to a live exclusive buffer of `bytes`
                 // bytes (borrow held by the request), lengths checked above.
                 unsafe {
                     payload.consume_into(dst);
@@ -1179,7 +1248,7 @@ impl Comm {
                 match self.shared.mailboxes[self.rank].try_pop(src, tag) {
                     Some(payload) => {
                         assert_eq!(payload.len(), bytes, "message size mismatch in test");
-                        // Safety: as in `wait` — exclusive buffer, length
+                        // SAFETY: as in `wait` — exclusive buffer, length
                         // checked.
                         unsafe {
                             payload.consume_into(dst);
@@ -1233,7 +1302,10 @@ impl Comm {
         let shared = &self.shared;
         shared.enter_pending(self.rank, PendingKind::Barrier, None, None, None);
         let sliced = shared.needs_slices();
-        let mut st = shared.barrier_lock.lock().unwrap();
+        let mut st = shared
+            .barrier_lock
+            .lock()
+            .expect("mutex poisoned: a peer thread panicked");
         let gen = st.generation;
         st.count += 1;
         shared.bump_progress();
@@ -1252,9 +1324,16 @@ impl Comm {
                     break Err(shared.poison_error());
                 }
                 st = if sliced {
-                    shared.barrier_cv.wait_timeout(st, WAIT_SLICE).unwrap().0
+                    shared
+                        .barrier_cv
+                        .wait_timeout(st, WAIT_SLICE)
+                        .expect("condvar poisoned: a peer thread panicked")
+                        .0
                 } else {
-                    shared.barrier_cv.wait(st).unwrap()
+                    shared
+                        .barrier_cv
+                        .wait(st)
+                        .expect("condvar poisoned: a peer thread panicked")
                 };
             }
         };
@@ -1310,7 +1389,11 @@ impl Comm {
 
     /// The watchdog's stall report, once the world is poisoned.
     pub fn stall_report(&self) -> Option<Arc<StallReport>> {
-        self.shared.poison_report.lock().unwrap().clone()
+        self.shared
+            .poison_report
+            .lock()
+            .expect("mutex poisoned: a peer thread panicked")
+            .clone()
     }
 }
 

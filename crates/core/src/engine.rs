@@ -44,14 +44,14 @@ use std::ops::Range;
 use std::sync::Mutex;
 
 /// Tag used for direct halo-exchange messages.
-const TAG_HALO: Tag = 17;
+pub(crate) const TAG_HALO: Tag = 17;
 /// Tag for member → leader shipments (node-aware phase 1).
-const TAG_SHIP: Tag = 18;
+pub(crate) const TAG_SHIP: Tag = 18;
 /// Tag for leader → leader aggregated wire messages (phase 2).
-const TAG_WIRE: Tag = 19;
+pub(crate) const TAG_WIRE: Tag = 19;
 /// Tag base for leader → member forwarded halo slices (phase 3); the
 /// source node id is added so slices from different nodes never collide.
-const TAG_FWD_BASE: Tag = 1024;
+pub(crate) const TAG_FWD_BASE: Tag = 1024;
 
 /// How the halo exchange is routed (see [`crate::plan::NodeAwarePlan`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -152,6 +152,16 @@ pub struct EngineConfig {
     /// measured by `bench_trace`). Defaults to on when the `SPMV_TRACE`
     /// environment variable is set, mirroring `SPMV_COMM_STRATEGY`.
     pub tracing: bool,
+    /// Static communication-plan verification at construction (see
+    /// [`crate::verify`]): every rank contributes its plan to a collective
+    /// allgather and checks the whole world's message graph for matching,
+    /// byte-count, tag-uniqueness, ownership, and deadlock defects before
+    /// the first exchange runs. Defaults to **on in debug builds** and off
+    /// in release (opt back in with [`EngineConfig::with_verification`]).
+    /// Skipped automatically when the world carries a fault plan — the
+    /// verifier proves the healthy schedule; chaos runs are *supposed* to
+    /// violate it.
+    pub verification: bool,
 }
 
 impl Default for EngineConfig {
@@ -163,6 +173,7 @@ impl Default for EngineConfig {
             comm_strategy: CommStrategy::from_env().unwrap_or(CommStrategy::Flat),
             degraded: DegradedPolicy::Strict,
             tracing: std::env::var_os("SPMV_TRACE").is_some(),
+            verification: cfg!(debug_assertions),
         }
     }
 }
@@ -214,11 +225,23 @@ impl EngineConfig {
     pub fn with_tracing(self, tracing: bool) -> Self {
         Self { tracing, ..self }
     }
+
+    /// Returns the config with construction-time plan verification
+    /// switched on or off (debug builds default to on).
+    pub fn with_verification(self, verification: bool) -> Self {
+        Self {
+            verification,
+            ..self
+        }
+    }
 }
 
 /// Raw pointer wrapper for disjoint multi-threaded writes.
 #[derive(Clone, Copy)]
 struct MutPtr(*mut f64);
+// SAFETY: the pointer targets a caller-owned slice that outlives the team
+// region, and every user writes a disjoint row range (enforced by the
+// chunk partition), so cross-thread sharing cannot alias.
 unsafe impl Send for MutPtr {}
 unsafe impl Sync for MutPtr {}
 impl MutPtr {
@@ -233,6 +256,9 @@ impl MutPtr {
 /// communication thread (thread 0 is its only user inside the region).
 #[derive(Clone, Copy)]
 struct ExchangePtr(*mut Exchange);
+// SAFETY: the Exchange outlives the team region that receives the pointer,
+// and only thread 0 (the dedicated comm thread) dereferences it inside
+// that region, so there is never a concurrent second user.
 unsafe impl Send for ExchangePtr {}
 unsafe impl Sync for ExchangePtr {}
 impl ExchangePtr {
@@ -369,6 +395,28 @@ impl RankEngine {
             cfg.comm_strategy = CommStrategy::Flat;
         }
         let plan = build_plan_distributed(&comm, block, partition);
+        // Static plan verification (collective): prove the whole world's
+        // exchange schedule sound — matching, byte counts, tag uniqueness,
+        // ownership, deadlock-freedom — before any halo payload moves.
+        // Worlds with an attached fault plan skip it: the verifier proves
+        // the healthy schedule, and chaos runs exist to violate it.
+        if cfg.verification && comm.fault_stats().is_none() {
+            let map = match cfg.comm_strategy {
+                CommStrategy::Flat => None,
+                CommStrategy::NodeAware { .. } => {
+                    Some(cfg.comm_strategy.rank_node_map(comm.size()))
+                }
+            };
+            if let Err(violations) = crate::verify::verify_distributed(&comm, &plan, map.as_ref()) {
+                let list: Vec<String> = violations.iter().map(|v| v.to_string()).collect();
+                panic!(
+                    "communication-plan verification failed on rank {} ({} violation(s)):\n  {}",
+                    comm.rank(),
+                    violations.len(),
+                    list.join("\n  ")
+                );
+            }
+        }
         let mats = SplitMatrix::build(block, &plan);
         let nloc = plan.local_len;
         let halo_len = plan.halo_len();
@@ -688,7 +736,7 @@ impl RankEngine {
                     if ctx.tid >= c {
                         return; // idle comm thread in vector modes
                     }
-                    // Safety: disjoint run ranges → disjoint destinations.
+                    // SAFETY: disjoint run ranges → disjoint destinations.
                     unsafe { prog.execute_runs_raw(chunks[ctx.tid].clone(), x_loc, sp.raw()) };
                 });
             }
@@ -833,12 +881,13 @@ impl RankEngine {
                     if ctx.tid >= c {
                         return;
                     }
-                    // Safety: chunks are disjoint row ranges.
+                    // SAFETY: chunks are disjoint row ranges.
                     unsafe {
                         kern.spmv_rows_raw(mat, chunks[ctx.tid].clone(), x, yp.raw(), accumulate)
                     };
                 });
             }
+            // SAFETY: serial path — yp is the sole writer of y's full range.
             None => unsafe {
                 kern.spmv_rows_raw(mat, 0..mat.nrows(), x, yp.raw(), accumulate);
             },
@@ -1152,7 +1201,7 @@ impl RankEngine {
         team.run(|ctx| {
             if ctx.tid == 0 {
                 // ---- dedicated communication thread (trace lane 0) ----
-                // Safety: until B2 the halo region and the exchange state
+                // SAFETY: until B2 the halo region and the exchange state
                 // are exclusively owned by this thread (compute threads
                 // read only the local part, and the enclosing call blocks
                 // the owner until the region completes).
@@ -1168,6 +1217,9 @@ impl RankEngine {
                         let t = tnow(trace);
                         ctx.barrier(); // B1: gather finished
                         rec(trace, 0, Phase::Barrier, t, 0, 0);
+                        // SAFETY: after B1 the gather is complete and no
+                        // compute thread writes the send buffer again this
+                        // step, so a shared read view is sound.
                         let send_buf: &[f64] =
                             unsafe { std::slice::from_raw_parts(sp.raw(), send_buf_len) };
                         let t = tnow(trace);
@@ -1186,6 +1238,8 @@ impl RankEngine {
                         let t = tnow(trace);
                         ctx.barrier(); // B1: gather finished
                         rec(trace, 0, Phase::Barrier, t, 0, 0);
+                        // SAFETY: same as the flat arm — post-B1 the send
+                        // buffer is read-only for the rest of the step.
                         let send_buf: &[f64] =
                             unsafe { std::slice::from_raw_parts(sp.raw(), send_buf_len) };
                         let t = tnow(trace);
@@ -1206,7 +1260,9 @@ impl RankEngine {
                     }
                 };
                 if let Err(e) = res {
-                    *comm_err.lock().unwrap() = Some(e);
+                    *comm_err
+                        .lock()
+                        .expect("mutex poisoned: a peer thread panicked") = Some(e);
                 }
                 let t = tnow(trace);
                 ctx.barrier(); // B2: comm done & local SpMV done
@@ -1218,6 +1274,8 @@ impl RankEngine {
                 let lane = ctx.tid;
                 // gather into the send buffer (disjoint run ranges)
                 let t = tnow(trace);
+                // SAFETY: gather_chunks partition the run set, so each
+                // compute thread writes a disjoint slice of the send buffer.
                 unsafe { prog.execute_runs_raw(gather_chunks[ctid].clone(), x_loc, sp.raw()) };
                 rec(trace, lane, Phase::Gather, t, 0, 0);
                 let t = tnow(trace);
@@ -1225,6 +1283,7 @@ impl RankEngine {
                 rec(trace, lane, Phase::Barrier, t, 0, 0);
                 // local SpMV, one contiguous nonzero-balanced chunk each
                 let t = tnow(trace);
+                // SAFETY: local_chunks are disjoint row ranges of y.
                 unsafe {
                     kern_local.spmv_rows_raw(
                         &mats.local,
@@ -1246,8 +1305,12 @@ impl RankEngine {
                 ctx.barrier(); // B2: halo data is now in place
                 rec(trace, lane, Phase::Barrier, t, 0, 0);
                 // non-local SpMV reads the halo (now immutable)
+                // SAFETY: after B2 the comm thread has stopped writing the
+                // halo, so shared read views are sound for the rest of the
+                // step; nonlocal_chunks are disjoint row ranges of y.
                 let halo: &[f64] = unsafe { std::slice::from_raw_parts(halo_ptr.raw(), halo_len) };
                 let t = tnow(trace);
+                // SAFETY: nonlocal_chunks are disjoint row ranges of y.
                 unsafe {
                     kern_nonlocal.spmv_rows_raw(
                         &mats.nonlocal,
@@ -1267,7 +1330,10 @@ impl RankEngine {
                 );
             }
         });
-        let first_err = comm_err.lock().unwrap().take();
+        let first_err = comm_err
+            .lock()
+            .expect("mutex poisoned: a peer thread panicked")
+            .take();
         match first_err {
             Some(e) => Err(e),
             None => Ok(()),

@@ -51,7 +51,7 @@ impl GatherProgram {
             }
         }
         for r in &runs {
-            run_prefix.push(run_prefix.last().unwrap() + r.len);
+            run_prefix.push(run_prefix.last().expect("run_prefix is seeded with 0") + r.len);
         }
         Self { runs, run_prefix }
     }
@@ -63,7 +63,7 @@ impl GatherProgram {
 
     /// Total elements moved per execution.
     pub fn total_elems(&self) -> usize {
-        *self.run_prefix.last().unwrap()
+        *self.run_prefix.last().expect("run_prefix is seeded with 0")
     }
 
     /// Mean run length — the compression ratio vs. an element-wise gather
@@ -126,6 +126,8 @@ mod tests {
             let ranges = prog.thread_run_ranges(parts);
             assert_eq!(ranges.len(), parts);
             for range in ranges {
+                // SAFETY: dst_t holds total_elems elements and the ranges
+                // partition the run set (serial here, trivially disjoint).
                 unsafe { prog.execute_runs_raw(range, &src, dst_t.as_mut_ptr()) };
             }
             assert_eq!(dst_t, reference_gather(indices, &src), "{parts}-way");

@@ -132,7 +132,7 @@ pub trait SpmvKernel: Send + Sync {
             y.len(),
             rows.end
         );
-        // Safety: bounds checked above; single caller owns all of y.
+        // SAFETY: bounds checked above; single caller owns all of y.
         unsafe { self.spmv_rows_raw(mat, rows, x, y.as_mut_ptr(), add) }
     }
 }
@@ -145,6 +145,7 @@ impl SpmvKernel for CsrScalarKernel {
         KernelKind::CsrScalar
     }
 
+    // SAFETY: caller contract documented on `SpmvKernel::spmv_rows_raw`.
     unsafe fn spmv_rows_raw(
         &self,
         mat: &CsrMatrix,
@@ -179,6 +180,7 @@ impl SpmvKernel for CsrUnrolled4Kernel {
         KernelKind::CsrUnrolled4
     }
 
+    // SAFETY: caller contract documented on `SpmvKernel::spmv_rows_raw`.
     unsafe fn spmv_rows_raw(
         &self,
         mat: &CsrMatrix,
@@ -208,6 +210,7 @@ impl SpmvKernel for CsrSlicedKernel {
         KernelKind::CsrSliced
     }
 
+    // SAFETY: caller contract documented on `SpmvKernel::spmv_rows_raw`.
     unsafe fn spmv_rows_raw(
         &self,
         mat: &CsrMatrix,
@@ -239,6 +242,7 @@ impl SpmvKernel for CsrUncheckedKernel {
         KernelKind::CsrUnchecked
     }
 
+    // SAFETY: caller contract documented on `SpmvKernel::spmv_rows_raw`.
     unsafe fn spmv_rows_raw(
         &self,
         mat: &CsrMatrix,
@@ -284,6 +288,7 @@ impl SpmvKernel for SellKernel {
         }
     }
 
+    // SAFETY: caller contract documented on `SpmvKernel::spmv_rows_raw`.
     unsafe fn spmv_rows_raw(
         &self,
         mat: &CsrMatrix,

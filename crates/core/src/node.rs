@@ -15,6 +15,8 @@ use std::ops::Range;
 /// Raw pointer wrapper for disjoint multi-threaded writes.
 #[derive(Clone, Copy)]
 struct MutPtr(*mut f64);
+// SAFETY: points into a caller-owned `y` that outlives the team region;
+// each thread writes only its own disjoint row chunk.
 unsafe impl Send for MutPtr {}
 unsafe impl Sync for MutPtr {}
 impl MutPtr {
@@ -64,7 +66,7 @@ impl NodeSpmv {
                 for k in row_ptr[i]..row_ptr[i + 1] {
                     sum += values[k] * x[col_idx[k] as usize];
                 }
-                // Safety: chunks are disjoint row ranges.
+                // SAFETY: chunks are disjoint row ranges.
                 unsafe { *yp.at(i) = sum };
             }
         });

@@ -61,7 +61,10 @@ impl RowPartition {
 
     /// Total number of rows covered.
     pub fn nrows(&self) -> usize {
-        *self.boundaries.last().unwrap()
+        *self
+            .boundaries
+            .last()
+            .expect("boundaries always hold the leading 0")
     }
 
     /// The row range of rank `part`.

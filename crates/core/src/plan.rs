@@ -67,7 +67,7 @@ impl RankPlan {
         let mut offs = Vec::with_capacity(self.recv.len() + 1);
         offs.push(0);
         for n in &self.recv {
-            offs.push(offs.last().unwrap() + n.indices.len());
+            offs.push(offs.last().expect("offs is seeded with 0") + n.indices.len());
         }
         offs
     }
@@ -788,7 +788,10 @@ mod tests {
         for plan in build_plans_serial(&m, &p) {
             let offs = plan.halo_offsets();
             assert_eq!(offs.len(), plan.recv.len() + 1);
-            assert_eq!(*offs.last().unwrap(), plan.halo_len());
+            assert_eq!(
+                *offs.last().expect("offs is seeded with 0"),
+                plan.halo_len()
+            );
         }
     }
 

@@ -29,6 +29,9 @@ use std::ops::Range;
 /// Raw pointer wrapper for disjoint multi-threaded writes.
 #[derive(Clone, Copy)]
 struct MutPtr(*mut f64);
+// SAFETY: targets either a caller-owned `y` or a per-thread scratch buffer,
+// both outliving the team region; writers follow the disjointness contract
+// of `MutPtr::at`.
 unsafe impl Send for MutPtr {}
 unsafe impl Sync for MutPtr {}
 impl MutPtr {
@@ -101,7 +104,7 @@ pub fn parallel_symmetric_spmv(
         // zero my private buffer (only the columns reachable from my rows
         // matter, but zeroing everything is branch-free and predictable)
         for i in 0..n {
-            // Safety: each thread owns buffer `tid` exclusively here.
+            // SAFETY: each thread owns buffer `tid` exclusively here.
             unsafe { *buf.at(i) = 0.0 };
         }
 
@@ -114,11 +117,12 @@ pub fn parallel_symmetric_spmv(
                 let v = values[k];
                 sum += v * x[j];
                 if j != i {
-                    // transpose contribution — private buffer
+                    // SAFETY: transpose contribution goes to this thread's
+                    // private buffer — no cross-thread aliasing.
                     unsafe { *buf.at(j) += v * xi };
                 }
             }
-            // y[i] is owned by this thread (disjoint row chunks)
+            // SAFETY: y[i] is owned by this thread (disjoint row chunks).
             unsafe { *yp.at(i) = sum };
         }
 
@@ -127,13 +131,15 @@ pub fn parallel_symmetric_spmv(
         // phase 2: reduce all buffers into y over a static row split
         // (different from the nnz-balanced chunks — reduction cost is per
         // row, not per nonzero)
+        // SAFETY: for this whole loop — after the barrier all private
+        // buffers are read-only, and static_chunk gives each thread a
+        // disjoint range of `i`, so every y[i] has exactly one writer.
         for i in static_chunk(n, t, tid) {
             let mut acc = unsafe { *yp.at(i) };
             for bp in &buf_ptrs {
-                // Safety: after the barrier all buffers are read-only and
-                // each `i` is written by exactly one thread.
                 acc += unsafe { *bp.at(i) };
             }
+            // SAFETY: as above — this thread is `i`'s only writer.
             unsafe { *yp.at(i) = acc };
         }
     });

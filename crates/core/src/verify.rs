@@ -1,0 +1,860 @@
+//! Static verification of communication plans.
+//!
+//! Given the per-rank [`RankPlan`]s (flat exchange) or [`NodeAwarePlan`]s
+//! (three-phase node-aware exchange) of a whole world, this module builds
+//! the global message graph of one exchange epoch and proves it sound
+//! *before* any payload moves:
+//!
+//! * every send has a matching receive with an identical byte count;
+//! * tags are unique per (src, dst) flow within the epoch — two in-flight
+//!   messages on one flow would make MPI matching order-dependent;
+//! * gather programs index only columns the rank owns, and every requested
+//!   halo column is owned by the peer it is requested from;
+//! * the node-aware ship → wire → forward schedule is acyclic (a wire
+//!   message routed back into its own node would deadlock the leader);
+//! * the whole exchange is deadlock-free under nonblocking semantics,
+//!   established by running the per-rank operation schedules — the exact
+//!   order `RankEngine` issues them — to a fixed point.
+//!
+//! Violations are typed [`PlanViolation`]s naming rank, peer, tag, and
+//! byte counts, so a corrupted plan fails with an actionable diagnostic
+//! instead of a 1024-rank hang. The engine runs the distributed entry
+//! point [`verify_distributed`] at construction when
+//! [`EngineConfig::with_verification`](crate::engine::EngineConfig::with_verification)
+//! is on (the default in debug builds).
+
+use crate::engine::{TAG_FWD_BASE, TAG_HALO, TAG_SHIP, TAG_WIRE};
+use crate::plan::{build_node_aware_serial, NodeAwarePlan, RankPlan};
+use spmv_comm::{Comm, Tag};
+use spmv_machine::RankNodeMap;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One defect in a world's communication plan, with enough context to name
+/// the offending rank, peer, tag, and byte counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanViolation {
+    /// Rank `src` sends a message that no receive at `dst` matches.
+    MissingRecv {
+        /// Sending rank.
+        src: usize,
+        /// Destination rank that lacks the receive.
+        dst: usize,
+        /// Message tag.
+        tag: Tag,
+        /// Payload size of the orphaned send.
+        bytes: usize,
+    },
+    /// Rank `dst` posts a receive that no send at `src` will ever satisfy.
+    MissingSend {
+        /// Source rank that lacks the send.
+        src: usize,
+        /// Receiving rank.
+        dst: usize,
+        /// Message tag.
+        tag: Tag,
+        /// Payload size the receive expects.
+        bytes: usize,
+    },
+    /// A send/receive pair matches but disagrees on payload size — the MPI
+    /// truncation error, caught before any message is posted.
+    ByteMismatch {
+        /// Sending rank.
+        src: usize,
+        /// Receiving rank.
+        dst: usize,
+        /// Message tag.
+        tag: Tag,
+        /// Bytes the sender would put on the wire.
+        send_bytes: usize,
+        /// Bytes the receiver's buffer expects.
+        recv_bytes: usize,
+    },
+    /// More than one message in flight on one (src, dst, tag) flow in a
+    /// single epoch: matching would depend on arrival order.
+    TagCollision {
+        /// Sending rank.
+        src: usize,
+        /// Receiving rank.
+        dst: usize,
+        /// The colliding tag.
+        tag: Tag,
+        /// Messages sharing the flow (> 1).
+        count: usize,
+    },
+    /// A gather program indexes an element outside the rank's owned range.
+    GatherOutOfRange {
+        /// Rank whose gather program is corrupt.
+        rank: usize,
+        /// Peer the gathered segment is destined for.
+        peer: usize,
+        /// The offending local index.
+        index: usize,
+        /// The rank's owned length (valid indices are `0..local_len`).
+        local_len: usize,
+    },
+    /// A halo column is requested from a peer that does not own it.
+    HaloNotOwned {
+        /// Rank whose recv list is corrupt.
+        rank: usize,
+        /// Peer the column is requested from.
+        peer: usize,
+        /// The global column index.
+        column: usize,
+    },
+    /// The node-aware schedule routes a wire message to or from its own
+    /// node — a self-edge in the ship → wire → forward graph.
+    ForwardCycle {
+        /// The leader rank carrying the self-referential wire.
+        rank: usize,
+        /// The node wired back onto itself.
+        node: usize,
+    },
+    /// The exchange cannot complete under nonblocking semantics: every
+    /// unfinished rank is blocked. Lists each blocked rank with the
+    /// (peer, tag) of the operation it waits on.
+    Deadlock {
+        /// `(rank, peer, tag)` of every blocked wait at the fixed point.
+        blocked: Vec<(usize, usize, Tag)>,
+    },
+}
+
+impl fmt::Display for PlanViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanViolation::MissingRecv {
+                src,
+                dst,
+                tag,
+                bytes,
+            } => write!(
+                f,
+                "send {src} -> {dst} (tag {tag}, {bytes} B) has no matching recv"
+            ),
+            PlanViolation::MissingSend {
+                src,
+                dst,
+                tag,
+                bytes,
+            } => write!(
+                f,
+                "recv at {dst} from {src} (tag {tag}, {bytes} B) has no matching send"
+            ),
+            PlanViolation::ByteMismatch {
+                src,
+                dst,
+                tag,
+                send_bytes,
+                recv_bytes,
+            } => write!(
+                f,
+                "byte mismatch {src} -> {dst} (tag {tag}): send {send_bytes} B, recv {recv_bytes} B"
+            ),
+            PlanViolation::TagCollision {
+                src,
+                dst,
+                tag,
+                count,
+            } => write!(
+                f,
+                "tag collision: {count} messages on flow {src} -> {dst} tag {tag} in one epoch"
+            ),
+            PlanViolation::GatherOutOfRange {
+                rank,
+                peer,
+                index,
+                local_len,
+            } => write!(
+                f,
+                "rank {rank} gathers local index {index} for peer {peer}, but owns only 0..{local_len}"
+            ),
+            PlanViolation::HaloNotOwned { rank, peer, column } => write!(
+                f,
+                "rank {rank} requests column {column} from rank {peer}, which does not own it"
+            ),
+            PlanViolation::ForwardCycle { rank, node } => write!(
+                f,
+                "leader rank {rank} wires node {node} back onto itself (ship/wire/forward cycle)"
+            ),
+            PlanViolation::Deadlock { blocked } => {
+                write!(f, "exchange deadlocks; blocked waits:")?;
+                for (rank, peer, tag) in blocked {
+                    write!(f, " [rank {rank} on peer {peer} tag {tag}]")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanViolation {}
+
+/// Statistics of a successfully verified exchange epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanSummary {
+    /// World size.
+    pub ranks: usize,
+    /// Point-to-point messages per epoch.
+    pub messages: usize,
+    /// Payload bytes per epoch.
+    pub bytes: usize,
+    /// Blocking operations simulated by the deadlock check.
+    pub blocking_ops: usize,
+}
+
+impl fmt::Display for PlanSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ranks, {} messages, {} bytes, {} blocking ops — deadlock-free",
+            self.ranks, self.messages, self.bytes, self.blocking_ops
+        )
+    }
+}
+
+/// One operation of a rank's exchange schedule, in engine issue order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    /// Nonblocking send post (eager or rendezvous — never blocks here).
+    SendPost { dst: usize, tag: Tag, bytes: usize },
+    /// Blocking receive: completes once the matching send is posted.
+    RecvBlock { src: usize, tag: Tag, bytes: usize },
+    /// Rendezvous send completion: blocks until the matching receive has
+    /// consumed the payload.
+    SendWait { dst: usize, tag: Tag },
+}
+
+/// The flat exchange schedule of one rank, mirroring
+/// `RankEngine::post_receives` / `post_sends` / waitall: all receives are
+/// posted nonblocking before anything blocks, so the blocking suffix is
+/// just the recv waits followed by the send waits.
+fn flat_ops(plan: &RankPlan) -> Vec<Op> {
+    let mut ops = Vec::with_capacity(2 * (plan.recv.len() + plan.send.len()));
+    for n in &plan.send {
+        ops.push(Op::SendPost {
+            dst: n.peer,
+            tag: TAG_HALO,
+            bytes: n.indices.len() * 8,
+        });
+    }
+    for n in &plan.recv {
+        ops.push(Op::RecvBlock {
+            src: n.peer,
+            tag: TAG_HALO,
+            bytes: n.indices.len() * 8,
+        });
+    }
+    for n in &plan.send {
+        ops.push(Op::SendWait {
+            dst: n.peer,
+            tag: TAG_HALO,
+        });
+    }
+    ops
+}
+
+/// The node-aware exchange schedule of one rank, mirroring
+/// `RankEngine::na_begin` / `na_finish` exactly: intra sends and the
+/// shipment are posted first; a leader then *blocks* on member shipments
+/// before posting wires — the mid-schedule block that makes the acyclicity
+/// of ship → wire → forward a real proof obligation.
+fn node_aware_ops(na: &NodeAwarePlan) -> Vec<Op> {
+    let mut ops = Vec::new();
+    let mut posted: Vec<(usize, Tag)> = Vec::new();
+    for (peer, r) in &na.intra_send {
+        ops.push(Op::SendPost {
+            dst: *peer,
+            tag: TAG_HALO,
+            bytes: r.len() * 8,
+        });
+        posted.push((*peer, TAG_HALO));
+    }
+    if !na.is_leader() && !na.ship_range.is_empty() {
+        ops.push(Op::SendPost {
+            dst: na.leader_rank,
+            tag: TAG_SHIP,
+            bytes: na.ship_range.len() * 8,
+        });
+        posted.push((na.leader_rank, TAG_SHIP));
+    }
+    if let Some(lp) = &na.leader {
+        let my_slot = na.flat.rank - lp.members[0];
+        for (slot, &member) in lp.members.iter().enumerate() {
+            if slot != my_slot && lp.ship_lens[slot] > 0 {
+                ops.push(Op::RecvBlock {
+                    src: member,
+                    tag: TAG_SHIP,
+                    bytes: lp.ship_lens[slot] * 8,
+                });
+            }
+        }
+        for w in &lp.wire_out {
+            ops.push(Op::SendPost {
+                dst: w.dest_leader,
+                tag: TAG_WIRE,
+                bytes: w.len * 8,
+            });
+            posted.push((w.dest_leader, TAG_WIRE));
+        }
+        for w in &lp.wire_in {
+            ops.push(Op::RecvBlock {
+                src: w.src_leader,
+                tag: TAG_WIRE,
+                bytes: w.len * 8,
+            });
+        }
+        for w in &lp.wire_in {
+            for (slot, &len) in w.parts.iter().enumerate() {
+                if len > 0 && slot != my_slot {
+                    let tag = TAG_FWD_BASE + w.node as Tag;
+                    ops.push(Op::SendPost {
+                        dst: lp.members[slot],
+                        tag,
+                        bytes: len * 8,
+                    });
+                    posted.push((lp.members[slot], tag));
+                }
+            }
+        }
+    }
+    for (peer, r) in &na.intra_recv {
+        ops.push(Op::RecvBlock {
+            src: *peer,
+            tag: TAG_HALO,
+            bytes: r.len() * 8,
+        });
+    }
+    if !na.is_leader() {
+        for (node, r) in &na.recv_node_segments {
+            ops.push(Op::RecvBlock {
+                src: na.leader_rank,
+                tag: TAG_FWD_BASE + *node as Tag,
+                bytes: r.len() * 8,
+            });
+        }
+    }
+    for (dst, tag) in posted {
+        ops.push(Op::SendWait { dst, tag });
+    }
+    ops
+}
+
+/// Per-flow tallies: (send count, send bytes, recv count, recv bytes).
+type FlowTally = (usize, usize, usize, usize);
+
+/// Message-matching and tag-uniqueness checks over a world's schedules.
+fn check_matching(world: &[Vec<Op>], violations: &mut Vec<PlanViolation>) {
+    let mut flows: BTreeMap<(usize, usize, Tag), FlowTally> = BTreeMap::new();
+    for (rank, ops) in world.iter().enumerate() {
+        for op in ops {
+            match *op {
+                Op::SendPost { dst, tag, bytes } => {
+                    let e = flows.entry((rank, dst, tag)).or_default();
+                    e.0 += 1;
+                    e.1 = bytes;
+                }
+                Op::RecvBlock { src, tag, bytes } => {
+                    let e = flows.entry((src, rank, tag)).or_default();
+                    e.2 += 1;
+                    e.3 = bytes;
+                }
+                Op::SendWait { .. } => {}
+            }
+        }
+    }
+    for (&(src, dst, tag), &(ns, sb, nr, rb)) in &flows {
+        if ns > 1 || nr > 1 {
+            violations.push(PlanViolation::TagCollision {
+                src,
+                dst,
+                tag,
+                count: ns.max(nr),
+            });
+        } else if ns == 1 && nr == 0 {
+            violations.push(PlanViolation::MissingRecv {
+                src,
+                dst,
+                tag,
+                bytes: sb,
+            });
+        } else if ns == 0 && nr == 1 {
+            violations.push(PlanViolation::MissingSend {
+                src,
+                dst,
+                tag,
+                bytes: rb,
+            });
+        } else if sb != rb {
+            violations.push(PlanViolation::ByteMismatch {
+                src,
+                dst,
+                tag,
+                send_bytes: sb,
+                recv_bytes: rb,
+            });
+        }
+    }
+}
+
+/// Runs the world's schedules to a fixed point under nonblocking
+/// semantics: posts never block, a blocking receive completes once the
+/// matching send is posted, and a rendezvous send-wait completes once the
+/// matching receive has consumed the payload. Returns the blocked waits if
+/// the world wedges, `Ok` with the blocking-op count otherwise.
+fn check_deadlock(world: &[Vec<Op>]) -> Result<usize, Vec<(usize, usize, Tag)>> {
+    let mut pc = vec![0usize; world.len()];
+    let mut sent: BTreeMap<(usize, usize, Tag), usize> = BTreeMap::new();
+    let mut consumed: BTreeMap<(usize, usize, Tag), usize> = BTreeMap::new();
+    let mut blocking_ops = 0usize;
+    loop {
+        let mut progress = false;
+        for (rank, ops) in world.iter().enumerate() {
+            while pc[rank] < ops.len() {
+                match ops[pc[rank]] {
+                    Op::SendPost { dst, tag, .. } => {
+                        *sent.entry((rank, dst, tag)).or_default() += 1;
+                    }
+                    Op::RecvBlock { src, tag, .. } => {
+                        let avail = sent.get(&(src, rank, tag)).copied().unwrap_or(0);
+                        let taken = consumed.entry((src, rank, tag)).or_default();
+                        if *taken >= avail {
+                            break; // matching send not posted yet
+                        }
+                        *taken += 1;
+                        blocking_ops += 1;
+                    }
+                    Op::SendWait { dst, tag } => {
+                        let done = consumed.get(&(rank, dst, tag)).copied().unwrap_or(0);
+                        if done == 0 {
+                            break; // receiver has not consumed the payload
+                        }
+                        blocking_ops += 1;
+                    }
+                }
+                pc[rank] += 1;
+                progress = true;
+            }
+        }
+        if pc.iter().zip(world).all(|(&p, ops)| p == ops.len()) {
+            return Ok(blocking_ops);
+        }
+        if !progress {
+            let blocked = world
+                .iter()
+                .enumerate()
+                .filter(|(r, ops)| pc[*r] < ops.len())
+                .map(|(r, ops)| match ops[pc[r]] {
+                    Op::RecvBlock { src, tag, .. } => (r, src, tag),
+                    Op::SendWait { dst, tag } => (r, dst, tag),
+                    Op::SendPost { dst, tag, .. } => (r, dst, tag),
+                })
+                .collect();
+            return Err(blocked);
+        }
+    }
+}
+
+/// Gather- and halo-ownership checks shared by both strategies. `plans`
+/// must be the whole world in rank order.
+fn check_ownership(plans: &[RankPlan], violations: &mut Vec<PlanViolation>) {
+    for p in plans {
+        for n in &p.send {
+            for &i in &n.indices {
+                if i as usize >= p.local_len {
+                    violations.push(PlanViolation::GatherOutOfRange {
+                        rank: p.rank,
+                        peer: n.peer,
+                        index: i as usize,
+                        local_len: p.local_len,
+                    });
+                }
+            }
+        }
+        for n in &p.recv {
+            let Some(owner) = plans.get(n.peer) else {
+                continue; // peer out of range surfaces as MissingSend
+            };
+            for &c in &n.indices {
+                let c = c as usize;
+                if c < owner.row_start || c >= owner.row_start + owner.local_len {
+                    violations.push(PlanViolation::HaloNotOwned {
+                        rank: p.rank,
+                        peer: n.peer,
+                        column: c,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Summarizes the message volume of a world's schedules.
+fn summarize(world: &[Vec<Op>], blocking_ops: usize) -> PlanSummary {
+    let (mut messages, mut bytes) = (0usize, 0usize);
+    for ops in world {
+        for op in ops {
+            if let Op::SendPost { bytes: b, .. } = op {
+                messages += 1;
+                bytes += b;
+            }
+        }
+    }
+    PlanSummary {
+        ranks: world.len(),
+        messages,
+        bytes,
+        blocking_ops,
+    }
+}
+
+/// Shared tail: matching + deadlock over prepared schedules.
+fn verify_world(
+    world: Vec<Vec<Op>>,
+    mut violations: Vec<PlanViolation>,
+) -> Result<PlanSummary, Vec<PlanViolation>> {
+    check_matching(&world, &mut violations);
+    match check_deadlock(&world) {
+        Ok(blocking_ops) if violations.is_empty() => Ok(summarize(&world, blocking_ops)),
+        Ok(_) => Err(violations),
+        Err(blocked) => {
+            violations.push(PlanViolation::Deadlock { blocked });
+            Err(violations)
+        }
+    }
+}
+
+/// Verifies a whole world of flat exchange plans (`plans[r].rank == r`).
+/// The message structure is identical across all three kernel modes — the
+/// task-mode communication thread issues the same schedule the vector
+/// modes issue inline — so one verification covers every mode.
+pub fn verify_flat(plans: &[RankPlan]) -> Result<PlanSummary, Vec<PlanViolation>> {
+    let mut violations = Vec::new();
+    check_ownership(plans, &mut violations);
+    verify_world(plans.iter().map(flat_ops).collect(), violations)
+}
+
+/// Verifies a whole world of node-aware plans (`plans[r].flat.rank == r`):
+/// the flat ownership invariants on the underlying plans, the structural
+/// acyclicity of ship → wire → forward, and matching + deadlock-freedom of
+/// the full three-phase schedule.
+pub fn verify_node_aware(plans: &[NodeAwarePlan]) -> Result<PlanSummary, Vec<PlanViolation>> {
+    let mut violations = Vec::new();
+    let flat: Vec<RankPlan> = plans.iter().map(|p| p.flat.clone()).collect();
+    check_ownership(&flat, &mut violations);
+    for p in plans {
+        for &i in &p.gather_indices {
+            if i as usize >= p.flat.local_len {
+                violations.push(PlanViolation::GatherOutOfRange {
+                    rank: p.flat.rank,
+                    peer: p.leader_rank,
+                    index: i as usize,
+                    local_len: p.flat.local_len,
+                });
+            }
+        }
+        if let Some(lp) = &p.leader {
+            for w in &lp.wire_out {
+                if w.node == p.my_node {
+                    violations.push(PlanViolation::ForwardCycle {
+                        rank: p.flat.rank,
+                        node: w.node,
+                    });
+                }
+            }
+            for w in &lp.wire_in {
+                if w.node == p.my_node {
+                    violations.push(PlanViolation::ForwardCycle {
+                        rank: p.flat.rank,
+                        node: w.node,
+                    });
+                }
+            }
+        }
+    }
+    verify_world(plans.iter().map(node_aware_ops).collect(), violations)
+}
+
+// -- distributed entry point ------------------------------------------------
+
+/// Flat-plan wire format: a `u32` word stream
+/// `[rank, row_start, local_len, nrecv, nsend, {peer, len, indices...}*]`.
+fn encode_plan(plan: &RankPlan) -> Vec<u32> {
+    let mut w = Vec::with_capacity(5 + plan.halo_len() + plan.send_len());
+    w.push(plan.rank as u32);
+    w.push(u32::try_from(plan.row_start).expect("row_start exceeds the u32 column space"));
+    w.push(plan.local_len as u32);
+    w.push(plan.recv.len() as u32);
+    w.push(plan.send.len() as u32);
+    for list in [&plan.recv, &plan.send] {
+        for n in list {
+            w.push(n.peer as u32);
+            w.push(n.indices.len() as u32);
+            w.extend_from_slice(&n.indices);
+        }
+    }
+    w
+}
+
+fn decode_plan(w: &[u32]) -> RankPlan {
+    let mut it = w.iter().copied();
+    let mut next = || it.next().expect("truncated plan encoding") as usize;
+    let (rank, row_start, local_len) = (next(), next(), next());
+    let (nrecv, nsend) = (next(), next());
+    let mut read_list = |count: usize| {
+        (0..count)
+            .map(|_| {
+                let peer = next();
+                let len = next();
+                crate::plan::Neighbor {
+                    peer,
+                    indices: (0..len).map(|_| next() as u32).collect(),
+                }
+            })
+            .collect()
+    };
+    let recv = read_list(nrecv);
+    let send = read_list(nsend);
+    RankPlan {
+        rank,
+        row_start,
+        local_len,
+        recv,
+        send,
+    }
+}
+
+/// Collective plan verification: every rank contributes its own flat plan
+/// via an allgather (on the reserved collective tag space, so injected
+/// point-to-point faults cannot corrupt the exchange), reconstructs the
+/// whole world, and runs the strategy-appropriate checks. For the
+/// node-aware strategy the world's `NodeAwarePlan`s are rebuilt serially
+/// from the gathered flat plans — the same pure function the distributed
+/// builder mirrors — and verified as a set.
+///
+/// Returns this rank's view; all ranks compute identical results.
+pub fn verify_distributed(
+    comm: &Comm,
+    plan: &RankPlan,
+    node_map: Option<&RankNodeMap>,
+) -> Result<PlanSummary, Vec<PlanViolation>> {
+    let encoded = comm.allgatherv(&encode_plan(plan));
+    let plans: Vec<RankPlan> = encoded.iter().map(|w| decode_plan(w)).collect();
+    match node_map {
+        None => verify_flat(&plans),
+        Some(map) => verify_node_aware(&build_node_aware_serial(&plans, map)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::RowPartition;
+    use crate::plan::build_plans_serial;
+    use spmv_matrix::synthetic;
+
+    fn world(n: usize, ranks: usize) -> Vec<RankPlan> {
+        let m = synthetic::random_banded_symmetric(n, 9, 4.0, 7);
+        build_plans_serial(&m, &RowPartition::by_nnz(&m, ranks))
+    }
+
+    #[test]
+    fn accepts_organic_flat_plans() {
+        let summary = verify_flat(&world(120, 5)).expect("organic plans verify");
+        assert_eq!(summary.ranks, 5);
+        assert!(summary.messages > 0);
+        assert_eq!(summary.bytes % 8, 0);
+    }
+
+    #[test]
+    fn accepts_organic_node_aware_plans() {
+        let plans = world(120, 6);
+        let map = RankNodeMap::contiguous(6, 2);
+        let na = build_node_aware_serial(&plans, &map);
+        let summary = verify_node_aware(&na).expect("organic node-aware plans verify");
+        assert_eq!(summary.ranks, 6);
+    }
+
+    #[test]
+    fn dropped_recv_is_missing_recv() {
+        let mut plans = world(80, 4);
+        let victim = plans
+            .iter()
+            .position(|p| !p.recv.is_empty())
+            .expect("some rank receives");
+        let n = plans[victim].recv.remove(0);
+        let err = verify_flat(&plans).expect_err("dropped recv must fail");
+        assert!(
+            err.iter().any(|v| matches!(
+                v,
+                PlanViolation::MissingRecv { src, dst, tag: TAG_HALO, .. }
+                    if *src == n.peer && *dst == victim
+            )),
+            "expected MissingRecv {} -> {victim}, got {err:?}",
+            n.peer
+        );
+    }
+
+    #[test]
+    fn truncated_recv_is_byte_mismatch() {
+        let mut plans = world(80, 4);
+        let (victim, k, peer, want) = plans
+            .iter()
+            .enumerate()
+            .find_map(|(r, p)| {
+                p.recv
+                    .iter()
+                    .position(|n| n.indices.len() > 1)
+                    .map(|k| (r, k, p.recv[k].peer, p.recv[k].indices.len()))
+            })
+            .expect("some multi-element halo segment");
+        plans[victim].recv[k].indices.pop();
+        let err = verify_flat(&plans).expect_err("truncated recv must fail");
+        assert!(
+            err.iter().any(|v| matches!(
+                v,
+                PlanViolation::ByteMismatch { src, dst, send_bytes, recv_bytes, .. }
+                    if *src == peer && *dst == victim
+                        && *send_bytes == want * 8
+                        && *recv_bytes == (want - 1) * 8
+            )),
+            "expected ByteMismatch {peer} -> {victim}, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn duplicated_neighbor_is_tag_collision() {
+        let mut plans = world(80, 4);
+        let victim = plans
+            .iter()
+            .position(|p| !p.recv.is_empty())
+            .expect("some rank receives");
+        let dup = plans[victim].recv[0].clone();
+        let peer = dup.peer;
+        plans[victim].recv.push(dup);
+        let err = verify_flat(&plans).expect_err("duplicate flow must fail");
+        assert!(
+            err.iter().any(|v| matches!(
+                v,
+                PlanViolation::TagCollision { src, dst, count: 2, .. }
+                    if *src == peer && *dst == victim
+            )),
+            "expected TagCollision {peer} -> {victim}, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_gather_is_caught() {
+        let mut plans = world(80, 4);
+        let victim = plans
+            .iter()
+            .position(|p| !p.send.is_empty())
+            .expect("some rank sends");
+        let bad = plans[victim].local_len as u32 + 3;
+        plans[victim].send[0].indices[0] = bad;
+        let err = verify_flat(&plans).expect_err("gather out of range must fail");
+        assert!(
+            err.iter().any(|v| matches!(
+                v,
+                PlanViolation::GatherOutOfRange { rank, index, .. }
+                    if *rank == victim && *index == bad as usize
+            )),
+            "expected GatherOutOfRange at rank {victim}, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn self_wire_is_forward_cycle() {
+        let plans = world(120, 6);
+        let map = RankNodeMap::contiguous(6, 2);
+        let mut na = build_node_aware_serial(&plans, &map);
+        let leader = na
+            .iter()
+            .position(|p| p.leader.as_ref().is_some_and(|l| !l.wire_out.is_empty()))
+            .expect("some leader has outgoing wires");
+        let my_node = na[leader].my_node;
+        let lp = na[leader].leader.as_mut().expect("is a leader");
+        lp.wire_out[0].node = my_node;
+        lp.wire_out[0].dest_leader = leader;
+        let err = verify_node_aware(&na).expect_err("self wire must fail");
+        assert!(
+            err.iter().any(|v| matches!(
+                v,
+                PlanViolation::ForwardCycle { rank, node }
+                    if *rank == leader && *node == my_node
+            )),
+            "expected ForwardCycle at leader {leader}, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn deadlock_sim_catches_mutual_blocking_recv() {
+        // Hand-built schedules: both ranks block on a receive before
+        // posting their send — the classic head-to-head deadlock the
+        // engine's post-first order is designed to exclude.
+        let world = vec![
+            vec![
+                Op::RecvBlock {
+                    src: 1,
+                    tag: 1,
+                    bytes: 8,
+                },
+                Op::SendPost {
+                    dst: 1,
+                    tag: 1,
+                    bytes: 8,
+                },
+                Op::SendWait { dst: 1, tag: 1 },
+            ],
+            vec![
+                Op::RecvBlock {
+                    src: 0,
+                    tag: 1,
+                    bytes: 8,
+                },
+                Op::SendPost {
+                    dst: 0,
+                    tag: 1,
+                    bytes: 8,
+                },
+                Op::SendWait { dst: 0, tag: 1 },
+            ],
+        ];
+        let blocked = check_deadlock(&world).expect_err("head-to-head must deadlock");
+        assert_eq!(blocked, vec![(0, 1, 1), (1, 0, 1)]);
+    }
+
+    #[test]
+    fn plan_encoding_round_trips() {
+        for p in world(100, 5) {
+            assert_eq!(decode_plan(&encode_plan(&p)), p);
+        }
+    }
+
+    #[test]
+    fn verify_distributed_matches_serial() {
+        let m = synthetic::random_banded_symmetric(90, 7, 4.0, 3);
+        let part = RowPartition::by_nnz(&m, 4);
+        let serial = verify_flat(&build_plans_serial(&m, &part)).expect("serial verifies");
+        let comms = spmv_comm::CommWorld::create(4);
+        let out = std::thread::scope(|s| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|comm| {
+                    let (m, part) = (&m, &part);
+                    s.spawn(move || {
+                        let block = m.row_block(part.range(comm.rank()));
+                        let plan = crate::plan::build_plan_distributed(&comm, &block, part);
+                        verify_distributed(&comm, &plan, None)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread"))
+                .collect::<Vec<_>>()
+        });
+        for r in out {
+            assert_eq!(r.expect("distributed verifies"), serial);
+        }
+    }
+}

@@ -932,6 +932,7 @@ mod tests {
         #[cfg(feature = "fast-kernels")]
         {
             let mut y = vec![f64::NAN; n];
+            // SAFETY: indices come from a well-formed CsrMatrix.
             unsafe { m.spmv_rows_unchecked(0..n, &x, &mut y, false) };
             assert!(crate::vecops::rel_error(&y, &y_ref) < 1e-13, "unchecked");
         }
@@ -969,6 +970,7 @@ mod tests {
             assert_eq!(row_dot_sliced(&cols, &vals, &x), reference, "len {len}");
             #[cfg(feature = "fast-kernels")]
             {
+                // SAFETY: cols were generated modulo x.len().
                 let u = unsafe { row_dot_unchecked(&cols, &vals, &x) };
                 assert!((u - reference).abs() < 1e-12, "len {len}");
             }

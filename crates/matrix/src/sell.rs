@@ -193,7 +193,7 @@ impl SellMatrix {
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "x length must equal ncols");
         assert_eq!(y.len(), self.nrows, "y length must equal nrows");
-        // Safety: y is a valid &mut [f64] of length nrows.
+        // SAFETY: y is a valid &mut [f64] of length nrows.
         unsafe { self.spmv_rows_ptr(0..self.nrows, x, y.as_mut_ptr(), false) };
     }
 
@@ -201,7 +201,7 @@ impl SellMatrix {
     pub fn spmv_add(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "x length must equal ncols");
         assert_eq!(y.len(), self.nrows, "y length must equal nrows");
-        // Safety: y is a valid &mut [f64] of length nrows.
+        // SAFETY: y is a valid &mut [f64] of length nrows.
         unsafe { self.spmv_rows_ptr(0..self.nrows, x, y.as_mut_ptr(), true) };
     }
 
@@ -220,7 +220,7 @@ impl SellMatrix {
             y.len(),
             rows.end
         );
-        // Safety: y covers indices < rows.end.
+        // SAFETY: y covers indices < rows.end.
         unsafe { self.spmv_rows_ptr(rows, x, y.as_mut_ptr(), add) };
     }
 

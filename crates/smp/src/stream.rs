@@ -58,7 +58,7 @@ pub fn run_stream(team: &ThreadTeam, len: usize, reps: usize) -> StreamResult {
         );
         team.run(|ctx| {
             for i in static_chunk(len, ctx.size, ctx.tid) {
-                // Safety: chunks are disjoint across threads.
+                // SAFETY: chunks are disjoint across threads.
                 unsafe {
                     *pa.at(i) = 1.0;
                     *pb.at(i) = 2.0;
@@ -85,6 +85,8 @@ pub fn run_stream(team: &ThreadTeam, len: usize, reps: usize) -> StreamResult {
         SendPtr(c.as_mut_ptr()),
     );
 
+    // SAFETY: for all four kernels — static_chunk gives disjoint index
+    // ranges per thread, and the vectors outlive every team region.
     let t_copy = time_kernel(&|tid, size| {
         for i in static_chunk(len, size, tid) {
             unsafe { *pc.at(i) = *pa.at(i) };
@@ -92,16 +94,19 @@ pub fn run_stream(team: &ThreadTeam, len: usize, reps: usize) -> StreamResult {
     });
     let t_scale = time_kernel(&|tid, size| {
         for i in static_chunk(len, size, tid) {
+            // SAFETY: as above — disjoint static chunks.
             unsafe { *pb.at(i) = s * *pc.at(i) };
         }
     });
     let t_add = time_kernel(&|tid, size| {
         for i in static_chunk(len, size, tid) {
+            // SAFETY: as above — disjoint static chunks.
             unsafe { *pc.at(i) = *pa.at(i) + *pb.at(i) };
         }
     });
     let t_triad = time_kernel(&|tid, size| {
         for i in static_chunk(len, size, tid) {
+            // SAFETY: as above — disjoint static chunks.
             unsafe { *pa.at(i) = *pb.at(i) + s * *pc.at(i) };
         }
     });
@@ -121,6 +126,8 @@ pub fn run_stream(team: &ThreadTeam, len: usize, reps: usize) -> StreamResult {
 }
 
 struct SendPtr(*mut f64);
+// SAFETY: points into vectors owned by the benchmark frame, which outlive
+// every team region; accesses follow `SendPtr::at`'s disjointness contract.
 unsafe impl Send for SendPtr {}
 unsafe impl Sync for SendPtr {}
 

@@ -78,11 +78,11 @@ impl TeamCtx<'_> {
 }
 
 /// Type-erased pointer to the parallel-region closure.
-///
-/// Safety: the pointee is kept alive by [`ThreadTeam::run`], which does not
-/// return before every worker has finished executing through this pointer.
 #[derive(Clone, Copy)]
 struct RegionPtr(*const (dyn Fn(TeamCtx<'_>) + Sync));
+// SAFETY: the pointee is kept alive by [`ThreadTeam::run`], which does not
+// return before every worker has finished executing through this pointer,
+// and the closure itself is `Sync` so shared calls are sound.
 unsafe impl Send for RegionPtr {}
 
 enum Command {
@@ -167,10 +167,10 @@ impl ThreadTeam {
     where
         F: Fn(TeamCtx<'_>) + Sync,
     {
-        // Erase the closure's lifetime. Sound because this function does not
-        // return until all workers signalled completion, so `region` outlives
-        // every use of the pointer.
         let wide: &(dyn Fn(TeamCtx<'_>) + Sync) = &region;
+        // SAFETY: erasing the closure's lifetime is sound because this
+        // function does not return until all workers signalled completion,
+        // so `region` outlives every use of the pointer.
         let ptr = RegionPtr(unsafe {
             std::mem::transmute::<
                 *const (dyn Fn(TeamCtx<'_>) + Sync),
@@ -250,7 +250,7 @@ fn worker_loop(tid: usize, size: usize, rx: Receiver<Command>, shared: Arc<Share
                         size,
                         barrier: &shared.barrier,
                     };
-                    // Safety: see `ThreadTeam::run`.
+                    // SAFETY: see `ThreadTeam::run`.
                     unsafe { (*ptr.0)(ctx) }
                 }));
                 if result.is_err() {
@@ -301,7 +301,7 @@ mod tests {
         team.run(|ctx| {
             let chunk = crate::workshare::static_chunk(input.len(), ctx.size, ctx.tid);
             for i in chunk {
-                // Safety: chunks are disjoint.
+                // SAFETY: chunks are disjoint.
                 unsafe { *out_ptr.at(i) = input[i] * 2.0 };
             }
         });
@@ -309,9 +309,13 @@ mod tests {
     }
 
     struct SendPtr(*mut f64);
+    // SAFETY: test-local pointer into a vector that outlives the region;
+    // threads write disjoint chunks.
     unsafe impl Send for SendPtr {}
     unsafe impl Sync for SendPtr {}
     impl SendPtr {
+        /// # Safety
+        /// Caller must guarantee disjoint element access across threads.
         unsafe fn at(&self, i: usize) -> *mut f64 {
             self.0.add(i)
         }

@@ -1,0 +1,121 @@
+//! `spmv-lint` — the workspace lint driver.
+//!
+//! ```text
+//! cargo run -p spmv-verify --bin spmv-lint -- [--deny] [--only <lint>]
+//!     [--root <dir>] [--allow <file>] [--no-suggest] [--list]
+//! ```
+//!
+//! Exit status: 0 when clean (or `--deny` absent and only allowlisted
+//! findings), 1 when findings remain, 2 on usage error.
+
+use spmv_verify::lint::{
+    find_workspace_root, is_allowed, parse_allowlist, run_lints, AllowEntry, ALL_LINTS,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Default allowlist location, workspace-relative.
+const DEFAULT_ALLOW: &str = "crates/verify/lint.allow";
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: spmv-lint [--deny] [--only <lint>] [--root <dir>] [--allow <file>] \
+         [--no-suggest] [--list]\n       lints: {}",
+        ALL_LINTS.join(", ")
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut only: Option<String> = None;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut allow_arg: Option<PathBuf> = None;
+    let mut suggest = true;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny" => deny = true,
+            "--no-suggest" => suggest = false,
+            "--list" => {
+                for l in ALL_LINTS {
+                    println!("{l}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--only" => match args.next() {
+                Some(l) if ALL_LINTS.contains(&l.as_str()) => only = Some(l),
+                Some(l) => {
+                    eprintln!("spmv-lint: unknown lint {l:?}");
+                    return usage();
+                }
+                None => return usage(),
+            },
+            "--root" => match args.next() {
+                Some(p) => root_arg = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--allow" => match args.next() {
+                Some(p) => allow_arg = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            _ => {
+                eprintln!("spmv-lint: unknown argument {a:?}");
+                return usage();
+            }
+        }
+    }
+
+    let root = match root_arg.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("spmv-lint: could not locate a workspace root (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let allow_path = allow_arg.unwrap_or_else(|| root.join(DEFAULT_ALLOW));
+    let allow: Vec<AllowEntry> = std::fs::read_to_string(&allow_path)
+        .map(|t| parse_allowlist(&t))
+        .unwrap_or_default();
+
+    let all = run_lints(&root, only.as_deref());
+    let mut reported = 0usize;
+    let mut suppressed = 0usize;
+    for f in &all {
+        if is_allowed(f, &allow) {
+            suppressed += 1;
+            continue;
+        }
+        reported += 1;
+        println!("{f}");
+        if suggest {
+            println!("  fix: {}", f.suggestion);
+        }
+    }
+
+    if reported == 0 {
+        println!(
+            "spmv-lint: clean ({} lint{}, {} suppressed)",
+            only.as_deref().map_or(ALL_LINTS.len(), |_| 1),
+            if only.is_some() { "" } else { "s" },
+            suppressed
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "spmv-lint: {reported} finding{} ({suppressed} suppressed)",
+            if reported == 1 { "" } else { "s" }
+        );
+        if deny {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}

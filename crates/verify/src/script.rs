@@ -1,0 +1,225 @@
+//! Model programs derived from real communication plans.
+//!
+//! [`build_world`] turns a matrix + rank count + [`KernelMode`] into a
+//! [`ModelWorld`] whose procs execute the *same* schedule the engine's
+//! threads execute — gather order, message set, tag assignment, barrier
+//! placement — over the rank's real split matrices. Exploring that world
+//! therefore checks the engine's interleaving structure, not a toy.
+//!
+//! Buffer layout per rank `r` (three buffers each):
+//! * `3r`     — `x_ext = [local | halo]`, the extended RHS;
+//! * `3r + 1` — the gathered send buffer;
+//! * `3r + 2` — `y`, the rank's slice of the result.
+//!
+//! Vector modes are one proc per rank. Task mode is two procs per rank —
+//! the dedicated comm thread and the compute team — synchronized by the
+//! B1/B2 barriers of Fig. 4c (barrier ids `2r` and `2r + 1`).
+
+use crate::explore::{MOp, ModelWorld, Program};
+use spmv_core::plan::build_plans_serial;
+use spmv_core::{KernelMode, RowPartition, SplitMatrix};
+use spmv_matrix::CsrMatrix;
+use std::rc::Rc;
+
+/// The halo tag the engine uses for flat exchange (`spmv-core`'s
+/// `TAG_HALO`); the model reuses it so schedules read identically.
+const TAG_HALO: u32 = 17;
+
+/// Builds a model world for a distributed SpMV of `matrix` over `ranks`
+/// nonzero-balanced ranks in `mode`, with `x` as the RHS. Returns the
+/// world plus the per-rank `(row_start, local_len)` layout so callers can
+/// assemble the global result from the terminal `y` buffers (`3r + 2`).
+pub fn build_world(
+    matrix: &CsrMatrix,
+    x: &[f64],
+    ranks: usize,
+    mode: KernelMode,
+) -> (ModelWorld, Vec<(usize, usize)>) {
+    assert_eq!(x.len(), matrix.ncols(), "x must match the matrix");
+    let partition = RowPartition::by_nnz(matrix, ranks);
+    let plans = build_plans_serial(matrix, &partition);
+
+    let mut buffers = Vec::with_capacity(3 * ranks);
+    let mut layout = Vec::with_capacity(ranks);
+    let mut splits = Vec::with_capacity(ranks);
+    for plan in &plans {
+        let range = partition.range(plan.rank);
+        let block = matrix.row_block(range.clone());
+        let split = SplitMatrix::build(&block, plan);
+        let mut x_ext = x[range.clone()].to_vec();
+        x_ext.resize(plan.local_len + plan.halo_len(), 0.0);
+        buffers.push(x_ext);
+        buffers.push(vec![0.0; plan.send_len()]);
+        buffers.push(vec![0.0; plan.local_len]);
+        layout.push((plan.row_start, plan.local_len));
+        splits.push(split);
+    }
+
+    let mut procs = Vec::new();
+    let mut barrier_groups = Vec::new();
+    for (r, plan) in plans.iter().enumerate() {
+        let (xb, sb, yb) = (3 * r, 3 * r + 1, 3 * r + 2);
+        let split = &splits[r];
+        let nloc = plan.local_len;
+
+        let gather = MOp::Gather {
+            src: xb,
+            indices: Rc::new(
+                plan.send
+                    .iter()
+                    .flat_map(|n| n.indices.iter().copied())
+                    .collect(),
+            ),
+            dst: sb,
+        };
+        // Send ops: one per send neighbour, over the neighbour's segment of
+        // the gathered buffer (the engine's send_offsets).
+        let mut sends = Vec::new();
+        let mut off = 0usize;
+        for n in &plan.send {
+            sends.push(MOp::Send {
+                dst: n.peer,
+                tag: TAG_HALO,
+                buf: sb,
+                range: (off, off + n.indices.len()),
+            });
+            off += n.indices.len();
+        }
+        // Recv ops: one per recv neighbour, into the halo segment of x_ext.
+        let mut recvs = Vec::new();
+        let mut hoff = nloc;
+        for n in &plan.recv {
+            recvs.push(MOp::Recv {
+                src: n.peer,
+                tag: TAG_HALO,
+                buf: xb,
+                off: hoff,
+                len: n.indices.len(),
+            });
+            hoff += n.indices.len();
+        }
+        let spmv_full = MOp::Spmv {
+            mat: Rc::new(split.full.clone()),
+            x_buf: xb,
+            x_off: 0,
+            y_buf: yb,
+            accumulate: false,
+        };
+        let spmv_local = MOp::Spmv {
+            mat: Rc::new(split.local.clone()),
+            x_buf: xb,
+            x_off: 0,
+            y_buf: yb,
+            accumulate: false,
+        };
+        let spmv_nonlocal = MOp::Spmv {
+            mat: Rc::new(split.nonlocal.clone()),
+            x_buf: xb,
+            x_off: nloc,
+            y_buf: yb,
+            accumulate: true,
+        };
+
+        match mode {
+            KernelMode::VectorNoOverlap => {
+                // Fig. 4a: gather, exchange to completion, one full kernel.
+                let mut ops = vec![gather];
+                ops.extend(sends);
+                ops.extend(recvs);
+                ops.push(spmv_full);
+                procs.push(Program { rank: r, ops });
+            }
+            KernelMode::VectorNaiveOverlap => {
+                // Fig. 4b: nonblocking exchange posted before the local
+                // kernel; the blocking waits (modeled by the Recv ops)
+                // land between the local and non-local kernels.
+                let mut ops = vec![gather];
+                ops.extend(sends);
+                ops.push(spmv_local);
+                ops.extend(recvs);
+                ops.push(spmv_nonlocal);
+                procs.push(Program { rank: r, ops });
+            }
+            KernelMode::TaskMode => {
+                // Fig. 4c: a dedicated comm proc drives the exchange while
+                // the compute proc runs the local kernel between B1 and B2.
+                let b1 = MOp::Barrier { id: 2 * r };
+                let b2 = MOp::Barrier { id: 2 * r + 1 };
+                let comm_proc = procs.len();
+                let mut ops = vec![b1.clone()];
+                ops.extend(sends);
+                ops.extend(recvs);
+                ops.push(b2.clone());
+                procs.push(Program { rank: r, ops });
+                procs.push(Program {
+                    rank: r,
+                    ops: vec![gather, b1, spmv_local, b2, spmv_nonlocal],
+                });
+                barrier_groups.resize(2 * r + 2, Vec::new());
+                barrier_groups[2 * r] = vec![comm_proc, comm_proc + 1];
+                barrier_groups[2 * r + 1] = vec![comm_proc, comm_proc + 1];
+            }
+        }
+    }
+
+    (
+        ModelWorld {
+            procs,
+            buffers,
+            barrier_groups,
+        },
+        layout,
+    )
+}
+
+/// Assembles the global result vector from a terminal buffer set returned
+/// by [`crate::explore::ExploreReport::terminal_buffers`].
+pub fn assemble_y(terminal: &[Vec<f64>], layout: &[(usize, usize)]) -> Vec<f64> {
+    let n = layout.iter().map(|&(s, l)| s + l).max().unwrap_or(0);
+    let mut y = vec![0.0; n];
+    for (r, &(start, len)) in layout.iter().enumerate() {
+        y[start..start + len].copy_from_slice(&terminal[3 * r + 2]);
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::Explorer;
+    use spmv_matrix::{synthetic, vecops};
+
+    #[test]
+    fn all_modes_explore_exhaustively_on_three_ranks() {
+        let m = synthetic::tridiagonal(24, 2.0, -1.0);
+        let x = vecops::random_vec(24, 5);
+        let mut y_ref = vec![0.0; 24];
+        m.spmv(&x, &mut y_ref);
+        for mode in KernelMode::ALL {
+            let (world, layout) = build_world(&m, &x, 3, mode);
+            let report = Explorer::new(world)
+                .run()
+                .unwrap_or_else(|e| panic!("{mode}: {e}"));
+            assert!(
+                report.schedules > 1,
+                "{mode}: a 3-rank world must interleave"
+            );
+            let y = assemble_y(&report.terminal_buffers, &layout);
+            let err = vecops::max_abs_diff(&y, &y_ref);
+            assert!(err < 1e-11, "{mode}: model result drifts ({err})");
+        }
+    }
+
+    #[test]
+    fn task_mode_four_ranks_with_wider_halo() {
+        let m = synthetic::random_banded_symmetric(32, 5, 3.0, 11);
+        let x = vecops::random_vec(32, 9);
+        let mut y_ref = vec![0.0; 32];
+        m.spmv(&x, &mut y_ref);
+        let (world, layout) = build_world(&m, &x, 4, KernelMode::TaskMode);
+        let report = Explorer::new(world).run().expect("task mode explores");
+        let y = assemble_y(&report.terminal_buffers, &layout);
+        assert!(vecops::max_abs_diff(&y, &y_ref) < 1e-11);
+        assert!(report.states > 100, "8 procs should branch substantially");
+    }
+}

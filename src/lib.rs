@@ -43,6 +43,7 @@
 //! | [`obs`] | `spmv-obs` | measured-time tracing: phase spans, overlap metrics, chrome-trace export |
 //! | [`sim`] | `spmv-sim` | fluid-flow timing simulator (Figs. 4–6) |
 //! | [`solvers`] | `spmv-solvers` | Lanczos, CG, KPM, power iteration |
+//! | [`verify`] | `spmv-verify` | comm-plan verification, interleaving exploration, workspace lints |
 
 pub use spmv_comm as comm;
 pub use spmv_core as core;
@@ -53,6 +54,7 @@ pub use spmv_obs as obs;
 pub use spmv_sim as sim;
 pub use spmv_smp as smp;
 pub use spmv_solvers as solvers;
+pub use spmv_verify as verify;
 
 /// The names almost every user of the library wants in scope.
 pub mod prelude {
